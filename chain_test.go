@@ -1,0 +1,74 @@
+package rumor_test
+
+// Integration test for the paper's "informally stated relations" on
+// regular graphs (the chain that proves Corollary 3):
+//
+//	sync push  ≲  async push  ≲(=2×)  async push-pull  ≲  sync push-pull
+//
+// where ≲ means "smaller high-probability spreading time up to a
+// constant factor". We verify the chain with explicit constant-factor
+// slack on several regular topologies.
+
+import (
+	"testing"
+
+	"rumor"
+)
+
+func TestCorollary3ChainOnRegularGraphs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-protocol measurement sweep")
+	}
+	builders := map[string]func() (*rumor.Graph, error){
+		"hypercube": func() (*rumor.Graph, error) { return rumor.Hypercube(8) },
+		"torus":     func() (*rumor.Graph, error) { return rumor.Grid(16, 16, true) },
+		"complete":  func() (*rumor.Graph, error) { return rumor.Complete(256) },
+	}
+	const trials = 80
+	for name, build := range builders {
+		name, build := name, build
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			g, err := build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			q := func(p rumor.Protocol, sync bool, seed uint64) float64 {
+				var m *rumor.Measurement
+				var err error
+				if sync {
+					m, err = rumor.MeasureSync(g, 0, p, trials, seed, 0)
+				} else {
+					m, err = rumor.MeasureAsync(g, 0, p, trials, seed, 0)
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				return rumor.Quantile(m.Times, 0.9)
+			}
+			syncPush := q(rumor.Push, true, 1)
+			asyncPush := q(rumor.Push, false, 2)
+			asyncPP := q(rumor.PushPull, false, 3)
+			syncPP := q(rumor.PushPull, true, 4)
+
+			// (1) Sauerwald: sync push = O(async push). Constant ~1.
+			if syncPush > 2.5*asyncPush {
+				t.Errorf("sync push %v >> async push %v", syncPush, asyncPush)
+			}
+			// (2) async push ~ 2x async push-pull on regular graphs.
+			if asyncPush < 1.4*asyncPP || asyncPush > 2.8*asyncPP {
+				t.Errorf("async push %v not ~2x async pp %v", asyncPush, asyncPP)
+			}
+			// (3) Theorem 1 on regular graphs (sync pp = Ω(log n) here):
+			// async pp = O(sync pp).
+			if asyncPP > 2.5*syncPP {
+				t.Errorf("async pp %v >> sync pp %v", asyncPP, syncPP)
+			}
+			// End-to-end consequence (Corollary 3): sync push and sync
+			// push-pull within a constant factor.
+			if syncPush > 4*syncPP || syncPush < syncPP/1.5 {
+				t.Errorf("Corollary 3 violated: sync push %v vs sync pp %v", syncPush, syncPP)
+			}
+		})
+	}
+}

@@ -1,0 +1,87 @@
+// Command experiments regenerates the paper's evaluation: it runs the
+// E1–E15 experiment suite (every theorem, corollary, lemma, and worked
+// example the paper states; see DESIGN.md §5) and prints paper-expected
+// versus measured results with a verdict per experiment.
+//
+// Examples:
+//
+//	experiments                 # full suite (minutes)
+//	experiments -quick          # reduced sizes/trials (seconds)
+//	experiments -run E11        # a single experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rumor/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		quick    = fs.Bool("quick", false, "reduced sizes and trial counts")
+		runID    = fs.String("run", "", "run a single experiment (E1..E15)")
+		seed     = fs.Uint64("seed", 0, "root seed (0 = default)")
+		workers  = fs.Int("workers", 0, "parallel workers (0 = all cores)")
+		markdown = fs.String("md", "", "also write a Markdown report to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := experiments.Config{
+		Quick:   *quick,
+		Seed:    *seed,
+		Workers: *workers,
+		Out:     os.Stdout,
+	}
+	if *runID != "" {
+		e, err := experiments.ByID(*runID)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("=== %s: %s ===\n%s\n\n", e.ID, e.Title, e.Claim)
+		o, err := e.Run(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s verdict: %v — %s\n", o.ID, o.Verdict, o.Summary)
+		if o.Verdict == experiments.Failed {
+			os.Exit(2)
+		}
+		return nil
+	}
+	outcomes, err := experiments.RunAll(cfg)
+	if err != nil {
+		return err
+	}
+	if *markdown != "" {
+		f, err := os.Create(*markdown)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := experiments.WriteMarkdownReport(f, outcomes, cfg, time.Now()); err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *markdown)
+	}
+	for _, o := range outcomes {
+		if o.Verdict == experiments.Failed {
+			os.Exit(2)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleQuickExperiment(t *testing.T) {
+	// E12 is the cheapest self-contained experiment.
+	if err := run([]string{"-run", "E12", "-quick"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-run", "E99"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunQuickSuiteWithMarkdownReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick suite")
+	}
+	dir := t.TempDir()
+	md := filepath.Join(dir, "report.md")
+	if err := run([]string{"-quick", "-md", md}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := string(data)
+	for _, want := range []string{"# Experiment report", "Mode: quick", "| E1 |", "| E15 |"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("markdown report missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rumor/internal/graph"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunInspect(t *testing.T) {
+	if err := run([]string{"-graph", "hypercube", "-n", "64"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunExactDiameter(t *testing.T) {
+	if err := run([]string{"-graph", "cycle", "-n", "32", "-exact-diameter"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunExport(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "g.edges")
+	if err := run([]string{"-graph", "star", "-n", "20", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, err := graph.ReadEdgeList(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 20 || g.NumEdges() != 19 {
+		t.Fatalf("exported graph: n=%d m=%d", g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestRunUnknownFamily(t *testing.T) {
+	if err := run([]string{"-graph", "mystery"}); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+}

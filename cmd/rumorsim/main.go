@@ -1,0 +1,202 @@
+// Command rumorsim runs rumor spreading simulations from the command
+// line: single measurements or size sweeps over any standard graph
+// family, with any protocol and timing model.
+//
+// Examples:
+//
+//	rumorsim -graph hypercube -n 1024 -protocol push-pull -timing both -trials 200
+//	rumorsim -graph star -n 4096 -protocol push -timing sync -trials 50
+//	rumorsim -graph diamond -sweep 512,1331,4096 -timing both -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"rumor"
+	"rumor/internal/core"
+	"rumor/internal/harness"
+	"rumor/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rumorsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rumorsim", flag.ContinueOnError)
+	var (
+		graphName = fs.String("graph", "hypercube", "graph family: "+strings.Join(harness.FamilyNames(), ", "))
+		n         = fs.Int("n", 1024, "target graph size")
+		sweep     = fs.String("sweep", "", "comma-separated sizes (overrides -n)")
+		protoName = fs.String("protocol", "push-pull", "protocol: push, pull, push-pull")
+		timing    = fs.String("timing", "both", "timing model: sync, async, both")
+		trials    = fs.Int("trials", 100, "trials per measurement")
+		seed      = fs.Uint64("seed", 1, "root RNG seed")
+		source    = fs.Int("source", 0, "source node")
+		workers   = fs.Int("workers", 0, "parallel workers (0 = all cores)")
+		csv       = fs.Bool("csv", false, "emit CSV instead of an aligned table")
+		curve     = fs.Bool("curve", false, "emit the mean spreading curve (informed fraction vs time) instead of summary rows")
+		curvePts  = fs.Int("curve-points", 40, "number of grid points for -curve")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	proto, err := parseProtocol(*protoName)
+	if err != nil {
+		return err
+	}
+	if *timing != "sync" && *timing != "async" && *timing != "both" {
+		return fmt.Errorf("unknown timing %q (want sync, async, both)", *timing)
+	}
+	fam, err := harness.FamilyByName(*graphName)
+	if err != nil {
+		return err
+	}
+	if *curve {
+		g, err := fam.Build(*n, *seed)
+		if err != nil {
+			return err
+		}
+		return emitCurves(g, proto, *timing, *trials, *seed, *curvePts, *csv)
+	}
+	sizes := []int{*n}
+	if *sweep != "" {
+		sizes = sizes[:0]
+		for _, part := range strings.Split(*sweep, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return fmt.Errorf("bad sweep entry %q: %v", part, err)
+			}
+			sizes = append(sizes, v)
+		}
+	}
+
+	tab := stats.NewTable("graph", "n", "m", "timing", "protocol",
+		"mean", "median", "q99", "max", "stderr")
+	for _, size := range sizes {
+		g, err := fam.Build(size, *seed)
+		if err != nil {
+			return err
+		}
+		src := rumor.NodeID(*source)
+		if int(src) >= g.NumNodes() {
+			src = 0
+		}
+		if *timing == "sync" || *timing == "both" {
+			m, err := rumor.MeasureSync(g, src, proto, *trials, *seed, *workers)
+			if err != nil {
+				return err
+			}
+			addRow(tab, g, "sync", proto, m.Times)
+		}
+		if *timing == "async" || *timing == "both" {
+			m, err := rumor.MeasureAsync(g, src, proto, *trials, *seed+1, *workers)
+			if err != nil {
+				return err
+			}
+			addRow(tab, g, "async", proto, m.Times)
+		}
+	}
+	if *csv {
+		return tab.WriteCSV(os.Stdout)
+	}
+	return tab.Render(os.Stdout)
+}
+
+func addRow(tab *stats.Table, g *rumor.Graph, timing string, proto core.Protocol, times []float64) {
+	s := stats.Summarize(times)
+	tab.AddRow(g.Name(), g.NumNodes(), g.NumEdges(), timing, proto.String(),
+		s.Mean, s.Median, stats.Quantile(times, 0.99), s.Max, stats.StdErr(times))
+}
+
+// emitCurves prints the trial-averaged informed fraction on a uniform
+// time grid, for the sync and/or async process — the data behind a
+// "fraction informed vs time" figure.
+func emitCurves(g *rumor.Graph, proto core.Protocol, timing string, trials int, seed uint64, points int, csv bool) error {
+	if points < 2 {
+		points = 2
+	}
+	type series struct {
+		name   string
+		curves []*core.Curve
+		maxT   float64
+	}
+	var all []series
+	if timing == "sync" || timing == "both" {
+		s := series{name: "sync"}
+		for i := 0; i < trials; i++ {
+			res, err := rumor.RunSync(g, 0, rumor.SyncConfig{Protocol: proto}, rumor.NewRNG(seed+uint64(i)))
+			if err != nil {
+				return err
+			}
+			c := res.Curve()
+			s.curves = append(s.curves, c)
+			if t := float64(res.Rounds); t > s.maxT {
+				s.maxT = t
+			}
+		}
+		all = append(all, s)
+	}
+	if timing == "async" || timing == "both" {
+		s := series{name: "async"}
+		for i := 0; i < trials; i++ {
+			res, err := rumor.RunAsync(g, 0, rumor.AsyncConfig{Protocol: proto}, rumor.NewRNG(seed+uint64(i)+7777777))
+			if err != nil {
+				return err
+			}
+			s.curves = append(s.curves, res.Curve())
+			if res.Time > s.maxT {
+				s.maxT = res.Time
+			}
+		}
+		all = append(all, s)
+	}
+	header := []string{"t"}
+	for _, s := range all {
+		header = append(header, "mean-frac-"+s.name)
+	}
+	tab := stats.NewTable(header...)
+	maxT := 0.0
+	for _, s := range all {
+		if s.maxT > maxT {
+			maxT = s.maxT
+		}
+	}
+	for i := 0; i < points; i++ {
+		t := maxT * float64(i) / float64(points-1)
+		row := make([]interface{}, 0, len(all)+1)
+		row = append(row, t)
+		for _, s := range all {
+			var sum float64
+			for _, c := range s.curves {
+				sum += c.FractionAt(t)
+			}
+			row = append(row, sum/float64(len(s.curves)))
+		}
+		tab.AddRow(row...)
+	}
+	if csv {
+		return tab.WriteCSV(os.Stdout)
+	}
+	return tab.Render(os.Stdout)
+}
+
+func parseProtocol(name string) (core.Protocol, error) {
+	switch strings.ToLower(name) {
+	case "push":
+		return core.Push, nil
+	case "pull":
+		return core.Pull, nil
+	case "push-pull", "pushpull", "pp":
+		return core.PushPull, nil
+	default:
+		return 0, fmt.Errorf("unknown protocol %q (want push, pull, push-pull)", name)
+	}
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"testing"
+
+	"rumor/internal/core"
+)
+
+func TestParseProtocol(t *testing.T) {
+	cases := map[string]core.Protocol{
+		"push": core.Push, "PULL": core.Pull,
+		"push-pull": core.PushPull, "pushpull": core.PushPull, "pp": core.PushPull,
+	}
+	for name, want := range cases {
+		got, err := parseProtocol(name)
+		if err != nil || got != want {
+			t.Errorf("parseProtocol(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := parseProtocol("smoke"); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+}
+
+func TestRunHappyPath(t *testing.T) {
+	err := run([]string{"-graph", "complete", "-n", "32", "-trials", "5", "-timing", "both", "-seed", "7"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSweep(t *testing.T) {
+	err := run([]string{"-graph", "star", "-sweep", "16, 32", "-trials", "5", "-timing", "sync", "-csv"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCurve(t *testing.T) {
+	err := run([]string{"-graph", "complete", "-n", "24", "-trials", "5", "-curve", "-curve-points", "5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-graph", "nonexistent"},
+		{"-protocol", "bogus"},
+		{"-timing", "sometimes"},
+		{"-graph", "complete", "-sweep", "12,abc"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestRunSourceOutOfRangeFallsBack(t *testing.T) {
+	// A too-large -source silently falls back to node 0 (documented
+	// behaviour): the run must succeed.
+	if err := run([]string{"-graph", "complete", "-n", "16", "-trials", "3", "-source", "9999", "-timing", "sync"}); err != nil {
+		t.Fatal(err)
+	}
+}

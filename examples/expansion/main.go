@@ -1,0 +1,51 @@
+// Expansion bounds carry over to asynchrony — the practical payoff of
+// Theorem 1 the paper points out: every known upper bound on synchronous
+// push-pull in terms of graph expansion (e.g. T = O(log n / Φ) via
+// conductance, refs [17, 18]) now also bounds the asynchronous protocol.
+//
+// This example estimates the conductance of several topologies through
+// the lazy-walk spectral gap (Cheeger: gap ≤ Φ ≤ 2√gap), measures the
+// asynchronous spreading time, and shows the bound in action.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"rumor"
+)
+
+func main() {
+	fmt.Println("graph                     gap      Φ range (Cheeger)   ln(n)/gap  async q99  bound holds")
+	for _, name := range []string{"complete", "hypercube", "torus", "random-regular", "gnp", "cycle"} {
+		fam, err := rumor.FamilyByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		g, err := fam.Build(512, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		gap, err := rumor.SpectralGapLazy(g, 5000, rumor.NewRNG(2))
+		if err != nil {
+			log.Fatal(err)
+		}
+		lo, hi := rumor.CheegerBounds(gap)
+		m, err := rumor.MeasureAsync(g, 0, rumor.PushPull, 100, 3, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		q99 := rumor.Quantile(m.Times, 0.99)
+		bound := math.Log(float64(g.NumNodes())) / gap
+		fmt.Printf("%-24s  %-7.4f  [%-6.4f, %-6.4f]    %-9.1f  %-9.2f  %v\n",
+			g.Name(), gap, lo, hi, bound, q99, q99 <= bound)
+	}
+	fmt.Println()
+	fmt.Println("For well-expanding graphs the bound ln(n)/gap is within a small")
+	fmt.Println("factor of the measured asynchronous time; for the cycle it is")
+	fmt.Println("loose (gap ~ 1/n² but T ~ n) — conductance bounds are upper")
+	fmt.Println("bounds, tight on expanders. Exact Φ and vertex expansion are")
+	fmt.Println("available for small graphs via ConductanceExact and")
+	fmt.Println("VertexExpansionExact.")
+}

@@ -1,0 +1,65 @@
+// Gossip-style failure detection — one of the classical applications of
+// rumor spreading cited in the paper's introduction (van Renesse, Minsky,
+// Hayden [26]).
+//
+// A cluster of nodes must learn that node F has crashed. The failure
+// notice is a rumor originating at the node that first detected the
+// crash (a neighbor of F). We model the cluster as a connected random
+// regular overlay (as real gossip systems build) and compare how fast
+// the notice reaches everyone under the asynchronous push-pull protocol
+// — including with lossy links — using detection latency percentiles,
+// the metric operators actually care about.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rumor"
+)
+
+func main() {
+	const (
+		clusterSize = 1000
+		degree      = 8 // each node gossips with 8 overlay peers
+		trials      = 200
+	)
+	overlay, err := rumor.RandomRegular(clusterSize, degree, rumor.NewRNG(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !rumor.IsConnected(overlay) {
+		log.Fatal("overlay disconnected; re-seed")
+	}
+	fmt.Printf("overlay: %v\n\n", overlay)
+
+	detector := rumor.NodeID(0) // the node that noticed the failure
+
+	fmt.Println("link loss  p50 latency  p99 latency  max latency  (time units; 1 = mean gossip interval)")
+	for _, loss := range []float64{0.0, 0.10, 0.30} {
+		times := make([]float64, 0, trials)
+		for seed := uint64(0); seed < trials; seed++ {
+			res, err := rumor.RunAsync(overlay, detector, rumor.AsyncConfig{
+				Protocol:     rumor.PushPull,
+				TransmitProb: 1 - loss,
+			}, rumor.NewRNG(seed))
+			if err != nil {
+				log.Fatal(err)
+			}
+			if !res.Complete {
+				log.Fatalf("notice failed to reach the whole cluster (loss %.0f%%)", loss*100)
+			}
+			times = append(times, res.Time)
+		}
+		fmt.Printf("%8.0f%%  %-12.2f %-12.2f %-12.2f\n",
+			loss*100,
+			rumor.Quantile(times, 0.50),
+			rumor.Quantile(times, 0.99),
+			rumor.Quantile(times, 1.0))
+	}
+	fmt.Println()
+	fmt.Println("Detection latency grows only mildly under heavy link loss —")
+	fmt.Println("the push-pull epidemic is self-healing, which is exactly why")
+	fmt.Println("gossip failure detectors use it. Latencies are Θ(log n) per")
+	fmt.Println("Theorem 1 applied to the random regular overlay.")
+}

@@ -1,0 +1,71 @@
+// Social-network rumor spreading: the paper's motivating setting.
+//
+// On power-law topologies modelling social networks (Chung–Lu and
+// preferential attachment; Section 1, citing [9] and [16]), the
+// asynchronous push-pull protocol spreads a rumor to a large fraction of
+// the nodes significantly faster than the synchronous one: high-degree
+// hubs tick just as often as everyone else, but asynchrony lets the
+// "fast" part of the graph race ahead instead of waiting for the round
+// barrier.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rumor"
+)
+
+func main() {
+	const n = 5000
+	rng := rumor.NewRNG(99)
+
+	// Chung–Lu with power-law expected degrees (exponent 2.5).
+	cl, err := rumor.ChungLuPowerLaw(n, 2.5, 4, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cl, _, err = rumor.LargestComponent(cl)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Barabási–Albert preferential attachment with m = 3.
+	pa, err := rumor.PreferentialAttachment(n, 3, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("graph                    coverage  sync rounds  async time  speedup")
+	for _, g := range []*rumor.Graph{cl, pa} {
+		for _, frac := range []float64{0.50, 0.99} {
+			syncMean, asyncMean := coverage(g, frac)
+			fmt.Printf("%-24s %4.0f%%     %-12.2f %-11.2f %.2fx\n",
+				g.Name(), frac*100, syncMean, asyncMean, syncMean/asyncMean)
+		}
+	}
+	fmt.Println()
+	fmt.Println("Async reaches the bulk of a power-law network faster than sync —")
+	fmt.Println("the observation that motivated the paper's study of how large the")
+	fmt.Println("asynchrony advantage can get (Theorem 2: at most ~sqrt(n)).")
+}
+
+// coverage returns the mean sync rounds and mean async time to inform a
+// fraction frac of the nodes, over 40 trials each.
+func coverage(g *rumor.Graph, frac float64) (syncMean, asyncMean float64) {
+	const trials = 40
+	var syncSum, asyncSum float64
+	for seed := uint64(0); seed < trials; seed++ {
+		sres, err := rumor.RunSync(g, 0, rumor.SyncConfig{Protocol: rumor.PushPull}, rumor.NewRNG(seed))
+		if err != nil {
+			log.Fatal(err)
+		}
+		ares, err := rumor.RunAsync(g, 0, rumor.AsyncConfig{Protocol: rumor.PushPull}, rumor.NewRNG(seed+trials))
+		if err != nil {
+			log.Fatal(err)
+		}
+		syncSum += float64(sres.CoverageRound(frac))
+		asyncSum += ares.CoverageTime(frac)
+	}
+	return syncSum / trials, asyncSum / trials
+}

@@ -1,0 +1,67 @@
+package rumor_test
+
+// Golden regression tests: fixed-seed runs with exact expected outputs.
+// Every simulation is a pure function of (graph, source, config, seed),
+// so these values must never change unless an engine's RNG consumption
+// order is deliberately altered — in which case this file documents the
+// behaviour change.
+
+import (
+	"math"
+	"testing"
+
+	"rumor"
+)
+
+func TestGoldenRuns(t *testing.T) {
+	build := map[string]func() (*rumor.Graph, error){
+		"hypercube6": func() (*rumor.Graph, error) { return rumor.Hypercube(6) },
+		"star64":     func() (*rumor.Graph, error) { return rumor.Star(64) },
+		"cycle48":    func() (*rumor.Graph, error) { return rumor.Cycle(48) },
+	}
+	cases := []struct {
+		label      string
+		seed       uint64
+		syncRounds int
+		asyncTime  float64
+		asyncSteps int64
+		ppxRounds  int
+	}{
+		{"hypercube6", 42, 9, 5.6729019810, 337, 7},
+		{"star64", 7, 1, 3.3947322506, 201, 1},
+		{"cycle48", 13, 31, 16.8181783582, 793, 24},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.label, func(t *testing.T) {
+			g, err := build[c.label]()
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := rumor.RunSync(g, 0, rumor.SyncConfig{Protocol: rumor.PushPull}, rumor.NewRNG(c.seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.Rounds != c.syncRounds {
+				t.Errorf("sync rounds = %d, want %d", s.Rounds, c.syncRounds)
+			}
+			a, err := rumor.RunAsync(g, 0, rumor.AsyncConfig{Protocol: rumor.PushPull}, rumor.NewRNG(c.seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(a.Time-c.asyncTime) > 1e-9 {
+				t.Errorf("async time = %.10f, want %.10f", a.Time, c.asyncTime)
+			}
+			if a.Steps != c.asyncSteps {
+				t.Errorf("async steps = %d, want %d", a.Steps, c.asyncSteps)
+			}
+			x, err := rumor.RunPPVariant(g, 0, rumor.PPX, rumor.SyncConfig{}, rumor.NewRNG(c.seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if x.Rounds != c.ppxRounds {
+				t.Errorf("ppx rounds = %d, want %d", x.Rounds, c.ppxRounds)
+			}
+		})
+	}
+}

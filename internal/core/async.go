@@ -1,0 +1,289 @@
+package core
+
+import (
+	"fmt"
+
+	"rumor/internal/eventq"
+	"rumor/internal/graph"
+	"rumor/internal/xrand"
+)
+
+// defaultMaxSteps returns a generous cap on asynchronous steps.
+func defaultMaxSteps(n int) int64 {
+	if n < 2 {
+		return 1
+	}
+	steps := 800 * int64(n) * int64(ilog2(n))
+	if steps < 100000 {
+		steps = 100000
+	}
+	return steps
+}
+
+// RunAsync executes an asynchronous rumor spreading process (pp-a with the
+// configured protocol) from src and returns the result.
+//
+// The three views are distributionally identical (Section 2 of the paper;
+// verified empirically by experiment E10):
+//
+//   - GlobalClock: steps occur at the ticks of one rate-n Poisson clock;
+//     each step a uniform node contacts a uniform neighbor.
+//   - PerNodeClocks: every node ticks at rate 1.
+//   - PerEdgeClocks: every directed edge (v, w) ticks at rate 1/deg(v).
+//
+// If the step budget is exhausted, the partial result is returned together
+// with an error wrapping ErrBudget.
+func RunAsync(g *graph.Graph, src graph.NodeID, cfg AsyncConfig, rng *xrand.RNG) (*AsyncResult, error) {
+	prob, err := validateCommon(g, src, cfg.Protocol, cfg.TransmitProb)
+	if err != nil {
+		return nil, err
+	}
+	view := cfg.View
+	if view == 0 {
+		view = GlobalClock
+	}
+	if !view.valid() {
+		return nil, fmt.Errorf("%w: %d", ErrBadView, int(view))
+	}
+	maxSteps := cfg.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = defaultMaxSteps(g.NumNodes())
+	}
+	switch view {
+	case GlobalClock:
+		return runAsyncGlobal(g, src, cfg, prob, maxSteps, rng)
+	case PerNodeClocks:
+		return runAsyncPerNode(g, src, cfg, prob, maxSteps, rng)
+	default:
+		return runAsyncPerEdge(g, src, cfg, prob, maxSteps, rng)
+	}
+}
+
+// asyncRun bundles the state shared by the three view implementations.
+type asyncRun struct {
+	st         *spreadState
+	informedAt []float64
+	cfg        AsyncConfig
+	prob       float64
+	crashes    *crashTracker
+	// checkEvery throttles the progress-possibility scan needed when
+	// crashes may strand the rumor; 0 disables the scan.
+	checkEvery int64
+	halted     bool // progress became impossible (crash isolation)
+}
+
+func newAsyncRun(g *graph.Graph, src graph.NodeID, cfg AsyncConfig, prob float64) (*asyncRun, error) {
+	n := g.NumNodes()
+	sources, err := gatherSources(g, src, cfg.ExtraSources)
+	if err != nil {
+		return nil, err
+	}
+	crashes, err := newCrashTracker(n, cfg.Crashes)
+	if err != nil {
+		return nil, err
+	}
+	a := &asyncRun{
+		st:         newSpreadStateMulti(g, sources),
+		informedAt: make([]float64, n),
+		cfg:        cfg,
+		prob:       prob,
+		crashes:    crashes,
+	}
+	if crashes != nil {
+		a.checkEvery = int64(2*n) + 16
+	}
+	for i := range a.informedAt {
+		a.informedAt[i] = -1
+	}
+	for _, s := range sources {
+		a.informedAt[s] = 0
+		if cfg.Observer != nil {
+			cfg.Observer.OnInformed(0, s, -1)
+		}
+	}
+	return a, nil
+}
+
+// tick advances the crash schedule to time t and periodically re-checks
+// whether progress is still possible; it reports whether the run should
+// stop.
+func (a *asyncRun) tick(t float64, step int64) bool {
+	if a.crashes == nil {
+		return false
+	}
+	a.crashes.advance(t)
+	if step%a.checkEvery == 0 && !progressPossible(a.st, a.crashes) {
+		a.halted = true
+		return true
+	}
+	return false
+}
+
+// contact processes one step in which v contacts w at time t.
+func (a *asyncRun) contact(t float64, v, w graph.NodeID, rng *xrand.RNG) {
+	if !aliveIn(a.crashes, v) || !aliveIn(a.crashes, w) {
+		return
+	}
+	vInf, wInf := a.st.informed[v], a.st.informed[w]
+	if vInf == wInf {
+		return
+	}
+	switch a.cfg.Protocol {
+	case Push:
+		if !vInf {
+			return
+		}
+	case Pull:
+		if !wInf {
+			return
+		}
+	}
+	if a.prob < 1 && !rng.Bernoulli(a.prob) {
+		return
+	}
+	if vInf {
+		a.inform(t, w, v)
+	} else {
+		a.inform(t, v, w)
+	}
+}
+
+func (a *asyncRun) inform(t float64, v, from graph.NodeID) {
+	a.st.markInformed(v, from)
+	a.informedAt[v] = t
+	if a.cfg.Observer != nil {
+		a.cfg.Observer.OnInformed(t, v, from)
+	}
+}
+
+func (a *asyncRun) result(t float64, steps int64) *AsyncResult {
+	return &AsyncResult{
+		Time:        t,
+		Steps:       steps,
+		InformedAt:  a.informedAt,
+		Parent:      a.st.parent,
+		NumInformed: a.st.num,
+		Complete:    a.st.num == len(a.informedAt),
+	}
+}
+
+func budgetErr(steps int64, cfg AsyncConfig, g *graph.Graph) error {
+	return fmt.Errorf("%w: %d steps (async %v on %v)", ErrBudget, steps, cfg.Protocol, g)
+}
+
+func runAsyncGlobal(g *graph.Graph, src graph.NodeID, cfg AsyncConfig, prob float64, maxSteps int64, rng *xrand.RNG) (*AsyncResult, error) {
+	stepper, err := NewAsyncStepper(g, src, cfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	_ = prob // normalized again inside the stepper
+	for stepper.Step() {
+		if stepper.Steps() >= maxSteps && !stepper.Finished() {
+			return stepper.Result(), budgetErr(stepper.Steps(), cfg, g)
+		}
+	}
+	return stepper.Result(), nil
+}
+
+func runAsyncPerNode(g *graph.Graph, src graph.NodeID, cfg AsyncConfig, prob float64, maxSteps int64, rng *xrand.RNG) (*AsyncResult, error) {
+	a, err := newAsyncRun(g, src, cfg, prob)
+	if err != nil {
+		return nil, err
+	}
+	n := g.NumNodes()
+	q := eventq.New(n)
+	for v := 0; v < n; v++ {
+		q.Push(int32(v), rng.Exp(1))
+	}
+	t := 0.0
+	var steps int64
+	for !a.st.done() {
+		if steps >= maxSteps {
+			return a.result(t, steps), budgetErr(steps, cfg, g)
+		}
+		steps++
+		it, ok := q.Pop()
+		if !ok {
+			break
+		}
+		t = it.Priority
+		v := graph.NodeID(it.ID)
+		if a.tick(t, steps) {
+			break
+		}
+		// A crashed node's clock stops: do not reschedule it.
+		if aliveIn(a.crashes, v) {
+			q.Push(it.ID, t+rng.Exp(1))
+		}
+		if g.Degree(v) == 0 || !aliveIn(a.crashes, v) {
+			continue
+		}
+		w := g.RandomNeighbor(v, rng)
+		a.contact(t, v, w, rng)
+	}
+	return a.result(t, steps), nil
+}
+
+func runAsyncPerEdge(g *graph.Graph, src graph.NodeID, cfg AsyncConfig, prob float64, maxSteps int64, rng *xrand.RNG) (*AsyncResult, error) {
+	a, err := newAsyncRun(g, src, cfg, prob)
+	if err != nil {
+		return nil, err
+	}
+	n := g.NumNodes()
+	// Directed edges are indexed by position in the CSR adjacency array;
+	// owner[i] is the contacting node of directed edge i.
+	var owners []graph.NodeID
+	var targets []graph.NodeID
+	for v := graph.NodeID(0); int(v) < n; v++ {
+		for _, w := range g.Neighbors(v) {
+			owners = append(owners, v)
+			targets = append(targets, w)
+		}
+	}
+	q := eventq.New(len(owners))
+	for i := range owners {
+		rate := 1 / float64(g.Degree(owners[i]))
+		q.Push(int32(i), rng.Exp(rate))
+	}
+	t := 0.0
+	var steps int64
+	for !a.st.done() {
+		if steps >= maxSteps {
+			return a.result(t, steps), budgetErr(steps, cfg, g)
+		}
+		it, ok := q.Pop()
+		if !ok {
+			break // graph has no edges
+		}
+		steps++
+		t = it.Priority
+		v := owners[it.ID]
+		w := targets[it.ID]
+		if a.tick(t, steps) {
+			break
+		}
+		// A crashed owner's edge clocks stop: do not reschedule.
+		if aliveIn(a.crashes, v) {
+			q.Push(it.ID, t+rng.Exp(1/float64(g.Degree(v))))
+		} else {
+			continue
+		}
+		a.contact(t, v, w, rng)
+	}
+	return a.result(t, steps), nil
+}
+
+// AsyncSpreadingTime runs pp-a with the given protocol (GlobalClock view)
+// and returns only T(α, G, u): the time before all nodes are informed.
+// It returns an error if the graph is disconnected or the budget is
+// exhausted.
+func AsyncSpreadingTime(g *graph.Graph, src graph.NodeID, p Protocol, rng *xrand.RNG) (float64, error) {
+	res, err := RunAsync(g, src, AsyncConfig{Protocol: p}, rng)
+	if err != nil {
+		return 0, err
+	}
+	if !res.Complete {
+		return 0, fmt.Errorf("core: graph %v is disconnected; spreading time undefined", g)
+	}
+	return res.Time, nil
+}

@@ -1,0 +1,296 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"testing"
+
+	"rumor/internal/graph"
+	"rumor/internal/xrand"
+)
+
+func checkAsyncResult(t *testing.T, g *graph.Graph, src graph.NodeID, res *AsyncResult) {
+	t.Helper()
+	n := g.NumNodes()
+	if len(res.InformedAt) != n || len(res.Parent) != n {
+		t.Fatalf("result slices have wrong length")
+	}
+	if res.InformedAt[src] != 0 || res.Parent[src] != -1 {
+		t.Fatalf("source malformed: at=%v parent=%d", res.InformedAt[src], res.Parent[src])
+	}
+	count := 0
+	for v := 0; v < n; v++ {
+		at := res.InformedAt[v]
+		p := res.Parent[v]
+		if at < 0 {
+			if p != -1 {
+				t.Fatalf("never-informed node %d has parent %d", v, p)
+			}
+			continue
+		}
+		count++
+		if graph.NodeID(v) == src {
+			continue
+		}
+		if !g.HasEdge(graph.NodeID(v), p) {
+			t.Fatalf("parent %d of %d not adjacent", p, v)
+		}
+		if res.InformedAt[p] < 0 || res.InformedAt[p] >= at {
+			t.Fatalf("causality violated: %d at %v from %d at %v", v, at, p, res.InformedAt[p])
+		}
+		if at > res.Time+1e-9 {
+			t.Fatalf("informing time %v exceeds total time %v", at, res.Time)
+		}
+	}
+	if count != res.NumInformed {
+		t.Fatalf("NumInformed = %d but %d nodes have times", res.NumInformed, count)
+	}
+	if res.Complete != (count == n) {
+		t.Fatalf("Complete = %v with %d/%d informed", res.Complete, count, n)
+	}
+}
+
+func TestRunAsyncAllViewsComplete(t *testing.T) {
+	g := mustGraph(graph.Hypercube(6))
+	for _, view := range []AsyncView{GlobalClock, PerNodeClocks, PerEdgeClocks} {
+		res, err := RunAsync(g, 0, AsyncConfig{Protocol: PushPull, View: view}, xrand.New(uint64(view)))
+		if err != nil {
+			t.Fatalf("%v: %v", view, err)
+		}
+		checkAsyncResult(t, g, 0, res)
+		if !res.Complete {
+			t.Fatalf("%v did not complete", view)
+		}
+		if res.Time <= 0 {
+			t.Fatalf("%v: nonpositive time %v", view, res.Time)
+		}
+	}
+}
+
+func TestRunAsyncDefaultsToGlobalClock(t *testing.T) {
+	g := mustGraph(graph.Complete(16))
+	a, err := RunAsync(g, 0, AsyncConfig{Protocol: PushPull}, xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunAsync(g, 0, AsyncConfig{Protocol: PushPull, View: GlobalClock}, xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Time != b.Time || a.Steps != b.Steps {
+		t.Fatal("zero view differs from explicit GlobalClock")
+	}
+}
+
+func TestRunAsyncStepsTrackTime(t *testing.T) {
+	// Expected time between steps is 1/n (footnote 3 of the paper):
+	// Steps/n should be close to Time for long runs.
+	g := mustGraph(graph.Cycle(200))
+	res, err := RunAsync(g, 0, AsyncConfig{Protocol: PushPull}, xrand.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(res.Steps) / float64(g.NumNodes()) / res.Time
+	if ratio < 0.8 || ratio > 1.2 {
+		t.Fatalf("steps/n = %v vs time %v (ratio %v)", float64(res.Steps)/200, res.Time, ratio)
+	}
+}
+
+func TestRunAsyncViewsAgreeOnMean(t *testing.T) {
+	// The three views are the same process; their mean spreading times
+	// must agree (here within a loose tolerance at modest trials).
+	g := mustGraph(graph.Complete(64))
+	const trials = 60
+	means := map[AsyncView]float64{}
+	for _, view := range []AsyncView{GlobalClock, PerNodeClocks, PerEdgeClocks} {
+		var sum float64
+		for seed := uint64(0); seed < trials; seed++ {
+			res, err := RunAsync(g, 0, AsyncConfig{Protocol: PushPull, View: view}, xrand.New(seed*3+uint64(view)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += res.Time
+		}
+		means[view] = sum / trials
+	}
+	base := means[GlobalClock]
+	for view, m := range means {
+		if math.Abs(m-base)/base > 0.25 {
+			t.Fatalf("view %v mean %v deviates from global-clock mean %v", view, m, base)
+		}
+	}
+}
+
+func TestRunAsyncStarLogarithmic(t *testing.T) {
+	// The paper's star example: async push-pull takes Θ(log n) time.
+	// With n=1024, expect time within a small factor of ln(n) ≈ 6.9.
+	g := mustGraph(graph.Star(1024))
+	var sum float64
+	const trials = 20
+	for seed := uint64(0); seed < trials; seed++ {
+		res, err := RunAsync(g, 1, AsyncConfig{Protocol: PushPull}, xrand.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += res.Time
+	}
+	mean := sum / trials
+	logN := math.Log(1024)
+	if mean < 0.3*logN || mean > 4*logN {
+		t.Fatalf("star async mean time = %v, ln n = %v", mean, logN)
+	}
+}
+
+func TestRunAsyncDeterministic(t *testing.T) {
+	g := mustGraph(graph.Hypercube(6))
+	for _, view := range []AsyncView{GlobalClock, PerNodeClocks, PerEdgeClocks} {
+		a, err := RunAsync(g, 0, AsyncConfig{Protocol: PushPull, View: view}, xrand.New(77))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := RunAsync(g, 0, AsyncConfig{Protocol: PushPull, View: view}, xrand.New(77))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Time != b.Time || a.Steps != b.Steps {
+			t.Fatalf("%v not deterministic", view)
+		}
+	}
+}
+
+func TestRunAsyncDisconnected(t *testing.T) {
+	b := graph.NewBuilder(5)
+	b.AddEdge(0, 1).AddEdge(3, 4)
+	g := b.MustBuild()
+	res, err := RunAsync(g, 0, AsyncConfig{Protocol: PushPull}, xrand.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAsyncResult(t, g, 0, res)
+	if res.Complete || res.NumInformed != 2 {
+		t.Fatalf("disconnected async: complete=%v informed=%d", res.Complete, res.NumInformed)
+	}
+	if _, err := AsyncSpreadingTime(g, 0, PushPull, xrand.New(8)); err == nil {
+		t.Fatal("AsyncSpreadingTime on disconnected graph did not error")
+	}
+}
+
+func TestRunAsyncBudget(t *testing.T) {
+	g := mustGraph(graph.Star(512))
+	_, err := RunAsync(g, 1, AsyncConfig{Protocol: PushPull, MaxSteps: 10}, xrand.New(9))
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}
+
+func TestRunAsyncValidation(t *testing.T) {
+	g := mustGraph(graph.Cycle(5))
+	rng := xrand.New(10)
+	if _, err := RunAsync(g, 0, AsyncConfig{Protocol: 7}, rng); !errors.Is(err, ErrBadProtocol) {
+		t.Error("protocol 7 accepted")
+	}
+	if _, err := RunAsync(g, 0, AsyncConfig{Protocol: Push, View: 9}, rng); !errors.Is(err, ErrBadView) {
+		t.Error("view 9 accepted")
+	}
+}
+
+func TestRunAsyncPushOnly(t *testing.T) {
+	g := mustGraph(graph.Complete(64))
+	res, err := RunAsync(g, 0, AsyncConfig{Protocol: Push}, xrand.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAsyncResult(t, g, 0, res)
+	if !res.Complete {
+		t.Fatal("async push did not complete on K_64")
+	}
+}
+
+func TestRunAsyncPullOnly(t *testing.T) {
+	g := mustGraph(graph.Complete(64))
+	res, err := RunAsync(g, 0, AsyncConfig{Protocol: Pull}, xrand.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAsyncResult(t, g, 0, res)
+	if !res.Complete {
+		t.Fatal("async pull did not complete on K_64")
+	}
+}
+
+func TestAsyncCoverageTimeMonotone(t *testing.T) {
+	g := mustGraph(graph.Complete(128))
+	res, err := RunAsync(g, 0, AsyncConfig{Protocol: PushPull}, xrand.New(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for _, frac := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 1.0} {
+		c := res.CoverageTime(frac)
+		if c < 0 {
+			t.Fatalf("coverage %v unreached", frac)
+		}
+		if c < prev {
+			t.Fatalf("coverage time not monotone at %v: %v < %v", frac, c, prev)
+		}
+		prev = c
+	}
+	if got, want := res.CoverageTime(1.0), res.Time; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("full coverage %v != completion time %v", got, want)
+	}
+}
+
+func TestRunAsyncInformingTimesStrictlyOrdered(t *testing.T) {
+	// In continuous time, informings happen at distinct times.
+	g := mustGraph(graph.Hypercube(5))
+	res, err := RunAsync(g, 0, AsyncConfig{Protocol: PushPull}, xrand.New(14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := append([]float64(nil), res.InformedAt...)
+	sort.Float64s(times)
+	for i := 1; i < len(times); i++ {
+		if times[i] == times[i-1] && times[i] != 0 {
+			t.Fatalf("duplicate informing time %v", times[i])
+		}
+	}
+}
+
+func TestAsyncPushVsPushPullOnRegular(t *testing.T) {
+	// Sanity direction of the paper's observation (2): async push is
+	// slower than async push-pull on regular graphs (about 2x in mean).
+	g := mustGraph(graph.Hypercube(7))
+	var push, pp float64
+	const trials = 40
+	for seed := uint64(0); seed < trials; seed++ {
+		a, err := RunAsync(g, 0, AsyncConfig{Protocol: Push}, xrand.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := RunAsync(g, 0, AsyncConfig{Protocol: PushPull}, xrand.New(seed+999))
+		if err != nil {
+			t.Fatal(err)
+		}
+		push += a.Time
+		pp += b.Time
+	}
+	ratio := push / pp
+	if ratio < 1.3 || ratio > 3.0 {
+		t.Fatalf("async push/push-pull mean ratio = %v, expected ~2", ratio)
+	}
+}
+
+func TestAsyncViewString(t *testing.T) {
+	cases := map[AsyncView]string{
+		GlobalClock:   "global-clock",
+		PerNodeClocks: "per-node-clocks",
+		PerEdgeClocks: "per-edge-clocks",
+		AsyncView(8):  "AsyncView(8)",
+	}
+	for v, want := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", int(v), got, want)
+		}
+	}
+}

@@ -1,0 +1,346 @@
+// Package core implements the rumor spreading processes studied in the
+// paper "How Asynchrony Affects Rumor Spreading Time" (Giakkoupis, Nazari,
+// Woelfel; PODC 2016):
+//
+//   - the synchronous push, pull, and push-pull protocols (pp), where all
+//     nodes contact a uniformly random neighbor in lock-step rounds;
+//   - the asynchronous variants (pp-a), where each node carries an
+//     independent rate-1 Poisson clock and contacts a random neighbor on
+//     each tick — implemented in the paper's three provably equivalent
+//     views (per-node clocks, per-directed-edge clocks, single global
+//     rate-n clock);
+//   - the paper's auxiliary synchronous processes ppx and ppy
+//     (Definitions 5 and 7), whose modified pull probabilities bridge pp
+//     and pp-a in the upper-bound proof;
+//   - a literal-semantics reference engine (the executable specification
+//     that validates the optimized engine), a quasirandom variant
+//     (reference [11]), and round-/tick-level steppers.
+//
+// All processes are deterministic functions of (graph, source, config,
+// RNG seed) and support trace observers, partial-coverage queries,
+// spreading curves, lossy transmission, multi-source starts, and
+// fail-stop crash injection (the latter three are extensions flagged in
+// DESIGN.md §6).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"rumor/internal/graph"
+	"rumor/internal/xrand"
+)
+
+// Protocol selects the communication mode of a rumor spreading process.
+type Protocol int
+
+// Communication modes (Section 1 of the paper).
+const (
+	// Push: an informed caller pushes the rumor to its callee.
+	Push Protocol = iota + 1
+	// Pull: a non-informed caller receives the rumor from an informed callee.
+	Pull
+	// PushPull: bidirectional exchange between caller and callee.
+	PushPull
+)
+
+// String returns the conventional protocol name.
+func (p Protocol) String() string {
+	switch p {
+	case Push:
+		return "push"
+	case Pull:
+		return "pull"
+	case PushPull:
+		return "push-pull"
+	default:
+		return fmt.Sprintf("Protocol(%d)", int(p))
+	}
+}
+
+func (p Protocol) valid() bool { return p >= Push && p <= PushPull }
+
+// AsyncView selects among the paper's three equivalent implementations of
+// the asynchronous process (Section 2, "alternative views").
+type AsyncView int
+
+// Equivalent asynchronous process views.
+const (
+	// GlobalClock: a single Poisson clock of rate n; on each tick a
+	// uniformly random node takes a step. O(1) per step.
+	GlobalClock AsyncView = iota + 1
+	// PerNodeClocks: one rate-1 Poisson clock per node. O(log n) per step.
+	PerNodeClocks
+	// PerEdgeClocks: one Poisson clock of rate 1/deg(v) per directed edge
+	// (v, w); on a tick, v contacts w. O(log m) per step.
+	PerEdgeClocks
+)
+
+// String returns the view name.
+func (v AsyncView) String() string {
+	switch v {
+	case GlobalClock:
+		return "global-clock"
+	case PerNodeClocks:
+		return "per-node-clocks"
+	case PerEdgeClocks:
+		return "per-edge-clocks"
+	default:
+		return fmt.Sprintf("AsyncView(%d)", int(v))
+	}
+}
+
+func (v AsyncView) valid() bool { return v >= GlobalClock && v <= PerEdgeClocks }
+
+// Observer receives a callback each time a node becomes informed. For
+// synchronous processes time is the (integer) round number; for
+// asynchronous processes it is continuous time. from is the node the
+// rumor came from.
+//
+// Observers run on the simulation hot path; implementations should be
+// cheap and must not retain the arguments beyond the call.
+type Observer interface {
+	OnInformed(time float64, v, from graph.NodeID)
+}
+
+// Config validation errors.
+var (
+	ErrBadProtocol = errors.New("core: invalid protocol")
+	ErrBadView     = errors.New("core: invalid async view")
+	ErrBadSource   = errors.New("core: source out of range")
+	ErrBadProb     = errors.New("core: transmit probability outside (0, 1]")
+	ErrEmptyGraph  = errors.New("core: empty graph")
+	ErrBudget      = errors.New("core: simulation budget exhausted before spreading completed")
+)
+
+// SyncConfig configures a synchronous run.
+type SyncConfig struct {
+	// Protocol is Push, Pull, or PushPull.
+	Protocol Protocol
+	// MaxRounds caps the simulation; 0 means an automatic generous cap.
+	// Exceeding the cap returns ErrBudget (wrapped), with the partial
+	// result still returned.
+	MaxRounds int
+	// TransmitProb is the probability a contact transmits the rumor
+	// (lossy-channel extension). 0 means 1 (lossless, the paper's model).
+	TransmitProb float64
+	// ExtraSources are additional nodes informed at round 0 besides the
+	// src argument (multi-source extension).
+	ExtraSources []graph.NodeID
+	// Crashes is an optional fail-stop schedule (extension): each entry
+	// permanently silences a node from the given round on.
+	Crashes []Crash
+	// Observer, if non-nil, receives informing events.
+	Observer Observer
+}
+
+// AsyncConfig configures an asynchronous run.
+type AsyncConfig struct {
+	// Protocol is Push, Pull, or PushPull.
+	Protocol Protocol
+	// View selects the implementation; 0 means GlobalClock.
+	View AsyncView
+	// MaxSteps caps the number of clock ticks; 0 means an automatic
+	// generous cap. Exceeding it returns ErrBudget (wrapped).
+	MaxSteps int64
+	// TransmitProb is as in SyncConfig.
+	TransmitProb float64
+	// ExtraSources are additional nodes informed at time 0 besides the
+	// src argument (multi-source extension).
+	ExtraSources []graph.NodeID
+	// Crashes is an optional fail-stop schedule (extension): each entry
+	// permanently silences a node from the given time on.
+	Crashes []Crash
+	// Observer, if non-nil, receives informing events.
+	Observer Observer
+}
+
+// SyncResult reports a synchronous run.
+type SyncResult struct {
+	// Rounds is the number of rounds executed until spreading stopped
+	// (all reachable nodes informed, or the budget was hit).
+	Rounds int
+	// InformedAt[v] is the round in which v became informed (0 for the
+	// source), or -1 if v was never informed.
+	InformedAt []int32
+	// Parent[v] is the node v first received the rumor from, or -1 for
+	// the source and never-informed nodes.
+	Parent []graph.NodeID
+	// NumInformed is the number of informed nodes at the end.
+	NumInformed int
+	// Complete reports whether every node in the graph was informed.
+	Complete bool
+}
+
+// AsyncResult reports an asynchronous run.
+type AsyncResult struct {
+	// Time is the continuous time at which the last informing occurred
+	// (or at which the run stopped).
+	Time float64
+	// Steps is the number of clock ticks executed.
+	Steps int64
+	// InformedAt[v] is the time at which v became informed (0 for the
+	// source), or -1 if v was never informed.
+	InformedAt []float64
+	// Parent[v] is the node v first received the rumor from, or -1.
+	Parent []graph.NodeID
+	// NumInformed is the number of informed nodes at the end.
+	NumInformed int
+	// Complete reports whether every node in the graph was informed.
+	Complete bool
+}
+
+// CoverageRound returns the first round by which at least
+// ceil(frac * n) nodes were informed, or -1 if coverage was never reached.
+func (r *SyncResult) CoverageRound(frac float64) int32 {
+	times := make([]float64, 0, len(r.InformedAt))
+	for _, t := range r.InformedAt {
+		if t >= 0 {
+			times = append(times, float64(t))
+		}
+	}
+	t := coverageTime(times, len(r.InformedAt), frac)
+	if t < 0 {
+		return -1
+	}
+	return int32(t)
+}
+
+// CoverageTime returns the earliest time by which at least ceil(frac * n)
+// nodes were informed, or -1 if coverage was never reached.
+func (r *AsyncResult) CoverageTime(frac float64) float64 {
+	times := make([]float64, 0, len(r.InformedAt))
+	for _, t := range r.InformedAt {
+		if t >= 0 {
+			times = append(times, t)
+		}
+	}
+	return coverageTime(times, len(r.InformedAt), frac)
+}
+
+// coverageTime returns the ceil(frac*n)-th smallest time, or -1.
+func coverageTime(times []float64, n int, frac float64) float64 {
+	if frac <= 0 {
+		return 0
+	}
+	need := int(math.Ceil(frac * float64(n)))
+	if need < 1 {
+		need = 1
+	}
+	if len(times) < need {
+		return -1
+	}
+	sort.Float64s(times)
+	return times[need-1]
+}
+
+// validateCommon checks parameters shared by all engines and returns the
+// effective transmit probability.
+func validateCommon(g *graph.Graph, src graph.NodeID, p Protocol, prob float64) (float64, error) {
+	if g.NumNodes() == 0 {
+		return 0, ErrEmptyGraph
+	}
+	if !p.valid() {
+		return 0, fmt.Errorf("%w: %d", ErrBadProtocol, int(p))
+	}
+	if src < 0 || int(src) >= g.NumNodes() {
+		return 0, fmt.Errorf("%w: %d (n=%d)", ErrBadSource, src, g.NumNodes())
+	}
+	if prob == 0 {
+		prob = 1
+	}
+	if prob < 0 || prob > 1 || math.IsNaN(prob) {
+		return 0, fmt.Errorf("%w: %v", ErrBadProb, prob)
+	}
+	return prob, nil
+}
+
+// spreadState tracks the informed set, first-informer tree, and the
+// uninformed boundary (uninformed nodes with at least one informed
+// neighbor, needed by pull-based engines and by early termination).
+type spreadState struct {
+	g          *graph.Graph
+	informed   []bool
+	parent     []graph.NodeID
+	order      []graph.NodeID // nodes in informing order; order[0] = source
+	infNbrs    []int32        // per-node count of informed neighbors
+	boundary   []graph.NodeID // lazily compacted; may contain stale entries
+	inBoundary []bool
+	num        int
+	reachable  int // size of the source's connected component
+}
+
+func newSpreadState(g *graph.Graph, src graph.NodeID) *spreadState {
+	n := g.NumNodes()
+	s := &spreadState{
+		g:          g,
+		informed:   make([]bool, n),
+		parent:     make([]graph.NodeID, n),
+		order:      make([]graph.NodeID, 0, n),
+		infNbrs:    make([]int32, n),
+		inBoundary: make([]bool, n),
+	}
+	for i := range s.parent {
+		s.parent[i] = -1
+	}
+	dist := graph.BFS(g, src)
+	for _, d := range dist {
+		if d >= 0 {
+			s.reachable++
+		}
+	}
+	s.markInformed(src, -1)
+	return s
+}
+
+// markInformed adds v to the informed set and maintains boundary counts.
+func (s *spreadState) markInformed(v, from graph.NodeID) {
+	if s.informed[v] {
+		return
+	}
+	s.informed[v] = true
+	s.parent[v] = from
+	s.order = append(s.order, v)
+	s.num++
+	for _, w := range s.g.Neighbors(v) {
+		s.infNbrs[w]++
+		if !s.informed[w] && !s.inBoundary[w] {
+			s.inBoundary[w] = true
+			s.boundary = append(s.boundary, w)
+		}
+	}
+}
+
+// compactBoundary drops informed entries from the boundary list.
+func (s *spreadState) compactBoundary() {
+	live := s.boundary[:0]
+	for _, v := range s.boundary {
+		if !s.informed[v] {
+			live = append(live, v)
+		} else {
+			s.inBoundary[v] = false
+		}
+	}
+	s.boundary = live
+}
+
+// done reports whether spreading can make no further progress.
+func (s *spreadState) done() bool { return s.num >= s.reachable }
+
+// randomInformedNeighbor returns a uniformly random informed neighbor of
+// v, assuming it has at least one (s.infNbrs[v] >= 1).
+func (s *spreadState) randomInformedNeighbor(v graph.NodeID, rng *xrand.RNG) graph.NodeID {
+	k := s.infNbrs[v]
+	target := rng.Int32n(k)
+	for _, w := range s.g.Neighbors(v) {
+		if s.informed[w] {
+			if target == 0 {
+				return w
+			}
+			target--
+		}
+	}
+	panic("core: informed neighbor count out of sync")
+}

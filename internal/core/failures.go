@@ -1,0 +1,158 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"rumor/internal/graph"
+)
+
+// Crash schedules a permanent fail-stop failure: from Time on (round
+// number for synchronous runs, continuous time for asynchronous runs),
+// the node neither initiates contacts nor responds to them, so any
+// rumor it holds is lost to the network. Crash injection is an extension
+// beyond the paper's model (flagged in DESIGN.md §6) used to study the
+// protocol's robustness.
+type Crash struct {
+	Node graph.NodeID
+	Time float64
+}
+
+// ErrBadCrash reports an invalid crash schedule entry.
+var ErrBadCrash = errors.New("core: invalid crash schedule")
+
+// crashTracker applies a crash schedule as simulated time advances.
+type crashTracker struct {
+	crashed []bool
+	sched   []Crash // sorted by Time
+	next    int
+	n       int // crashes applied so far
+}
+
+// newCrashTracker validates and indexes a crash schedule; it returns nil
+// for an empty schedule.
+func newCrashTracker(n int, crashes []Crash) (*crashTracker, error) {
+	if len(crashes) == 0 {
+		return nil, nil
+	}
+	sched := append([]Crash(nil), crashes...)
+	for _, c := range sched {
+		if c.Node < 0 || int(c.Node) >= n {
+			return nil, fmt.Errorf("%w: node %d out of range", ErrBadCrash, c.Node)
+		}
+		if c.Time < 0 || math.IsNaN(c.Time) || math.IsInf(c.Time, 0) {
+			return nil, fmt.Errorf("%w: time %v", ErrBadCrash, c.Time)
+		}
+	}
+	sort.Slice(sched, func(i, j int) bool { return sched[i].Time < sched[j].Time })
+	return &crashTracker{crashed: make([]bool, n), sched: sched}, nil
+}
+
+// advance marks every node whose crash time is <= t as crashed and
+// reports whether any new crash was applied.
+func (c *crashTracker) advance(t float64) bool {
+	changed := false
+	for c.next < len(c.sched) && c.sched[c.next].Time <= t {
+		v := c.sched[c.next].Node
+		if !c.crashed[v] {
+			c.crashed[v] = true
+			c.n++
+			changed = true
+		}
+		c.next++
+	}
+	return changed
+}
+
+// alive reports whether v has not crashed. A nil tracker means no
+// crashes: use the package-level aliveIn helper on possibly-nil trackers.
+func (c *crashTracker) alive(v graph.NodeID) bool { return !c.crashed[v] }
+
+// aliveIn reports liveness under a possibly-nil tracker.
+func aliveIn(c *crashTracker, v graph.NodeID) bool {
+	return c == nil || !c.crashed[v]
+}
+
+// progressPossible reports whether any transmission can still occur:
+// some alive uninformed node has an alive informed neighbor. It compacts
+// the boundary as a side effect.
+func progressPossible(st *spreadState, c *crashTracker) bool {
+	st.compactBoundary()
+	for _, v := range st.boundary {
+		if !aliveIn(c, v) {
+			continue
+		}
+		for _, w := range st.g.Neighbors(v) {
+			if st.informed[w] && aliveIn(c, w) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// gatherSources validates and deduplicates {src} ∪ extra.
+func gatherSources(g *graph.Graph, src graph.NodeID, extra []graph.NodeID) ([]graph.NodeID, error) {
+	n := g.NumNodes()
+	sources := make([]graph.NodeID, 0, 1+len(extra))
+	seen := make(map[graph.NodeID]bool, 1+len(extra))
+	for _, s := range append([]graph.NodeID{src}, extra...) {
+		if s < 0 || int(s) >= n {
+			return nil, fmt.Errorf("%w: %d (n=%d)", ErrBadSource, s, n)
+		}
+		if !seen[s] {
+			seen[s] = true
+			sources = append(sources, s)
+		}
+	}
+	return sources, nil
+}
+
+// newSpreadStateMulti is newSpreadState for a set of sources: all are
+// informed at time 0 and reachability is taken from their union.
+func newSpreadStateMulti(g *graph.Graph, sources []graph.NodeID) *spreadState {
+	n := g.NumNodes()
+	s := &spreadState{
+		g:          g,
+		informed:   make([]bool, n),
+		parent:     make([]graph.NodeID, n),
+		order:      make([]graph.NodeID, 0, n),
+		infNbrs:    make([]int32, n),
+		inBoundary: make([]bool, n),
+	}
+	for i := range s.parent {
+		s.parent[i] = -1
+	}
+	// Multi-source BFS for the reachable-set size.
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	queue := make([]graph.NodeID, 0, n)
+	for _, src := range sources {
+		if dist[src] < 0 {
+			dist[src] = 0
+			queue = append(queue, src)
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for _, v := range g.Neighbors(u) {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	for _, d := range dist {
+		if d >= 0 {
+			s.reachable++
+		}
+	}
+	for _, src := range sources {
+		s.markInformed(src, -1)
+	}
+	return s
+}

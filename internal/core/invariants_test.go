@@ -1,0 +1,231 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rumor/internal/graph"
+	"rumor/internal/xrand"
+)
+
+// Cross-cutting invariants exercised across protocols, views, and graph
+// shapes — the "no matter what, these hold" layer of the test suite.
+
+func TestQuickSyncInvariantsRandomGraphs(t *testing.T) {
+	f := func(seed uint64, rawN uint8, rawProto uint8) bool {
+		n := int(rawN%60) + 5
+		proto := Protocol(rawProto%3) + 1
+		rng := xrand.New(seed)
+		g, err := graph.GNPConnected(n, 0.3, rng, 200)
+		if err != nil {
+			return true // too unlucky to build; skip
+		}
+		res, err := RunSync(g, 0, SyncConfig{Protocol: proto}, rng)
+		if err != nil {
+			return false
+		}
+		if !res.Complete {
+			return false
+		}
+		// Informing times respect BFS distances.
+		dist := graph.BFS(g, 0)
+		for v := 0; v < n; v++ {
+			if res.InformedAt[v] < dist[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAsyncCausality(t *testing.T) {
+	f := func(seed uint64, rawN uint8, rawView uint8) bool {
+		n := int(rawN%40) + 5
+		view := AsyncView(rawView%3) + 1
+		rng := xrand.New(seed)
+		g, err := graph.GNPConnected(n, 0.35, rng, 200)
+		if err != nil {
+			return true
+		}
+		res, err := RunAsync(g, 0, AsyncConfig{Protocol: PushPull, View: view}, rng)
+		if err != nil || !res.Complete {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			p := res.Parent[v]
+			if p < 0 {
+				continue
+			}
+			if res.InformedAt[p] >= res.InformedAt[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// countingObserver tallies OnInformed calls.
+type countingObserver struct {
+	events int
+	lastT  float64
+	ooo    bool // out-of-order event times seen
+}
+
+func (c *countingObserver) OnInformed(t float64, v, from graph.NodeID) {
+	c.events++
+	if t < c.lastT {
+		c.ooo = true
+	}
+	c.lastT = t
+}
+
+func TestObserverSeesEveryInformingSync(t *testing.T) {
+	g := mustGraph(graph.Hypercube(6))
+	obs := &countingObserver{}
+	res, err := RunSync(g, 0, SyncConfig{Protocol: PushPull, Observer: obs}, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.events != res.NumInformed {
+		t.Fatalf("observer saw %d events for %d informings", obs.events, res.NumInformed)
+	}
+	if obs.ooo {
+		t.Fatal("observer event times not monotone")
+	}
+}
+
+func TestObserverSeesEveryInformingAsync(t *testing.T) {
+	g := mustGraph(graph.Hypercube(6))
+	for _, view := range []AsyncView{GlobalClock, PerNodeClocks, PerEdgeClocks} {
+		obs := &countingObserver{}
+		res, err := RunAsync(g, 0, AsyncConfig{Protocol: PushPull, View: view, Observer: obs}, xrand.New(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if obs.events != res.NumInformed {
+			t.Fatalf("%v: observer saw %d events for %d informings", view, obs.events, res.NumInformed)
+		}
+		if obs.ooo {
+			t.Fatalf("%v: event times not monotone", view)
+		}
+	}
+}
+
+func TestTransmitProbNearZeroStillTerminates(t *testing.T) {
+	g := mustGraph(graph.Complete(16))
+	res, err := RunSync(g, 0, SyncConfig{Protocol: PushPull, TransmitProb: 1e-3, MaxRounds: 500}, xrand.New(3))
+	// Either completes (unlikely) or hits the budget; both must return a
+	// structurally valid partial result.
+	if err == nil {
+		checkSyncResult(t, g, 0, res)
+	} else if res == nil {
+		t.Fatal("budget error without partial result")
+	}
+}
+
+func TestPullOnlyFromLeafOnStar(t *testing.T) {
+	// Pull-only with a leaf source: the center can pull from the leaf
+	// (center contacts uniform leaf: probability 1/(n-1) per round), and
+	// until then nothing else can happen. Expect ~n rounds for the
+	// center, then 1 more round for all other leaves.
+	g := mustGraph(graph.Star(32))
+	var sum float64
+	const trials = 40
+	for seed := uint64(0); seed < trials; seed++ {
+		res, err := RunSync(g, 1, SyncConfig{Protocol: Pull}, xrand.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Complete {
+			t.Fatal("pull-only star incomplete")
+		}
+		sum += float64(res.Rounds)
+	}
+	mean := sum / trials
+	if mean < 10 || mean > 100 {
+		t.Fatalf("pull-only star from leaf: mean %v rounds, want ~31", mean)
+	}
+}
+
+func TestAsyncTimeMatchesLastInforming(t *testing.T) {
+	g := mustGraph(graph.Complete(32))
+	res, err := RunAsync(g, 0, AsyncConfig{Protocol: PushPull}, xrand.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxAt := 0.0
+	for _, at := range res.InformedAt {
+		if at > maxAt {
+			maxAt = at
+		}
+	}
+	if math.Abs(res.Time-maxAt) > 1e-12 {
+		t.Fatalf("Time %v != last informing %v", res.Time, maxAt)
+	}
+}
+
+func TestSyncRoundsMatchesLastInforming(t *testing.T) {
+	g := mustGraph(graph.Hypercube(5))
+	res, err := RunSync(g, 0, SyncConfig{Protocol: PushPull}, xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxAt int32
+	for _, at := range res.InformedAt {
+		if at > maxAt {
+			maxAt = at
+		}
+	}
+	if int(maxAt) != res.Rounds {
+		t.Fatalf("Rounds %d != last informing round %d", res.Rounds, maxAt)
+	}
+}
+
+func TestTwoNodeAllProtocolViews(t *testing.T) {
+	g := mustGraph(graph.Path(2))
+	for _, p := range []Protocol{Push, Pull, PushPull} {
+		res, err := RunSync(g, 0, SyncConfig{Protocol: p}, xrand.New(uint64(p)))
+		if err != nil || !res.Complete || res.Rounds != 1 {
+			t.Fatalf("sync %v on K_2: rounds=%d err=%v", p, res.Rounds, err)
+		}
+		for _, view := range []AsyncView{GlobalClock, PerNodeClocks, PerEdgeClocks} {
+			ares, err := RunAsync(g, 0, AsyncConfig{Protocol: p, View: view}, xrand.New(uint64(p)*7+uint64(view)))
+			if err != nil || !ares.Complete {
+				t.Fatalf("async %v/%v on K_2: err=%v", p, view, err)
+			}
+		}
+	}
+}
+
+// The paper's remark on regular graphs: push-a crosses each edge at half
+// the push-pull rate, so E[T(push-a)] ≈ 2·E[T(pp-a)] exactly — verify
+// the factor on the CYCLE whose long spreading time gives tight
+// concentration.
+func TestAsyncPushExactlyTwiceOnCycleMeans(t *testing.T) {
+	g := mustGraph(graph.Cycle(128))
+	const trials = 60
+	var push, pp float64
+	for seed := uint64(0); seed < trials; seed++ {
+		a, err := RunAsync(g, 0, AsyncConfig{Protocol: Push}, xrand.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := RunAsync(g, 0, AsyncConfig{Protocol: PushPull}, xrand.New(seed+5000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		push += a.Time
+		pp += b.Time
+	}
+	ratio := push / pp
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Fatalf("cycle push/pp mean ratio = %v, want ~2", ratio)
+	}
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"rumor/internal/graph"
+	"rumor/internal/xrand"
+)
+
+// PPVariant selects one of the paper's auxiliary synchronous processes.
+type PPVariant int
+
+// Auxiliary processes from the upper-bound analysis (Section 4).
+const (
+	// PPX is the process of Definition 5: an uninformed node with k
+	// informed neighbors pulls with probability 1 - e^{-2k/deg(v)} if
+	// k < deg(v)/2, and with probability 1 otherwise.
+	PPX PPVariant = iota + 1
+	// PPY is the process of Definition 7: the pull probability is
+	// 1 - e^{-2k/deg(v)} always (no k >= deg(v)/2 override).
+	PPY
+)
+
+// String returns the paper's name for the process.
+func (v PPVariant) String() string {
+	switch v {
+	case PPX:
+		return "ppx"
+	case PPY:
+		return "ppy"
+	default:
+		return fmt.Sprintf("PPVariant(%d)", int(v))
+	}
+}
+
+// RunPPVariant executes ppx or ppy from src. These processes are not
+// realistic rumor spreading algorithms — a node must know which of its
+// neighbors are informed — but they are the bridge between pp and pp-a in
+// the paper's upper-bound proof (Lemmas 6 and 9), and simulating them lets
+// us check those lemmas empirically:
+//
+//	T(ppx) ≼ T(pp)                        (Lemma 6)
+//	Tδ(ppy) ≤ 2·Tδ/2(ppx) + O(log(n/δ))   (Lemma 9)
+//	Tδ(pp-a) ≤ 4·Tδ/2(ppy) + O(log(n/δ))  (Lemma 10)
+//
+// Push behaviour and round semantics are identical to RunSync.
+func RunPPVariant(g *graph.Graph, src graph.NodeID, variant PPVariant, cfg SyncConfig, rng *xrand.RNG) (*SyncResult, error) {
+	if variant != PPX && variant != PPY {
+		return nil, fmt.Errorf("%w: variant %d", ErrBadProtocol, int(variant))
+	}
+	if cfg.Protocol != 0 && cfg.Protocol != PushPull {
+		return nil, fmt.Errorf("%w: %v is defined for push-pull only", ErrBadProtocol, variant)
+	}
+	prob, err := validateCommon(g, src, PushPull, cfg.TransmitProb)
+	if err != nil {
+		return nil, err
+	}
+	maxRounds := cfg.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = defaultMaxRounds(g.NumNodes())
+	}
+	n := g.NumNodes()
+	st := newSpreadState(g, src)
+	informedAt := make([]int32, n)
+	for i := range informedAt {
+		informedAt[i] = -1
+	}
+	informedAt[src] = 0
+	if cfg.Observer != nil {
+		cfg.Observer.OnInformed(0, src, -1)
+	}
+
+	type pending struct{ v, from graph.NodeID }
+	var newly []pending
+
+	round := 0
+	for !st.done() {
+		if round >= maxRounds {
+			res := &SyncResult{
+				Rounds:      round,
+				InformedAt:  informedAt,
+				Parent:      st.parent,
+				NumInformed: st.num,
+				Complete:    st.num == n,
+			}
+			return res, fmt.Errorf("%w: %d rounds (%v on %v)", ErrBudget, round, variant, g)
+		}
+		round++
+		newly = newly[:0]
+		// Push half: identical to pp.
+		for _, v := range st.order {
+			w := g.RandomNeighbor(v, rng)
+			if !st.informed[w] && (prob >= 1 || rng.Bernoulli(prob)) {
+				newly = append(newly, pending{w, v})
+			}
+		}
+		// Pull half: modified probabilities of Definitions 5/7.
+		st.compactBoundary()
+		for _, v := range st.boundary {
+			k := st.infNbrs[v]
+			deg := g.Degree(v)
+			var p float64
+			if variant == PPX && 2*k >= deg {
+				p = 1
+			} else {
+				p = -math.Expm1(-2 * float64(k) / float64(deg))
+			}
+			if !rng.Bernoulli(p) {
+				continue
+			}
+			w := st.randomInformedNeighbor(v, rng)
+			if prob >= 1 || rng.Bernoulli(prob) {
+				newly = append(newly, pending{v, w})
+			}
+		}
+		for _, p := range newly {
+			if st.informed[p.v] {
+				continue
+			}
+			st.markInformed(p.v, p.from)
+			informedAt[p.v] = int32(round)
+			if cfg.Observer != nil {
+				cfg.Observer.OnInformed(float64(round), p.v, p.from)
+			}
+		}
+	}
+	return &SyncResult{
+		Rounds:      round,
+		InformedAt:  informedAt,
+		Parent:      st.parent,
+		NumInformed: st.num,
+		Complete:    st.num == n,
+	}, nil
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+
+	"rumor/internal/graph"
+	"rumor/internal/xrand"
+)
+
+// RunSyncReference executes the synchronous process by the literal
+// Section 2 semantics: EVERY node contacts a uniformly random neighbor
+// every round, and a transmission happens when exactly one endpoint of a
+// contact was informed before the round.
+//
+// This is the executable specification. The production engine (RunSync)
+// simulates only contacts that can matter — informed callers for push,
+// boundary callers for pull — which is distribution-preserving but not
+// obviously so; the test suite verifies the two engines' spreading-time
+// laws are statistically indistinguishable, and the benchmark suite
+// quantifies the optimization (the ablation DESIGN.md calls out).
+//
+// Cost is Θ(n) per round regardless of progress, so use it on small
+// graphs only.
+func RunSyncReference(g *graph.Graph, src graph.NodeID, cfg SyncConfig, rng *xrand.RNG) (*SyncResult, error) {
+	prob, err := validateCommon(g, src, cfg.Protocol, cfg.TransmitProb)
+	if err != nil {
+		return nil, err
+	}
+	maxRounds := cfg.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = defaultMaxRounds(g.NumNodes())
+	}
+	n := g.NumNodes()
+	sources, err := gatherSources(g, src, cfg.ExtraSources)
+	if err != nil {
+		return nil, err
+	}
+	crashes, err := newCrashTracker(n, cfg.Crashes)
+	if err != nil {
+		return nil, err
+	}
+	st := newSpreadStateMulti(g, sources)
+	informedAt := make([]int32, n)
+	for i := range informedAt {
+		informedAt[i] = -1
+	}
+	for _, s := range sources {
+		informedAt[s] = 0
+		if cfg.Observer != nil {
+			cfg.Observer.OnInformed(0, s, -1)
+		}
+	}
+
+	doPush := cfg.Protocol == Push || cfg.Protocol == PushPull
+	doPull := cfg.Protocol == Pull || cfg.Protocol == PushPull
+
+	type pending struct{ v, from graph.NodeID }
+	var newly []pending
+	round := 0
+	for !st.done() {
+		if crashes != nil {
+			crashes.advance(float64(round + 1))
+			if !progressPossible(st, crashes) {
+				break
+			}
+		}
+		if round >= maxRounds {
+			res := &SyncResult{
+				Rounds:      round,
+				InformedAt:  informedAt,
+				Parent:      st.parent,
+				NumInformed: st.num,
+				Complete:    st.num == n,
+			}
+			return res, fmt.Errorf("%w: %d rounds (reference sync %v on %v)", ErrBudget, round, cfg.Protocol, g)
+		}
+		round++
+		newly = newly[:0]
+		// The literal protocol: all n nodes contact simultaneously.
+		for v := graph.NodeID(0); int(v) < n; v++ {
+			if g.Degree(v) == 0 || !aliveIn(crashes, v) {
+				continue
+			}
+			w := g.RandomNeighbor(v, rng)
+			if !aliveIn(crashes, w) {
+				continue
+			}
+			vInf, wInf := st.informed[v], st.informed[w]
+			if vInf == wInf {
+				continue
+			}
+			switch {
+			case vInf && doPush:
+				if prob >= 1 || rng.Bernoulli(prob) {
+					newly = append(newly, pending{w, v})
+				}
+			case wInf && doPull:
+				if prob >= 1 || rng.Bernoulli(prob) {
+					newly = append(newly, pending{v, w})
+				}
+			}
+		}
+		for _, p := range newly {
+			if st.informed[p.v] {
+				continue
+			}
+			st.markInformed(p.v, p.from)
+			informedAt[p.v] = int32(round)
+			if cfg.Observer != nil {
+				cfg.Observer.OnInformed(float64(round), p.v, p.from)
+			}
+		}
+	}
+	return &SyncResult{
+		Rounds:      round,
+		InformedAt:  informedAt,
+		Parent:      st.parent,
+		NumInformed: st.num,
+		Complete:    st.num == n,
+	}, nil
+}

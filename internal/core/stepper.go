@@ -1,0 +1,298 @@
+package core
+
+import (
+	"sort"
+
+	"rumor/internal/graph"
+	"rumor/internal/xrand"
+)
+
+// SyncStepper advances a synchronous rumor spreading process one round at
+// a time, so callers can inspect the informed set between rounds (e.g. to
+// record spreading curves, stop at a coverage threshold, or interleave
+// several processes). RunSync is implemented on top of it.
+//
+// A SyncStepper is single-use and not safe for concurrent use.
+type SyncStepper struct {
+	g          *graph.Graph
+	rng        *xrand.RNG
+	st         *spreadState
+	informedAt []int32
+	crashes    *crashTracker
+	observer   Observer
+	prob       float64
+	doPush     bool
+	doPull     bool
+	round      int
+	finished   bool
+	pending    []syncPending
+}
+
+type syncPending struct{ v, from graph.NodeID }
+
+// NewSyncStepper validates the configuration and prepares a process with
+// the sources informed at round 0. MaxRounds in cfg is ignored — the
+// caller controls the loop.
+func NewSyncStepper(g *graph.Graph, src graph.NodeID, cfg SyncConfig, rng *xrand.RNG) (*SyncStepper, error) {
+	prob, err := validateCommon(g, src, cfg.Protocol, cfg.TransmitProb)
+	if err != nil {
+		return nil, err
+	}
+	sources, err := gatherSources(g, src, cfg.ExtraSources)
+	if err != nil {
+		return nil, err
+	}
+	crashes, err := newCrashTracker(g.NumNodes(), cfg.Crashes)
+	if err != nil {
+		return nil, err
+	}
+	s := &SyncStepper{
+		g:          g,
+		rng:        rng,
+		st:         newSpreadStateMulti(g, sources),
+		informedAt: make([]int32, g.NumNodes()),
+		crashes:    crashes,
+		observer:   cfg.Observer,
+		prob:       prob,
+		doPush:     cfg.Protocol == Push || cfg.Protocol == PushPull,
+		doPull:     cfg.Protocol == Pull || cfg.Protocol == PushPull,
+	}
+	for i := range s.informedAt {
+		s.informedAt[i] = -1
+	}
+	for _, src := range sources {
+		s.informedAt[src] = 0
+		if s.observer != nil {
+			s.observer.OnInformed(0, src, -1)
+		}
+	}
+	return s, nil
+}
+
+// Step executes one round and returns true, or returns false without
+// executing anything if the process can make no further progress (all
+// reachable nodes informed, or crashes isolated the rumor).
+func (s *SyncStepper) Step() bool {
+	if s.finished {
+		return false
+	}
+	if s.st.done() {
+		s.finished = true
+		return false
+	}
+	if s.crashes != nil {
+		s.crashes.advance(float64(s.round + 1))
+		if !progressPossible(s.st, s.crashes) {
+			s.finished = true
+			return false
+		}
+	}
+	s.round++
+	round := int32(s.round)
+	s.pending = s.pending[:0]
+	if s.doPush {
+		for _, v := range s.st.order {
+			if !aliveIn(s.crashes, v) {
+				continue
+			}
+			w := s.g.RandomNeighbor(v, s.rng)
+			if !s.st.informed[w] && aliveIn(s.crashes, w) && (s.prob >= 1 || s.rng.Bernoulli(s.prob)) {
+				s.pending = append(s.pending, syncPending{w, v})
+			}
+		}
+	}
+	if s.doPull {
+		s.st.compactBoundary()
+		for _, v := range s.st.boundary {
+			if !aliveIn(s.crashes, v) {
+				continue
+			}
+			w := s.g.RandomNeighbor(v, s.rng)
+			if s.st.informed[w] && aliveIn(s.crashes, w) && (s.prob >= 1 || s.rng.Bernoulli(s.prob)) {
+				s.pending = append(s.pending, syncPending{v, w})
+			}
+		}
+	}
+	for _, p := range s.pending {
+		if s.st.informed[p.v] {
+			continue
+		}
+		s.st.markInformed(p.v, p.from)
+		s.informedAt[p.v] = round
+		if s.observer != nil {
+			s.observer.OnInformed(float64(round), p.v, p.from)
+		}
+	}
+	return true
+}
+
+// Round returns the number of rounds executed so far.
+func (s *SyncStepper) Round() int { return s.round }
+
+// NumInformed returns the current informed-node count.
+func (s *SyncStepper) NumInformed() int { return s.st.num }
+
+// Informed reports whether v currently knows the rumor.
+func (s *SyncStepper) Informed(v graph.NodeID) bool { return s.st.informed[v] }
+
+// Finished reports whether no further progress is possible.
+func (s *SyncStepper) Finished() bool {
+	return s.finished || s.st.done()
+}
+
+// Result snapshots the current state as a SyncResult.
+func (s *SyncStepper) Result() *SyncResult {
+	return &SyncResult{
+		Rounds:      s.round,
+		InformedAt:  s.informedAt,
+		Parent:      s.st.parent,
+		NumInformed: s.st.num,
+		Complete:    s.st.num == s.g.NumNodes(),
+	}
+}
+
+// AsyncStepper advances an asynchronous process one clock tick at a time
+// (global-clock view: each step a uniform node contacts a uniform
+// neighbor after an Exp(n) time increment). RunAsync with the GlobalClock
+// view is implemented on top of it.
+type AsyncStepper struct {
+	g        *graph.Graph
+	rng      *xrand.RNG
+	run      *asyncRun
+	n        uint64
+	t        float64
+	steps    int64
+	finished bool
+}
+
+// NewAsyncStepper validates the configuration and prepares the process.
+// MaxSteps and View in cfg are ignored (the caller controls the loop; the
+// view is always GlobalClock).
+func NewAsyncStepper(g *graph.Graph, src graph.NodeID, cfg AsyncConfig, rng *xrand.RNG) (*AsyncStepper, error) {
+	prob, err := validateCommon(g, src, cfg.Protocol, cfg.TransmitProb)
+	if err != nil {
+		return nil, err
+	}
+	run, err := newAsyncRun(g, src, cfg, prob)
+	if err != nil {
+		return nil, err
+	}
+	return &AsyncStepper{g: g, rng: rng, run: run, n: uint64(g.NumNodes())}, nil
+}
+
+// Step executes one clock tick and returns true, or returns false without
+// executing anything if no further progress is possible.
+func (s *AsyncStepper) Step() bool {
+	if s.finished || s.run.st.done() {
+		s.finished = true
+		return false
+	}
+	s.steps++
+	s.t += s.rng.Exp(float64(s.n))
+	if s.run.tick(s.t, s.steps) {
+		s.finished = true
+		return false
+	}
+	v := graph.NodeID(s.rng.Uint64n(s.n))
+	if s.g.Degree(v) != 0 {
+		w := s.g.RandomNeighbor(v, s.rng)
+		s.run.contact(s.t, v, w, s.rng)
+	}
+	return true
+}
+
+// Time returns the current simulation time.
+func (s *AsyncStepper) Time() float64 { return s.t }
+
+// Steps returns the number of clock ticks executed so far.
+func (s *AsyncStepper) Steps() int64 { return s.steps }
+
+// NumInformed returns the current informed-node count.
+func (s *AsyncStepper) NumInformed() int { return s.run.st.num }
+
+// Informed reports whether v currently knows the rumor.
+func (s *AsyncStepper) Informed(v graph.NodeID) bool { return s.run.st.informed[v] }
+
+// Finished reports whether no further progress is possible.
+func (s *AsyncStepper) Finished() bool {
+	return s.finished || s.run.st.done()
+}
+
+// Result snapshots the current state as an AsyncResult.
+func (s *AsyncStepper) Result() *AsyncResult {
+	return s.run.result(s.t, s.steps)
+}
+
+// Curve is a spreading curve: informed fraction as a function of time
+// (rounds for synchronous processes, continuous time for asynchronous).
+type Curve struct {
+	// Times are the instants at which the informed count increased.
+	Times []float64
+	// Fractions[i] is the informed fraction from Times[i] (inclusive)
+	// until Times[i+1].
+	Fractions []float64
+}
+
+// FractionAt returns the informed fraction at time t (0 before the first
+// informing).
+func (c *Curve) FractionAt(t float64) float64 {
+	lo, hi := 0, len(c.Times)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.Times[mid] <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return 0
+	}
+	return c.Fractions[lo-1]
+}
+
+// Curve extracts the spreading curve from a synchronous result.
+func (r *SyncResult) Curve() *Curve { return curveFromTimes32(r.InformedAt, len(r.InformedAt)) }
+
+// Curve extracts the spreading curve from an asynchronous result.
+func (r *AsyncResult) Curve() *Curve { return curveFromTimes(r.InformedAt, len(r.InformedAt)) }
+
+func curveFromTimes32(at []int32, n int) *Curve {
+	times := make([]float64, 0, len(at))
+	for _, t := range at {
+		if t >= 0 {
+			times = append(times, float64(t))
+		}
+	}
+	return buildCurve(times, n)
+}
+
+func curveFromTimes(at []float64, n int) *Curve {
+	times := make([]float64, 0, len(at))
+	for _, t := range at {
+		if t >= 0 {
+			times = append(times, t)
+		}
+	}
+	return buildCurve(times, n)
+}
+
+func buildCurve(times []float64, n int) *Curve {
+	if len(times) == 0 || n == 0 {
+		return &Curve{}
+	}
+	sort.Float64s(times)
+	c := &Curve{}
+	count := 0
+	for i := 0; i < len(times); {
+		j := i
+		for j < len(times) && times[j] == times[i] {
+			j++
+		}
+		count += j - i
+		c.Times = append(c.Times, times[i])
+		c.Fractions = append(c.Fractions, float64(count)/float64(n))
+		i = j
+	}
+	return c
+}

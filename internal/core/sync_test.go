@@ -1,0 +1,367 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"rumor/internal/graph"
+	"rumor/internal/xrand"
+)
+
+// mustGraph unwraps graph constructors in tests; construction of the
+// static test graphs cannot fail.
+func mustGraph(g *graph.Graph, err error) *graph.Graph {
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// checkSyncResult verifies invariants every synchronous result must obey.
+func checkSyncResult(t *testing.T, g *graph.Graph, src graph.NodeID, res *SyncResult) {
+	t.Helper()
+	n := g.NumNodes()
+	if len(res.InformedAt) != n || len(res.Parent) != n {
+		t.Fatalf("result slices have wrong length")
+	}
+	if res.InformedAt[src] != 0 || res.Parent[src] != -1 {
+		t.Fatalf("source not informed at round 0: at=%d parent=%d", res.InformedAt[src], res.Parent[src])
+	}
+	count := 0
+	for v := 0; v < n; v++ {
+		at := res.InformedAt[v]
+		p := res.Parent[v]
+		if at < 0 {
+			if p != -1 {
+				t.Fatalf("never-informed node %d has parent %d", v, p)
+			}
+			continue
+		}
+		count++
+		if graph.NodeID(v) == src {
+			continue
+		}
+		if p < 0 || int(p) >= n {
+			t.Fatalf("informed node %d has invalid parent %d", v, p)
+		}
+		if !g.HasEdge(graph.NodeID(v), p) {
+			t.Fatalf("parent %d of %d is not a neighbor", p, v)
+		}
+		// The parent must have been informed strictly earlier.
+		if res.InformedAt[p] < 0 || res.InformedAt[p] >= at {
+			t.Fatalf("node %d informed at %d by %d informed at %d", v, at, p, res.InformedAt[p])
+		}
+		if int(at) > res.Rounds {
+			t.Fatalf("informing round %d exceeds total rounds %d", at, res.Rounds)
+		}
+	}
+	if count != res.NumInformed {
+		t.Fatalf("NumInformed = %d but %d nodes have times", res.NumInformed, count)
+	}
+	if res.Complete != (count == n) {
+		t.Fatalf("Complete = %v with %d/%d informed", res.Complete, count, n)
+	}
+}
+
+func TestRunSyncCompleteGraphFast(t *testing.T) {
+	g := mustGraph(graph.Complete(64))
+	rng := xrand.New(1)
+	res, err := RunSync(g, 0, SyncConfig{Protocol: PushPull}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSyncResult(t, g, 0, res)
+	if !res.Complete {
+		t.Fatal("spreading did not complete on K_64")
+	}
+	// Push-pull on the complete graph takes ~log n + O(log log n) rounds.
+	if res.Rounds > 20 {
+		t.Fatalf("K_64 push-pull took %d rounds", res.Rounds)
+	}
+}
+
+func TestRunSyncStarTwoRounds(t *testing.T) {
+	// The paper's Section 1: sync push-pull on a star needs <= 2 rounds
+	// (center pulls/gets pushed in round 1, all leaves pull in round 2).
+	g := mustGraph(graph.Star(256))
+	for seed := uint64(0); seed < 20; seed++ {
+		res, err := RunSync(g, 1, SyncConfig{Protocol: PushPull}, xrand.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Complete || res.Rounds > 2 {
+			t.Fatalf("seed %d: star push-pull rounds = %d, complete = %v", seed, res.Rounds, res.Complete)
+		}
+	}
+}
+
+func TestRunSyncPushOnlyStarSlow(t *testing.T) {
+	// Sync push on the star is coupon collection by the center:
+	// Θ(n log n) rounds. For n=64 expect well over 100 rounds.
+	g := mustGraph(graph.Star(64))
+	res, err := RunSync(g, 0, SyncConfig{Protocol: Push}, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSyncResult(t, g, 0, res)
+	if res.Rounds < 100 {
+		t.Fatalf("star push completed suspiciously fast: %d rounds", res.Rounds)
+	}
+}
+
+func TestRunSyncPullOnlyStar(t *testing.T) {
+	// Pull with source = center: every leaf pulls from the center
+	// immediately: exactly 1 round whp... precisely, each leaf contacts
+	// its only neighbor (the center) every round, so ALL leaves pull in
+	// round 1, always.
+	g := mustGraph(graph.Star(128))
+	res, err := RunSync(g, 0, SyncConfig{Protocol: Pull}, xrand.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete || res.Rounds != 1 {
+		t.Fatalf("pull from star center: rounds = %d", res.Rounds)
+	}
+}
+
+func TestRunSyncPathLowerBound(t *testing.T) {
+	// Spreading cannot beat the hop distance: on a path from one end,
+	// at least n-1 rounds.
+	g := mustGraph(graph.Path(32))
+	res, err := RunSync(g, 0, SyncConfig{Protocol: PushPull}, xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSyncResult(t, g, 0, res)
+	if res.Rounds < 31 {
+		t.Fatalf("path(32) informed in %d rounds < diameter", res.Rounds)
+	}
+}
+
+func TestRunSyncRoundVsDistanceInvariant(t *testing.T) {
+	// InformedAt[v] >= hop distance(src, v) always.
+	g := mustGraph(graph.Hypercube(6))
+	res, err := RunSync(g, 0, SyncConfig{Protocol: PushPull}, xrand.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := graph.BFS(g, 0)
+	for v := 0; v < g.NumNodes(); v++ {
+		if res.InformedAt[v] >= 0 && res.InformedAt[v] < dist[v] {
+			t.Fatalf("node %d informed at round %d < distance %d", v, res.InformedAt[v], dist[v])
+		}
+	}
+}
+
+func TestRunSyncDeterministic(t *testing.T) {
+	g := mustGraph(graph.Hypercube(7))
+	a, err := RunSync(g, 5, SyncConfig{Protocol: PushPull}, xrand.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSync(g, 5, SyncConfig{Protocol: PushPull}, xrand.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rounds != b.Rounds {
+		t.Fatalf("rounds differ: %d vs %d", a.Rounds, b.Rounds)
+	}
+	for v := range a.InformedAt {
+		if a.InformedAt[v] != b.InformedAt[v] || a.Parent[v] != b.Parent[v] {
+			t.Fatalf("node %d differs across identical runs", v)
+		}
+	}
+}
+
+func TestRunSyncDisconnected(t *testing.T) {
+	b := graph.NewBuilder(6)
+	b.AddEdge(0, 1).AddEdge(1, 2) // component of source
+	b.AddEdge(3, 4).AddEdge(4, 5) // unreachable component
+	g := b.MustBuild()
+	res, err := RunSync(g, 0, SyncConfig{Protocol: PushPull}, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSyncResult(t, g, 0, res)
+	if res.Complete {
+		t.Fatal("disconnected run reported complete")
+	}
+	if res.NumInformed != 3 {
+		t.Fatalf("informed %d nodes, want 3", res.NumInformed)
+	}
+	if _, err := SyncSpreadingTime(g, 0, PushPull, xrand.New(7)); err == nil {
+		t.Fatal("SyncSpreadingTime on disconnected graph did not error")
+	}
+}
+
+func TestRunSyncSingleNodeComponent(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.AddEdge(1, 2)
+	g := b.MustBuild()
+	res, err := RunSync(g, 0, SyncConfig{Protocol: PushPull}, xrand.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 0 || res.NumInformed != 1 {
+		t.Fatalf("isolated source: rounds=%d informed=%d", res.Rounds, res.NumInformed)
+	}
+}
+
+func TestRunSyncBudgetExhausted(t *testing.T) {
+	g := mustGraph(graph.Star(64))
+	_, err := RunSync(g, 0, SyncConfig{Protocol: Push, MaxRounds: 3}, xrand.New(9))
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}
+
+func TestRunSyncValidation(t *testing.T) {
+	g := mustGraph(graph.Cycle(5))
+	rng := xrand.New(10)
+	if _, err := RunSync(g, 0, SyncConfig{Protocol: 0}, rng); !errors.Is(err, ErrBadProtocol) {
+		t.Error("protocol 0 accepted")
+	}
+	if _, err := RunSync(g, 9, SyncConfig{Protocol: Push}, rng); !errors.Is(err, ErrBadSource) {
+		t.Error("bad source accepted")
+	}
+	if _, err := RunSync(g, -1, SyncConfig{Protocol: Push}, rng); !errors.Is(err, ErrBadSource) {
+		t.Error("negative source accepted")
+	}
+	if _, err := RunSync(g, 0, SyncConfig{Protocol: Push, TransmitProb: 1.5}, rng); !errors.Is(err, ErrBadProb) {
+		t.Error("transmit prob 1.5 accepted")
+	}
+	empty := graph.NewBuilder(0).MustBuild()
+	if _, err := RunSync(empty, 0, SyncConfig{Protocol: Push}, rng); !errors.Is(err, ErrEmptyGraph) {
+		t.Error("empty graph accepted")
+	}
+}
+
+func TestRunSyncLossyIsSlower(t *testing.T) {
+	g := mustGraph(graph.Complete(128))
+	var losslessSum, lossySum float64
+	const trials = 30
+	for seed := uint64(0); seed < trials; seed++ {
+		a, err := RunSync(g, 0, SyncConfig{Protocol: PushPull}, xrand.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := RunSync(g, 0, SyncConfig{Protocol: PushPull, TransmitProb: 0.3}, xrand.New(seed+1000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		losslessSum += float64(a.Rounds)
+		lossySum += float64(b.Rounds)
+	}
+	if lossySum <= losslessSum {
+		t.Fatalf("lossy transmission not slower: %v vs %v", lossySum/trials, losslessSum/trials)
+	}
+}
+
+func TestRunSyncPushPullNeverSlowerThanPush(t *testing.T) {
+	// On any graph, adding pull cannot hurt: compare means over seeds.
+	g := mustGraph(graph.Star(128))
+	var push, pp float64
+	const trials = 20
+	for seed := uint64(0); seed < trials; seed++ {
+		a, err := RunSync(g, 0, SyncConfig{Protocol: Push}, xrand.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := RunSync(g, 0, SyncConfig{Protocol: PushPull}, xrand.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		push += float64(a.Rounds)
+		pp += float64(b.Rounds)
+	}
+	if pp >= push {
+		t.Fatalf("push-pull (%v) not faster than push (%v) on star", pp/trials, push/trials)
+	}
+}
+
+func TestCoverageRound(t *testing.T) {
+	g := mustGraph(graph.Complete(100))
+	res, err := RunSync(g, 0, SyncConfig{Protocol: PushPull}, xrand.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := res.CoverageRound(0.5)
+	full := res.CoverageRound(1.0)
+	if half < 0 || full < 0 {
+		t.Fatal("coverage not reached on complete graph")
+	}
+	if half > full {
+		t.Fatalf("50%% coverage (%d) after 100%% coverage (%d)", half, full)
+	}
+	if full != int32(res.Rounds) {
+		t.Fatalf("full coverage round %d != total rounds %d", full, res.Rounds)
+	}
+	if got := res.CoverageRound(0); got != 0 {
+		t.Fatalf("0%% coverage = %d", got)
+	}
+}
+
+func TestCoverageRoundUnreached(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	g := b.MustBuild()
+	res, err := RunSync(g, 0, SyncConfig{Protocol: PushPull}, xrand.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.CoverageRound(0.9); got != -1 {
+		t.Fatalf("unreachable coverage = %d, want -1", got)
+	}
+}
+
+func TestSyncSpreadingTime(t *testing.T) {
+	g := mustGraph(graph.Complete(32))
+	rounds, err := SyncSpreadingTime(g, 0, PushPull, xrand.New(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds < 1 || rounds > 30 {
+		t.Fatalf("K_32 spreading time = %d", rounds)
+	}
+}
+
+func TestProtocolString(t *testing.T) {
+	cases := map[Protocol]string{Push: "push", Pull: "pull", PushPull: "push-pull", Protocol(9): "Protocol(9)"}
+	for p, want := range cases {
+		if got := p.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", int(p), got, want)
+		}
+	}
+}
+
+func TestRunSyncTwoNodes(t *testing.T) {
+	g := mustGraph(graph.Path(2))
+	res, err := RunSync(g, 0, SyncConfig{Protocol: PushPull}, xrand.New(14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete || res.Rounds != 1 {
+		t.Fatalf("two-node spreading: rounds = %d", res.Rounds)
+	}
+}
+
+func TestRunSyncMeanOnCompleteGraphIsLogarithmic(t *testing.T) {
+	// Push-pull on K_n completes in ~log3(n)+O(loglog n) rounds; check
+	// the mean is in a sane band for n = 512.
+	g := mustGraph(graph.Complete(512))
+	var sum float64
+	const trials = 20
+	for seed := uint64(0); seed < trials; seed++ {
+		res, err := RunSync(g, 0, SyncConfig{Protocol: PushPull}, xrand.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += float64(res.Rounds)
+	}
+	mean := sum / trials
+	logN := math.Log2(512)
+	if mean < 0.4*logN || mean > 3*logN {
+		t.Fatalf("K_512 push-pull mean rounds = %v, log2(n) = %v", mean, logN)
+	}
+}

@@ -1,0 +1,149 @@
+package coupling
+
+import (
+	"math"
+	"testing"
+
+	"rumor/internal/graph"
+)
+
+// Additional cross-checks of the coupling machinery beyond the lemma
+// verification in upper_test.go / lower_test.go.
+
+func TestRunUpperOnIrregularFamilies(t *testing.T) {
+	graphs := []*graph.Graph{
+		mustGraph(graph.DiamondChain(3, 9)),
+		mustGraph(graph.CompleteKAryTree(31, 2)),
+		mustGraph(graph.DoubleStar(16)),
+		mustGraph(graph.Wheel(24)),
+		mustGraph(graph.CompleteBipartite(4, 20)),
+	}
+	for _, g := range graphs {
+		res, err := RunUpper(g, 0, 17)
+		if err != nil {
+			t.Fatalf("%v: %v", g, err)
+		}
+		// Totals are consistent with per-node maxima.
+		var maxX, maxY int32
+		var maxA float64
+		for v := range res.PPXRound {
+			if res.PPXRound[v] > maxX {
+				maxX = res.PPXRound[v]
+			}
+			if res.PPYRound[v] > maxY {
+				maxY = res.PPYRound[v]
+			}
+			if res.AsyncTime[v] > maxA {
+				maxA = res.AsyncTime[v]
+			}
+		}
+		if maxX != res.PPXTotal || maxY != res.PPYTotal || math.Abs(maxA-res.AsyncTotal) > 1e-12 {
+			t.Fatalf("%v: totals inconsistent with per-node maxima", g)
+		}
+	}
+}
+
+func TestRunUpperExcessesFiniteOnLongGraphs(t *testing.T) {
+	// Path-like graphs stress the push chains of the coupling.
+	g := mustGraph(graph.Cycle(64))
+	res, err := RunUpper(g, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxPPYExcess() > 64 {
+		t.Fatalf("cycle r'-2r excess = %d", res.MaxPPYExcess())
+	}
+	if res.MaxAsyncExcess() > 64 {
+		t.Fatalf("cycle t-4r' excess = %v", res.MaxAsyncExcess())
+	}
+}
+
+func TestRunLowerBlockOrderingProperties(t *testing.T) {
+	// Structural properties of the block sequence: a special block is
+	// always immediately preceded by a normal-right block, and
+	// normal-right blocks are always immediately followed by specials.
+	g := mustGraph(graph.Complete(100))
+	for seed := uint64(0); seed < 5; seed++ {
+		res, err := RunLower(g, 0, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, b := range res.Blocks {
+			if b.Kind == Special {
+				if i == 0 || res.Blocks[i-1].Kind != NormalRight {
+					t.Fatalf("seed %d: special block %d not preceded by normal-right", seed, i)
+				}
+			}
+			if b.Kind == NormalRight {
+				if i+1 >= len(res.Blocks) || res.Blocks[i+1].Kind != Special {
+					t.Fatalf("seed %d: normal-right block %d not followed by special", seed, i)
+				}
+			}
+		}
+	}
+}
+
+func TestRunLowerStepAccounting(t *testing.T) {
+	// Tau equals the total steps over all blocks.
+	g := mustGraph(graph.Hypercube(6))
+	res, err := RunLower(g, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var steps int64
+	for _, b := range res.Blocks {
+		steps += int64(b.Steps)
+	}
+	if steps != res.Tau {
+		t.Fatalf("block steps %d != tau %d", steps, res.Tau)
+	}
+	var rounds int64
+	for _, b := range res.Blocks {
+		rounds += int64(b.Rounds)
+	}
+	if rounds != res.Rho {
+		t.Fatalf("block rounds %d != rho %d", rounds, res.Rho)
+	}
+}
+
+func TestRunLowerOnBipartiteAndWheel(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		mustGraph(graph.CompleteBipartite(8, 24)),
+		mustGraph(graph.Wheel(48)),
+	} {
+		res, err := RunLower(g, 0, 21)
+		if err != nil {
+			t.Fatalf("%v: %v", g, err)
+		}
+		if !res.SubsetInvariantHeld || !res.SequentialParallelAgreed {
+			t.Fatalf("%v: invariants violated", g)
+		}
+	}
+}
+
+func TestSharedYIndependenceAcrossEdges(t *testing.T) {
+	// Y values for different directed edges must be (empirically)
+	// uncorrelated: check the correlation of Y(v, j) and Y(v, j+1)
+	// across seeds is near zero.
+	g := mustGraph(graph.Complete(8))
+	const trials = 4000
+	var sx, sy, sxx, syy, sxy float64
+	for seed := uint64(0); seed < trials; seed++ {
+		sh := NewShared(g, seed)
+		a := sh.Y(0, 1)
+		b := sh.Y(0, 2)
+		sx += a
+		sy += b
+		sxx += a * a
+		syy += b * b
+		sxy += a * b
+	}
+	n := float64(trials)
+	cov := sxy/n - (sx/n)*(sy/n)
+	varA := sxx/n - (sx/n)*(sx/n)
+	varB := syy/n - (sy/n)*(sy/n)
+	corr := cov / math.Sqrt(varA*varB)
+	if math.Abs(corr) > 0.05 {
+		t.Fatalf("Y values correlated across edges: r = %v", corr)
+	}
+}

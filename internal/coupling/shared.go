@@ -1,0 +1,109 @@
+// Package coupling implements the paper's two coupling arguments as
+// executable constructions:
+//
+//   - the upper-bound ladder (Section 4): synchronized runs of ppx, ppy,
+//     and pp-a driven by shared random variables X_{v,i} (push targets)
+//     and Y_{v,w} (exponential pull delays), which the proofs of Lemmas 9
+//     and 10 use to show per-node domination of informing times;
+//   - the lower-bound block decomposition (Section 5): a partition of the
+//     asynchronous step sequence into normal and special blocks, mapped
+//     to synchronous rounds, with the subset invariant of Lemma 13 and
+//     the block accounting of Lemma 14.
+//
+// Running these couplings validates the paper's constructions directly:
+// the marginal law of each coupled process matches its definition, and
+// the per-node inequalities the proofs derive hold with the predicted
+// constants.
+package coupling
+
+import (
+	"rumor/internal/graph"
+	"rumor/internal/xrand"
+)
+
+// Shared holds the random variables shared between the coupled processes:
+//
+//	X_{v,i} — the neighbor v contacts in its i-th push after becoming
+//	          informed (i >= 1); identical in ppx, ppy, and pp-a.
+//	Y_{v,w} — an independent Exp(2/deg(v)) variable per directed edge
+//	          (v, w); v's pull delay "through" w. ppx and ppy use
+//	          ceil(Y_{v,w}) rounds; pp-a uses 2·Y_{v,w} ~ Exp(1/deg(v))
+//	          time units (Lemma 10's factor 2).
+//
+// Values are derived deterministically from (seed, key), so the three
+// processes observe identical values regardless of the order in which
+// they query them. Sampled values are memoized.
+type Shared struct {
+	g     *graph.Graph
+	xBase *xrand.RNG
+	yBase *xrand.RNG
+	// pushSeq[v][i-1] is X_{v,i}; grown on demand.
+	pushSeq [][]graph.NodeID
+	// y[v][j] is Y_{v,w} where w is v's j-th neighbor; NaN until sampled.
+	y [][]float64
+}
+
+// NewShared returns a shared-randomness source over g seeded by seed.
+func NewShared(g *graph.Graph, seed uint64) *Shared {
+	root := xrand.New(seed)
+	n := g.NumNodes()
+	return &Shared{
+		g:       g,
+		xBase:   root.Child(1),
+		yBase:   root.Child(2),
+		pushSeq: make([][]graph.NodeID, n),
+		y:       make([][]float64, n),
+	}
+}
+
+// PushTarget returns X_{v,i}, the target of v's i-th push (i >= 1).
+func (s *Shared) PushTarget(v graph.NodeID, i int) graph.NodeID {
+	seq := s.pushSeq[v]
+	for len(seq) < i {
+		// Derive the (len+1)-th value from a per-(v, index) stream so
+		// that values do not depend on global query order.
+		idx := len(seq) + 1
+		child := s.xBase.Child(uint64(v)<<24 ^ uint64(idx))
+		seq = append(seq, s.g.RandomNeighbor(v, child))
+	}
+	s.pushSeq[v] = seq
+	return seq[i-1]
+}
+
+// Y returns Y_{v,w} where w is v's j-th neighbor (0-based position in v's
+// adjacency list). The value is Exp(2/deg(v)) distributed.
+func (s *Shared) Y(v graph.NodeID, j int32) float64 {
+	ys := s.y[v]
+	if ys == nil {
+		ys = make([]float64, s.g.Degree(v))
+		for k := range ys {
+			ys[k] = -1 // unsampled marker (Y is always > 0)
+		}
+		s.y[v] = ys
+	}
+	if ys[j] < 0 {
+		child := s.yBase.Child(uint64(v)<<24 ^ uint64(j))
+		lambda := 2 / float64(s.g.Degree(v))
+		ys[j] = child.Exp(lambda)
+	}
+	return ys[j]
+}
+
+// neighborIndex returns the position of w in v's sorted adjacency list,
+// or -1 if (v, w) is not an edge.
+func neighborIndex(g *graph.Graph, v, w graph.NodeID) int32 {
+	nbrs := g.Neighbors(v)
+	lo, hi := 0, len(nbrs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if nbrs[mid] < w {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(nbrs) && nbrs[lo] == w {
+		return int32(lo)
+	}
+	return -1
+}

@@ -1,0 +1,282 @@
+package coupling
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"testing"
+
+	"rumor/internal/core"
+	"rumor/internal/graph"
+	"rumor/internal/stats"
+	"rumor/internal/xrand"
+)
+
+func mustGraph(g *graph.Graph, err error) *graph.Graph {
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestSharedDeterministicAndOrderIndependent(t *testing.T) {
+	g := mustGraph(graph.Complete(16))
+	a := NewShared(g, 7)
+	b := NewShared(g, 7)
+	// Query b in a different order than a.
+	xa := a.PushTarget(3, 1)
+	ya := a.Y(2, 1)
+	yb := b.Y(2, 1)
+	xb := b.PushTarget(3, 1)
+	if xa != xb || ya != yb {
+		t.Fatalf("shared values depend on query order: %v/%v, %v/%v", xa, xb, ya, yb)
+	}
+	// Repeated queries are memoized and identical.
+	if a.PushTarget(3, 1) != xa || a.Y(2, 1) != ya {
+		t.Fatal("shared values not stable across queries")
+	}
+}
+
+func TestSharedPushTargetsAreNeighbors(t *testing.T) {
+	g := mustGraph(graph.Hypercube(4))
+	sh := NewShared(g, 1)
+	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+		for i := 1; i <= 5; i++ {
+			w := sh.PushTarget(v, i)
+			if !g.HasEdge(v, w) {
+				t.Fatalf("push target %d of %d not a neighbor", w, v)
+			}
+		}
+	}
+}
+
+func TestSharedPushTargetUniform(t *testing.T) {
+	g := mustGraph(graph.Star(5)) // center degree 4
+	counts := map[graph.NodeID]int{}
+	const trials = 8000
+	for seed := uint64(0); seed < trials; seed++ {
+		sh := NewShared(g, seed)
+		counts[sh.PushTarget(0, 1)]++
+	}
+	for v := graph.NodeID(1); v <= 4; v++ {
+		freq := float64(counts[v]) / trials
+		if math.Abs(freq-0.25) > 0.03 {
+			t.Fatalf("leaf %d frequency %v, want ~0.25", v, freq)
+		}
+	}
+}
+
+func TestSharedYDistribution(t *testing.T) {
+	// Y_{v,w} ~ Exp(2/deg(v)): mean deg(v)/2.
+	g := mustGraph(graph.Complete(9)) // deg 8, mean Y = 4
+	var sum float64
+	const trials = 20000
+	for seed := uint64(0); seed < trials; seed++ {
+		sh := NewShared(g, seed)
+		sum += sh.Y(0, 3)
+	}
+	mean := sum / trials
+	if math.Abs(mean-4) > 0.15 {
+		t.Fatalf("mean Y = %v, want ~4", mean)
+	}
+}
+
+func TestNeighborIndex(t *testing.T) {
+	g := mustGraph(graph.Cycle(6))
+	for v := graph.NodeID(0); v < 6; v++ {
+		nbrs := g.Neighbors(v)
+		for j, w := range nbrs {
+			if got := neighborIndex(g, v, w); got != int32(j) {
+				t.Fatalf("neighborIndex(%d,%d) = %d, want %d", v, w, got, j)
+			}
+		}
+		if got := neighborIndex(g, v, v); got != -1 {
+			t.Fatalf("neighborIndex(%d,%d) = %d, want -1", v, v, got)
+		}
+	}
+}
+
+func TestRunUpperBasicInvariants(t *testing.T) {
+	graphs := []*graph.Graph{
+		mustGraph(graph.Complete(32)),
+		mustGraph(graph.Hypercube(5)),
+		mustGraph(graph.Star(32)),
+		mustGraph(graph.Cycle(24)),
+	}
+	for _, g := range graphs {
+		res, err := RunUpper(g, 0, 42)
+		if err != nil {
+			t.Fatalf("%v: %v", g, err)
+		}
+		n := g.NumNodes()
+		if len(res.PPXRound) != n || len(res.PPYRound) != n || len(res.AsyncTime) != n {
+			t.Fatalf("%v: result lengths wrong", g)
+		}
+		for v := 0; v < n; v++ {
+			if res.PPXRound[v] < 0 || res.PPYRound[v] < 0 || res.AsyncTime[v] < 0 {
+				t.Fatalf("%v: node %d never informed in some process", g, v)
+			}
+		}
+		if res.PPXRound[0] != 0 || res.PPYRound[0] != 0 || res.AsyncTime[0] != 0 {
+			t.Fatalf("%v: source times nonzero", g)
+		}
+	}
+}
+
+func TestRunUpperDeterministic(t *testing.T) {
+	g := mustGraph(graph.Hypercube(5))
+	a, err := RunUpper(g, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunUpper(g, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.PPXTotal != b.PPXTotal || a.PPYTotal != b.PPYTotal || a.AsyncTotal != b.AsyncTotal {
+		t.Fatal("RunUpper not deterministic")
+	}
+}
+
+func TestRunUpperRejectsDisconnected(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	g := b.MustBuild()
+	if _, err := RunUpper(g, 0, 1); !errors.Is(err, ErrDisconnected) {
+		t.Fatalf("err = %v, want ErrDisconnected", err)
+	}
+}
+
+func TestRunUpperRejectsBadSource(t *testing.T) {
+	g := mustGraph(graph.Cycle(5))
+	if _, err := RunUpper(g, 9, 1); err == nil {
+		t.Fatal("bad source accepted")
+	}
+}
+
+// Lemma 9's conclusion: under the coupling, r'_v <= 2 r_v + O(log n) for
+// every node simultaneously, whp. Check the max excess across many seeds.
+func TestLemma9ExcessLogarithmic(t *testing.T) {
+	graphs := []*graph.Graph{
+		mustGraph(graph.Complete(128)),
+		mustGraph(graph.Hypercube(7)),
+		mustGraph(graph.Star(128)),
+		mustGraph(graph.DiamondChain(4, 16)),
+	}
+	const trials = 40
+	for _, g := range graphs {
+		logN := math.Log(float64(g.NumNodes()))
+		violations := 0
+		for seed := uint64(0); seed < trials; seed++ {
+			res, err := RunUpper(g, 0, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if float64(res.MaxPPYExcess()) > 14*logN {
+				violations++
+			}
+		}
+		if violations > 1 {
+			t.Errorf("%v: r'_v - 2 r_v exceeded 14 ln n in %d/%d runs", g, violations, trials)
+		}
+	}
+}
+
+// Lemma 10's conclusion: t_v <= 4 r'_v + O(log n) whp under the coupling.
+func TestLemma10ExcessLogarithmic(t *testing.T) {
+	graphs := []*graph.Graph{
+		mustGraph(graph.Complete(128)),
+		mustGraph(graph.Hypercube(7)),
+		mustGraph(graph.Star(128)),
+	}
+	const trials = 40
+	for _, g := range graphs {
+		logN := math.Log(float64(g.NumNodes()))
+		violations := 0
+		for seed := uint64(0); seed < trials; seed++ {
+			res, err := RunUpper(g, 0, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.MaxAsyncExcess() > 14*logN {
+				violations++
+			}
+		}
+		if violations > 1 {
+			t.Errorf("%v: t_v - 4 r'_v exceeded 14 ln n in %d/%d runs", g, violations, trials)
+		}
+	}
+}
+
+// The coupled ppx must have the same law as the direct ppx engine
+// (the paper's "the coupling is valid" claim). Compare spreading-time
+// samples with a two-sample KS test.
+func TestCoupledPPXMarginalMatchesEngine(t *testing.T) {
+	g := mustGraph(graph.Hypercube(6))
+	const trials = 250
+	coupled := make([]float64, trials)
+	direct := make([]float64, trials)
+	for i := 0; i < trials; i++ {
+		res, err := RunUpper(g, 0, uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		coupled[i] = float64(res.PPXTotal)
+		dres, err := core.RunPPVariant(g, 0, core.PPX, core.SyncConfig{}, xrand.New(uint64(i+trials)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct[i] = float64(dres.Rounds)
+	}
+	ks := stats.KolmogorovSmirnov(coupled, direct)
+	// Integer-valued samples inflate the KS statistic; accept generously
+	// (critical value at alpha=0.001 for 250v250 is ~0.175).
+	if ks.Statistic > 0.2 {
+		t.Fatalf("coupled ppx law differs from engine: KS=%v p=%v", ks.Statistic, ks.PValue)
+	}
+}
+
+// The coupled pp-a must have the same law as the direct async engine.
+func TestCoupledAsyncMarginalMatchesEngine(t *testing.T) {
+	g := mustGraph(graph.Hypercube(6))
+	const trials = 250
+	coupled := make([]float64, trials)
+	direct := make([]float64, trials)
+	for i := 0; i < trials; i++ {
+		res, err := RunUpper(g, 0, uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		coupled[i] = res.AsyncTotal
+		dres, err := core.RunAsync(g, 0, core.AsyncConfig{Protocol: core.PushPull}, xrand.New(uint64(i+trials)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct[i] = dres.Time
+	}
+	ks := stats.KolmogorovSmirnov(coupled, direct)
+	if ks.Statistic > 0.15 {
+		t.Fatalf("coupled pp-a law differs from engine: KS=%v p=%v", ks.Statistic, ks.PValue)
+	}
+}
+
+// Coupled ppx should finish no later than coupled ppy in the median (the
+// half-rule only accelerates pulls) — a sanity direction check.
+func TestCoupledPPXFasterThanPPY(t *testing.T) {
+	g := mustGraph(graph.Star(256))
+	const trials = 60
+	var x, y []float64
+	for seed := uint64(0); seed < trials; seed++ {
+		res, err := RunUpper(g, 0, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x = append(x, float64(res.PPXTotal))
+		y = append(y, float64(res.PPYTotal))
+	}
+	sort.Float64s(x)
+	sort.Float64s(y)
+	if x[trials/2] > y[trials/2] {
+		t.Fatalf("median ppx (%v) slower than ppy (%v) on star", x[trials/2], y[trials/2])
+	}
+}

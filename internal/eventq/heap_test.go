@@ -1,0 +1,253 @@
+package eventq
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"rumor/internal/xrand"
+)
+
+func TestPushPopOrdered(t *testing.T) {
+	q := New(10)
+	prios := []float64{5, 1, 4, 2, 3}
+	for i, p := range prios {
+		q.Push(int32(i), p)
+	}
+	want := append([]float64(nil), prios...)
+	sort.Float64s(want)
+	for _, w := range want {
+		it, ok := q.Pop()
+		if !ok {
+			t.Fatal("Pop on non-empty queue returned false")
+		}
+		if it.Priority != w {
+			t.Fatalf("Pop priority = %v, want %v", it.Priority, w)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop on empty queue returned true")
+	}
+}
+
+func TestMinDoesNotRemove(t *testing.T) {
+	q := New(4)
+	q.Push(0, 3)
+	q.Push(1, 1)
+	it, ok := q.Min()
+	if !ok || it.ID != 1 || it.Priority != 1 {
+		t.Fatalf("Min = %+v, %v", it, ok)
+	}
+	if q.Len() != 2 {
+		t.Fatalf("Min removed an item: len = %d", q.Len())
+	}
+}
+
+func TestMinEmpty(t *testing.T) {
+	q := New(1)
+	if _, ok := q.Min(); ok {
+		t.Fatal("Min on empty queue returned true")
+	}
+}
+
+func TestUpdateBothDirections(t *testing.T) {
+	q := New(4)
+	q.Push(0, 10)
+	q.Push(1, 20)
+	q.Push(2, 30)
+	q.Update(2, 5) // decrease
+	if it, _ := q.Min(); it.ID != 2 {
+		t.Fatalf("after decrease, min ID = %d, want 2", it.ID)
+	}
+	q.Update(2, 25) // increase
+	if it, _ := q.Min(); it.ID != 0 {
+		t.Fatalf("after increase, min ID = %d, want 0", it.ID)
+	}
+	if got := q.Priority(2); got != 25 {
+		t.Fatalf("Priority(2) = %v, want 25", got)
+	}
+}
+
+func TestDecreaseTo(t *testing.T) {
+	q := New(4)
+	q.DecreaseTo(0, 10) // absent: insert
+	if !q.Contains(0) || q.Priority(0) != 10 {
+		t.Fatal("DecreaseTo did not insert absent item")
+	}
+	q.DecreaseTo(0, 5) // lower: update
+	if q.Priority(0) != 5 {
+		t.Fatalf("DecreaseTo did not lower priority: %v", q.Priority(0))
+	}
+	q.DecreaseTo(0, 8) // higher: no-op
+	if q.Priority(0) != 5 {
+		t.Fatalf("DecreaseTo raised priority: %v", q.Priority(0))
+	}
+}
+
+func TestRemove(t *testing.T) {
+	q := New(8)
+	for i := int32(0); i < 8; i++ {
+		q.Push(i, float64(8-i))
+	}
+	if !q.Remove(3) {
+		t.Fatal("Remove(3) = false for present item")
+	}
+	if q.Remove(3) {
+		t.Fatal("Remove(3) = true for absent item")
+	}
+	seen := map[int32]bool{}
+	prev := math.Inf(-1)
+	for {
+		it, ok := q.Pop()
+		if !ok {
+			break
+		}
+		if it.Priority < prev {
+			t.Fatal("heap order violated after Remove")
+		}
+		prev = it.Priority
+		seen[it.ID] = true
+	}
+	if len(seen) != 7 || seen[3] {
+		t.Fatalf("wrong survivor set after Remove: %v", seen)
+	}
+}
+
+func TestPushDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Push did not panic")
+		}
+	}()
+	q := New(2)
+	q.Push(0, 1)
+	q.Push(0, 2)
+}
+
+func TestUpdateAbsentPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Update of absent ID did not panic")
+		}
+	}()
+	New(2).Update(0, 1)
+}
+
+func TestClear(t *testing.T) {
+	q := New(4)
+	q.Push(0, 1)
+	q.Push(1, 2)
+	q.Clear()
+	if q.Len() != 0 || q.Contains(0) || q.Contains(1) {
+		t.Fatal("Clear did not empty the queue")
+	}
+	q.Push(0, 3) // must not panic
+	if got := q.Priority(0); got != 3 {
+		t.Fatalf("Priority after Clear+Push = %v", got)
+	}
+}
+
+func TestRandomizedAgainstSort(t *testing.T) {
+	rng := xrand.New(42)
+	const n = 500
+	q := New(n)
+	prios := make([]float64, n)
+	for i := 0; i < n; i++ {
+		prios[i] = rng.Float64()
+		q.Push(int32(i), prios[i])
+	}
+	// Random updates.
+	for i := 0; i < 200; i++ {
+		id := int32(rng.Intn(n))
+		p := rng.Float64()
+		q.Update(id, p)
+		prios[id] = p
+	}
+	sort.Float64s(prios)
+	for i := 0; i < n; i++ {
+		it, ok := q.Pop()
+		if !ok {
+			t.Fatal("queue exhausted early")
+		}
+		if it.Priority != prios[i] {
+			t.Fatalf("pop %d: priority %v, want %v", i, it.Priority, prios[i])
+		}
+	}
+}
+
+func TestQuickHeapInvariant(t *testing.T) {
+	// After arbitrary pushes, popping yields a nondecreasing sequence.
+	f := func(raw []float64) bool {
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		q := New(len(raw))
+		for i, p := range raw {
+			if math.IsNaN(p) {
+				p = 0
+			}
+			q.Push(int32(i), p)
+		}
+		prev := math.Inf(-1)
+		for {
+			it, ok := q.Pop()
+			if !ok {
+				break
+			}
+			if it.Priority < prev {
+				return false
+			}
+			prev = it.Priority
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	rng := xrand.New(1)
+	const n = 1024
+	q := New(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := int32(i % n)
+		if q.Contains(id) {
+			q.Remove(id)
+		}
+		q.Push(id, rng.Float64())
+		if q.Len() > n/2 {
+			q.Pop()
+		}
+	}
+}
+
+func TestPushOrUpdate(t *testing.T) {
+	q := New(4)
+	q.PushOrUpdate(2, 9) // absent: insert
+	if !q.Contains(2) || q.Priority(2) != 9 {
+		t.Fatal("PushOrUpdate did not insert")
+	}
+	q.PushOrUpdate(2, 3) // present: update down
+	if q.Priority(2) != 3 {
+		t.Fatal("PushOrUpdate did not update")
+	}
+	q.PushOrUpdate(2, 7) // present: update up
+	if q.Priority(2) != 7 {
+		t.Fatal("PushOrUpdate did not raise priority")
+	}
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", q.Len())
+	}
+}
+
+func TestPriorityPanicsOnAbsent(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Priority of absent ID did not panic")
+		}
+	}()
+	New(2).Priority(0)
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"rumor/internal/core"
+	"rumor/internal/graph"
+	"rumor/internal/harness"
+	"rumor/internal/stats"
+)
+
+// E01Star reproduces the paper's Section 1 star-graph example:
+//
+//   - synchronous push-pull informs all nodes within 2 rounds (one round
+//     for the center to be informed via push from the source leaf, one
+//     more for every leaf to pull);
+//   - asynchronous push-pull needs Θ(log n) time (enough distinct Poisson
+//     clocks must tick);
+//   - synchronous push(-only) needs Θ(n log n) rounds (the center must
+//     push to every leaf individually — coupon collection).
+func E01Star() Experiment {
+	return Experiment{
+		ID:    "E1",
+		Title: "Star graph anomaly",
+		Claim: "§1: star: sync pp ≤ 2 rounds; async pp = Θ(log n); sync push = Θ(n log n).",
+		Run:   runE01,
+	}
+}
+
+func runE01(cfg Config) (*Outcome, error) {
+	sizes := []int{256, 1024, 4096, 16384}
+	pushSizes := []int{128, 512, 2048}
+	trials := cfg.pick(200, 50)
+	pushTrials := cfg.pick(60, 15)
+	if cfg.Quick {
+		sizes = []int{128, 512}
+		pushSizes = []int{64, 256}
+	}
+
+	tab := stats.NewTable("n", "sync-pp q99 (≤2?)", "async-pp mean", "async-pp q99", "ln n")
+	var ns, asyncMeans []float64
+	syncOK := true
+	for _, n := range sizes {
+		g, err := graph.Star(n)
+		if err != nil {
+			return nil, err
+		}
+		// Source = a leaf: the paper's worst case (center first needs to
+		// be informed by push).
+		syncM, err := harness.MeasureSync(g, 1, core.PushPull, trials, cfg.seed(), cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		asyncM, err := harness.MeasureAsync(g, 1, core.PushPull, trials, cfg.seed()+1, cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		sq99 := stats.Quantile(syncM.Times, 0.99)
+		am := stats.Mean(asyncM.Times)
+		aq99 := stats.Quantile(asyncM.Times, 0.99)
+		if sq99 > 2 {
+			syncOK = false
+		}
+		ns = append(ns, float64(n))
+		asyncMeans = append(asyncMeans, am)
+		tab.AddRow(n, sq99, am, aq99, math.Log(float64(n)))
+	}
+	if err := tab.Render(cfg.out()); err != nil {
+		return nil, err
+	}
+
+	// Logarithmic fit of the async mean.
+	_, b, r2, err := stats.FitLogarithmic(ns, asyncMeans)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(cfg.out(), "async-pp mean ≈ a + b·ln n: b=%.3f R²=%.3f (paper: Θ(log n))\n\n", b, r2)
+	asyncOK := b > 0.2 && r2 > 0.9
+
+	// Sync push: coupon collection by the center.
+	pushTab := stats.NewTable("n", "sync-push mean rounds", "n·ln n", "mean / (n ln n)")
+	var pns, pmeans []float64
+	for _, n := range pushSizes {
+		g, err := graph.Star(n)
+		if err != nil {
+			return nil, err
+		}
+		m, err := harness.MeasureSync(g, 0, core.Push, pushTrials, cfg.seed()+2, cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		mean := stats.Mean(m.Times)
+		nln := float64(n) * math.Log(float64(n))
+		pns = append(pns, float64(n))
+		pmeans = append(pmeans, mean)
+		pushTab.AddRow(n, mean, nln, mean/nln)
+	}
+	if err := pushTab.Render(cfg.out()); err != nil {
+		return nil, err
+	}
+	fit, err := stats.FitPowerLaw(pns, pmeans)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(cfg.out(), "sync-push mean ≈ C·n^α: α=%.3f R²=%.3f (paper: Θ(n log n), i.e. α slightly above 1)\n", fit.Alpha, fit.R2)
+	pushOK := fit.Alpha > 0.85 && fit.Alpha < 1.35 && fit.R2 > 0.95
+
+	verdict := Supported
+	switch {
+	case !syncOK:
+		verdict = Failed
+	case !asyncOK || !pushOK:
+		verdict = Borderline
+	}
+	return &Outcome{
+		ID: "E1", Title: "Star graph anomaly", Verdict: verdict,
+		Summary: fmt.Sprintf("sync-pp q99 ≤ 2: %v; async log-fit slope %.2f (R²=%.2f); push power-fit α=%.2f",
+			syncOK, b, r2, fit.Alpha),
+	}, nil
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"rumor/internal/core"
+	"rumor/internal/harness"
+	"rumor/internal/stats"
+)
+
+// E02Theorem1 checks the paper's main upper bound on every graph family:
+// T_{1/n}(pp-a) = O(T_{1/n}(pp) + log n). We estimate the whp time by the
+// 0.99 empirical quantile (and report the max as a stricter proxy) and
+// verify that the ratio q99(async) / (q99(sync) + ln n) stays below a
+// small constant across families.
+func E02Theorem1() Experiment {
+	return Experiment{
+		ID:    "E2",
+		Title: "Theorem 1 (async ≤ sync + log n)",
+		Claim: "Thm 1: T_{1/n}(pp-a,G,u) = O(T_{1/n}(pp,G,u) + log n) for every graph.",
+		Run:   runE02,
+	}
+}
+
+func runE02(cfg Config) (*Outcome, error) {
+	n := cfg.pick(1024, 256)
+	trials := cfg.pick(150, 40)
+	tab := stats.NewTable("family", "n", "sync q99", "sync max", "async q99", "async max", "ratio q99a/(q99s+ln n)")
+	maxRatio := 0.0
+	worstFamily := ""
+	for _, fam := range harness.StandardFamilies() {
+		g, err := fam.Build(n, cfg.seed())
+		if err != nil {
+			return nil, err
+		}
+		sync, err := harness.MeasureSync(g, 0, core.PushPull, trials, cfg.seed()+10, cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		async, err := harness.MeasureAsync(g, 0, core.PushPull, trials, cfg.seed()+11, cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		sq := stats.Quantile(sync.Times, 0.99)
+		aq := stats.Quantile(async.Times, 0.99)
+		logN := math.Log(float64(g.NumNodes()))
+		ratio := aq / (sq + logN)
+		if ratio > maxRatio {
+			maxRatio = ratio
+			worstFamily = fam.Name
+		}
+		tab.AddRow(fam.Name, g.NumNodes(), sq, stats.Quantile(sync.Times, 1),
+			aq, stats.Quantile(async.Times, 1), ratio)
+	}
+	if err := tab.Render(cfg.out()); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(cfg.out(), "max ratio %.3f (family %s); Theorem 1 predicts a universal constant\n", maxRatio, worstFamily)
+
+	verdict := Supported
+	if maxRatio > 6 {
+		verdict = Borderline
+	}
+	if maxRatio > 12 {
+		verdict = Failed
+	}
+	return &Outcome{
+		ID: "E2", Title: "Theorem 1 (async ≤ sync + log n)", Verdict: verdict,
+		Summary: fmt.Sprintf("max over %d families of q99(async)/(q99(sync)+ln n) = %.2f (%s)",
+			len(harness.StandardFamilies()), maxRatio, worstFamily),
+	}, nil
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"rumor/internal/core"
+	"rumor/internal/harness"
+	"rumor/internal/stats"
+)
+
+// E03Theorem2 checks the paper's lower bound (equivalently: the sync
+// process is at most ~sqrt(n) slower than the async one in expectation):
+// E[T(pp-a)] = Ω(E[T(pp)] / sqrt(n)), i.e.
+// E[T(pp)] / (sqrt(n) · E[T(pp-a)]) = O(1) on every graph.
+func E03Theorem2() Experiment {
+	return Experiment{
+		ID:    "E3",
+		Title: "Theorem 2 (sync ≤ sqrt(n)·async)",
+		Claim: "Thm 2: E[T(pp-a,G,u)] = Ω(E[T(pp,G,u)]/√n) for every graph.",
+		Run:   runE03,
+	}
+}
+
+func runE03(cfg Config) (*Outcome, error) {
+	n := cfg.pick(1024, 256)
+	trials := cfg.pick(150, 40)
+	tab := stats.NewTable("family", "n", "E[sync] rounds", "E[async] time", "sync/async", "ratio/(√n)")
+	maxRatio := 0.0
+	worstFamily := ""
+	for _, fam := range harness.StandardFamilies() {
+		g, err := fam.Build(n, cfg.seed())
+		if err != nil {
+			return nil, err
+		}
+		sync, err := harness.MeasureSync(g, 0, core.PushPull, trials, cfg.seed()+20, cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		async, err := harness.MeasureAsync(g, 0, core.PushPull, trials, cfg.seed()+21, cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		sm := stats.Mean(sync.Times)
+		am := stats.Mean(async.Times)
+		sqrtN := math.Sqrt(float64(g.NumNodes()))
+		ratio := sm / am
+		capped := ratio / sqrtN
+		if capped > maxRatio {
+			maxRatio = capped
+			worstFamily = fam.Name
+		}
+		tab.AddRow(fam.Name, g.NumNodes(), sm, am, ratio, capped)
+	}
+	if err := tab.Render(cfg.out()); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(cfg.out(), "max of E[sync]/(√n·E[async]) = %.3f (%s); Theorem 2 predicts a universal constant\n", maxRatio, worstFamily)
+
+	verdict := Supported
+	if maxRatio > 2 {
+		verdict = Borderline
+	}
+	if maxRatio > 6 {
+		verdict = Failed
+	}
+	return &Outcome{
+		ID: "E3", Title: "Theorem 2 (sync ≤ sqrt(n)·async)", Verdict: verdict,
+		Summary: fmt.Sprintf("max over families of E[sync]/(√n·E[async]) = %.3f (%s)", maxRatio, worstFamily),
+	}, nil
+}

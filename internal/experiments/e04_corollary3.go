@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rumor/internal/core"
+	"rumor/internal/harness"
+	"rumor/internal/stats"
+)
+
+// E04Corollary3 checks Corollary 3: on connected regular graphs, the
+// synchronous push(-only) protocol has the same asymptotic whp spreading
+// time as synchronous push-pull: T_{p,1/n} = Θ(T_{pp,1/n}). We verify
+// that the ratio q99(push)/q99(push-pull) is a bounded constant (>= 1 up
+// to noise, and not growing with n).
+func E04Corollary3() Experiment {
+	return Experiment{
+		ID:    "E4",
+		Title: "Corollary 3 (push = Θ(push-pull) sync, regular)",
+		Claim: "Cor 3: on regular graphs, T_{p,1/n} = Θ(T_{pp,1/n}).",
+		Run:   runE04,
+	}
+}
+
+func runE04(cfg Config) (*Outcome, error) {
+	sizes := []int{256, 1024}
+	trials := cfg.pick(150, 40)
+	if cfg.Quick {
+		sizes = []int{128, 256}
+	}
+	tab := stats.NewTable("family", "n", "push q99", "pp q99", "ratio")
+	ratiosBySize := map[string][]float64{}
+	maxRatio := 0.0
+	minRatio := 1e18
+	for _, n := range sizes {
+		for _, fam := range harness.RegularFamilies() {
+			g, err := fam.Build(n, cfg.seed())
+			if err != nil {
+				return nil, err
+			}
+			push, err := harness.MeasureSync(g, 0, core.Push, trials, cfg.seed()+30, cfg.Workers)
+			if err != nil {
+				return nil, err
+			}
+			pp, err := harness.MeasureSync(g, 0, core.PushPull, trials, cfg.seed()+31, cfg.Workers)
+			if err != nil {
+				return nil, err
+			}
+			pq := stats.Quantile(push.Times, 0.99)
+			ppq := stats.Quantile(pp.Times, 0.99)
+			ratio := pq / ppq
+			ratiosBySize[fam.Name] = append(ratiosBySize[fam.Name], ratio)
+			if ratio > maxRatio {
+				maxRatio = ratio
+			}
+			if ratio < minRatio {
+				minRatio = ratio
+			}
+			tab.AddRow(fam.Name, g.NumNodes(), pq, ppq, ratio)
+		}
+	}
+	if err := tab.Render(cfg.out()); err != nil {
+		return nil, err
+	}
+	// The ratio should not grow with n: compare per-family growth.
+	growthOK := true
+	for _, fam := range sortedKeys(ratiosBySize) {
+		rs := ratiosBySize[fam]
+		if len(rs) >= 2 && rs[len(rs)-1] > 2.0*rs[0] {
+			growthOK = false
+			fmt.Fprintf(cfg.out(), "WARNING: %s push/pp ratio grew %0.2f -> %0.2f\n", fam, rs[0], rs[len(rs)-1])
+		}
+	}
+	fmt.Fprintf(cfg.out(), "push/push-pull q99 ratios in [%.2f, %.2f]; Corollary 3 predicts Θ(1) and ≥ 1\n", minRatio, maxRatio)
+
+	verdict := Supported
+	if maxRatio > 5 || !growthOK || minRatio < 0.9 {
+		verdict = Borderline
+	}
+	if maxRatio > 12 {
+		verdict = Failed
+	}
+	return &Outcome{
+		ID: "E4", Title: "Corollary 3 (push = Θ(push-pull) sync, regular)", Verdict: verdict,
+		Summary: fmt.Sprintf("push/pp q99 ratios across regular families in [%.2f, %.2f], growth bounded: %v",
+			minRatio, maxRatio, growthOK),
+	}, nil
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rumor/internal/core"
+	"rumor/internal/graph"
+	"rumor/internal/harness"
+	"rumor/internal/stats"
+)
+
+// E06SyncPushVsAsyncPush checks the paper's observation (1) in Section 1
+// (due to Sauerwald): for any graph, the synchronous push spreading time
+// is bounded by the asynchronous push spreading time within a constant
+// multiplicative factor (whp). We verify q99(sync push) / q99(async push)
+// stays below a small constant on regular AND irregular families.
+func E06SyncPushVsAsyncPush() Experiment {
+	return Experiment{
+		ID:    "E6",
+		Title: "Sync push ≤ O(async push)",
+		Claim: "§1 obs (1) [Sauerwald]: T_{1/n}(push) = O(T_{1/n}(push-a)) on any graph.",
+		Run:   runE06,
+	}
+}
+
+func runE06(cfg Config) (*Outcome, error) {
+	n := cfg.pick(512, 128)
+	trials := cfg.pick(120, 30)
+	builders := []struct {
+		name  string
+		build func() (*graph.Graph, error)
+	}{
+		{"complete", func() (*graph.Graph, error) { return graph.Complete(n) }},
+		{"hypercube", func() (*graph.Graph, error) {
+			f, _ := harness.FamilyByName("hypercube")
+			return f.Build(n, cfg.seed())
+		}},
+		{"star", func() (*graph.Graph, error) { return graph.Star(n) }},
+		{"binary-tree", func() (*graph.Graph, error) { return graph.CompleteKAryTree(n, 2) }},
+		{"gnp", func() (*graph.Graph, error) {
+			f, _ := harness.FamilyByName("gnp")
+			return f.Build(n, cfg.seed())
+		}},
+		{"pref-attach", func() (*graph.Graph, error) {
+			f, _ := harness.FamilyByName("pref-attach")
+			return f.Build(n, cfg.seed())
+		}},
+	}
+	tab := stats.NewTable("family", "n", "sync-push q99", "async-push q99", "ratio")
+	maxRatio := 0.0
+	worstFam := ""
+	for _, b := range builders {
+		g, err := b.build()
+		if err != nil {
+			return nil, err
+		}
+		sync, err := harness.MeasureSync(g, 0, core.Push, trials, cfg.seed()+50, cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		async, err := harness.MeasureAsync(g, 0, core.Push, trials, cfg.seed()+51, cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		sq := stats.Quantile(sync.Times, 0.99)
+		aq := stats.Quantile(async.Times, 0.99)
+		ratio := sq / aq
+		if ratio > maxRatio {
+			maxRatio = ratio
+			worstFam = b.name
+		}
+		tab.AddRow(b.name, g.NumNodes(), sq, aq, ratio)
+	}
+	if err := tab.Render(cfg.out()); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(cfg.out(), "max q99(sync push)/q99(async push) = %.2f (%s); Sauerwald predicts O(1)\n", maxRatio, worstFam)
+
+	verdict := Supported
+	if maxRatio > 4 {
+		verdict = Borderline
+	}
+	if maxRatio > 10 {
+		verdict = Failed
+	}
+	return &Outcome{
+		ID: "E6", Title: "Sync push ≤ O(async push)", Verdict: verdict,
+		Summary: fmt.Sprintf("max q99(sync push)/q99(async push) = %.2f (%s)", maxRatio, worstFam),
+	}, nil
+}

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"rumor/internal/core"
+	"rumor/internal/coupling"
+	"rumor/internal/dist"
+	"rumor/internal/graph"
+	"rumor/internal/harness"
+	"rumor/internal/stats"
+)
+
+// E07CouplingLadder checks the auxiliary-process ladder of the upper
+// bound proof (Section 4):
+//
+//	Lemma 6:  T(ppx) ≼ T(pp)                     (stochastic domination)
+//	Lemma 9:  Tδ(ppy) ≤ 2·Tδ/2(ppx) + O(log n)
+//	Lemma 10: Tδ(pp-a) ≤ 4·Tδ/2(ppy) + O(log n)
+//
+// plus the coupled-run excess statistics: running ppx/ppy/pp-a on shared
+// randomness, max_v (r'_v - 2 r_v) and max_v (t_v - 4 r'_v) are O(log n).
+func E07CouplingLadder() Experiment {
+	return Experiment{
+		ID:    "E7",
+		Title: "Coupling ladder pp→ppx→ppy→pp-a",
+		Claim: "Lemmas 6, 9, 10: domination chain bridging pp and pp-a.",
+		Run:   runE07,
+	}
+}
+
+func runE07(cfg Config) (*Outcome, error) {
+	n := cfg.pick(256, 96)
+	trials := cfg.pick(300, 80)
+	coupledTrials := cfg.pick(40, 10)
+	builders := []struct {
+		name  string
+		build func() (*graph.Graph, error)
+	}{
+		{"complete", func() (*graph.Graph, error) { return graph.Complete(n) }},
+		{"hypercube", func() (*graph.Graph, error) {
+			f, _ := harness.FamilyByName("hypercube")
+			return f.Build(n, cfg.seed())
+		}},
+		{"star", func() (*graph.Graph, error) { return graph.Star(n) }},
+	}
+	tab := stats.NewTable("family", "ppx≼pp", "q99 ppx", "q99 ppy", "q99 pp-a",
+		"L9 slack", "L10 slack", "coupled max(r'-2r)", "coupled max(t-4r')", "14·ln n")
+	allDominated := true
+	l9OK, l10OK, coupledOK := true, true, true
+	for _, b := range builders {
+		g, err := b.build()
+		if err != nil {
+			return nil, err
+		}
+		logN := math.Log(float64(g.NumNodes()))
+		pp, err := harness.MeasureSync(g, 0, core.PushPull, trials, cfg.seed()+60, cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		ppx, err := harness.MeasurePPVariant(g, 0, core.PPX, trials, cfg.seed()+61, cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		ppy, err := harness.MeasurePPVariant(g, 0, core.PPY, trials, cfg.seed()+62, cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		ppa, err := harness.MeasureAsync(g, 0, core.PushPull, trials, cfg.seed()+63, cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		dominated := dist.DominatedEmpirically(ppx.Times, pp.Times, 0.12)
+		if !dominated {
+			allDominated = false
+		}
+		qppx := stats.Quantile(ppx.Times, 0.99)
+		qppy := stats.Quantile(ppy.Times, 0.99)
+		qppa := stats.Quantile(ppa.Times, 0.99)
+		// Slack: bound minus measured; negative means violated.
+		l9Slack := 2*qppx + 14*logN - qppy
+		l10Slack := 4*qppy + 14*logN - qppa
+		if l9Slack < 0 {
+			l9OK = false
+		}
+		if l10Slack < 0 {
+			l10OK = false
+		}
+		// Coupled runs.
+		var maxPPYExcess float64 = math.Inf(-1)
+		var maxAsyncExcess float64 = math.Inf(-1)
+		for seed := uint64(0); seed < uint64(coupledTrials); seed++ {
+			res, err := coupling.RunUpper(g, 0, cfg.seed()+100+seed)
+			if err != nil {
+				return nil, err
+			}
+			if e := float64(res.MaxPPYExcess()); e > maxPPYExcess {
+				maxPPYExcess = e
+			}
+			if e := res.MaxAsyncExcess(); e > maxAsyncExcess {
+				maxAsyncExcess = e
+			}
+		}
+		if maxPPYExcess > 14*logN || maxAsyncExcess > 14*logN {
+			coupledOK = false
+		}
+		tab.AddRow(b.name, dominated, qppx, qppy, qppa, l9Slack, l10Slack,
+			maxPPYExcess, maxAsyncExcess, 14*logN)
+	}
+	if err := tab.Render(cfg.out()); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(cfg.out(), "Lemma 6 domination: %v; Lemma 9 bound: %v; Lemma 10 bound: %v; coupled excesses ≤ 14 ln n: %v\n",
+		allDominated, l9OK, l10OK, coupledOK)
+
+	verdict := Supported
+	if !allDominated || !coupledOK {
+		verdict = Borderline
+	}
+	if !l9OK || !l10OK {
+		verdict = Failed
+	}
+	return &Outcome{
+		ID: "E7", Title: "Coupling ladder pp→ppx→ppy→pp-a", Verdict: verdict,
+		Summary: fmt.Sprintf("L6 dom=%v, L9=%v, L10=%v, coupled excess ≤ 14 ln n=%v",
+			allDominated, l9OK, l10OK, coupledOK),
+	}, nil
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"rumor/internal/coupling"
+	"rumor/internal/graph"
+	"rumor/internal/harness"
+	"rumor/internal/stats"
+)
+
+// E08BlockCoupling exercises the lower-bound block decomposition
+// (Section 5) and its invariants:
+//
+//   - Lemma 13: after every block, the pp-a informed set is contained in
+//     the coupled pp informed set;
+//   - Remark 12: for every normal block, sequential and parallel
+//     execution of the block's contacts agree;
+//   - Lemma 14: E[ρ_τ] = O(E[τ]/√n + √n), with the component bounds
+//     E[ρ_left] ≤ 2 E[τ]/√n and E[ρ_special] ≤ 2 √n.
+func E08BlockCoupling() Experiment {
+	return Experiment{
+		ID:    "E8",
+		Title: "Lower-bound block coupling",
+		Claim: "Lemmas 13, 14 + Remark 12: block decomposition mapping pp-a steps to pp rounds.",
+		Run:   runE08,
+	}
+}
+
+func runE08(cfg Config) (*Outcome, error) {
+	n := cfg.pick(256, 100)
+	trials := cfg.pick(20, 6)
+	builders := []struct {
+		name  string
+		build func() (*graph.Graph, error)
+	}{
+		{"complete", func() (*graph.Graph, error) { return graph.Complete(n) }},
+		{"hypercube", func() (*graph.Graph, error) {
+			f, _ := harness.FamilyByName("hypercube")
+			return f.Build(n, cfg.seed())
+		}},
+		{"star", func() (*graph.Graph, error) { return graph.Star(n) }},
+		{"cycle", func() (*graph.Graph, error) { return graph.Cycle(n / 2) }},
+	}
+	tab := stats.NewTable("family", "n", "E[τ]", "E[ρ]", "bound 3τ/√n+4√n+1",
+		"E[ρ_left]", "2τ/√n", "E[ρ_special]", "2√n", "subset", "seq=par")
+	subsetOK, seqParOK, rhoOK, leftOK, specialOK := true, true, true, true, true
+	for _, b := range builders {
+		g, err := b.build()
+		if err != nil {
+			return nil, err
+		}
+		sqrtN := math.Sqrt(float64(g.NumNodes()))
+		var sumTau, sumRho, sumLeft, sumSpecial float64
+		famSubset, famSeqPar := true, true
+		for seed := uint64(0); seed < uint64(trials); seed++ {
+			res, err := coupling.RunLower(g, 0, cfg.seed()+200+seed)
+			if err != nil {
+				return nil, err
+			}
+			sumTau += float64(res.Tau)
+			sumRho += float64(res.Rho)
+			sumLeft += float64(res.RhoLeft)
+			sumSpecial += float64(res.RhoSpecial)
+			famSubset = famSubset && res.SubsetInvariantHeld
+			famSeqPar = famSeqPar && res.SequentialParallelAgreed
+		}
+		ft := float64(trials)
+		meanTau, meanRho := sumTau/ft, sumRho/ft
+		meanLeft, meanSpecial := sumLeft/ft, sumSpecial/ft
+		bound := 3*meanTau/sqrtN + 4*sqrtN + 1
+		leftBound := 2 * meanTau / sqrtN
+		specialBound := 2 * sqrtN
+		if meanRho > 2*bound {
+			rhoOK = false
+		}
+		if meanLeft > 2*leftBound {
+			leftOK = false
+		}
+		if meanSpecial > 2*specialBound {
+			specialOK = false
+		}
+		subsetOK = subsetOK && famSubset
+		seqParOK = seqParOK && famSeqPar
+		tab.AddRow(b.name, g.NumNodes(), meanTau, meanRho, bound,
+			meanLeft, leftBound, meanSpecial, specialBound, famSubset, famSeqPar)
+	}
+	if err := tab.Render(cfg.out()); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(cfg.out(), "subset invariant: %v; seq=parallel: %v; ρ bound: %v; ρ_left bound: %v; ρ_special bound: %v\n",
+		subsetOK, seqParOK, rhoOK, leftOK, specialOK)
+
+	verdict := Supported
+	if !rhoOK || !leftOK || !specialOK {
+		verdict = Borderline
+	}
+	if !subsetOK || !seqParOK {
+		verdict = Failed // these are exact invariants; any violation is a bug
+	}
+	return &Outcome{
+		ID: "E8", Title: "Lower-bound block coupling", Verdict: verdict,
+		Summary: fmt.Sprintf("Lemma 13 subset=%v, Remark 12=%v, Lemma 14 bounds (ρ=%v, left=%v, special=%v)",
+			subsetOK, seqParOK, rhoOK, leftOK, specialOK),
+	}, nil
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rumor/internal/dist"
+	"rumor/internal/stats"
+	"rumor/internal/xrand"
+)
+
+// E12Lemma8 verifies the technical Lemma 8 by Monte Carlo: let
+// Z_1..Z_k ~ i.i.d. Exp(λ), J = argmin_i Z_i, A the event {∀i: Z_i > α_i}
+// for fixed non-negative integers α_i, and Z = min_i (Z_i - α_i). Then
+// (Z | J = j, A) ~ Exp(kλ). We rejection-sample the conditional law and
+// compare it against fresh Exp(kλ) samples with a KS test.
+func E12Lemma8() Experiment {
+	return Experiment{
+		ID:    "E12",
+		Title: "Lemma 8 (conditional min of exponentials)",
+		Claim: "Lemma 8: (min_i(Z_i - α_i) | argmin_i Z_i = j, ∀i Z_i > α_i) ~ Exp(kλ).",
+		Run:   runE12,
+	}
+}
+
+func runE12(cfg Config) (*Outcome, error) {
+	const (
+		k      = 6
+		lambda = 0.7
+	)
+	alphas := []float64{0, 1, 2, 0, 2, 1}
+	wantSamples := cfg.pick(3000, 800)
+	targetJ := 4 // condition on argmin_i Z_i = 4 (α_4 = 2: a nontrivial case)
+
+	rng := xrand.New(cfg.seed() + 300)
+	conditional := make([]float64, 0, wantSamples)
+	zs := make([]float64, k)
+	attempts := 0
+	maxAttempts := 100_000_000
+	for len(conditional) < wantSamples {
+		attempts++
+		if attempts > maxAttempts {
+			return nil, fmt.Errorf("experiments: Lemma 8 rejection sampling too slow (%d accepted after %d draws)",
+				len(conditional), attempts)
+		}
+		ok := true
+		argmin := 0
+		for i := 0; i < k; i++ {
+			zs[i] = rng.Exp(lambda)
+			if zs[i] <= alphas[i] {
+				ok = false
+				break
+			}
+			if zs[i] < zs[argmin] {
+				argmin = i
+			}
+		}
+		if !ok || argmin != targetJ {
+			continue
+		}
+		z := zs[0] - alphas[0]
+		for i := 1; i < k; i++ {
+			if v := zs[i] - alphas[i]; v < z {
+				z = v
+			}
+		}
+		conditional = append(conditional, z)
+	}
+
+	// Reference sample from Exp(kλ).
+	ref := make([]float64, wantSamples)
+	exp, err := dist.NewExp(k * lambda)
+	if err != nil {
+		return nil, err
+	}
+	for i := range ref {
+		ref[i] = exp.Sample(rng)
+	}
+	ks := stats.KolmogorovSmirnov(conditional, ref)
+	condMean := stats.Mean(conditional)
+	wantMean := 1 / (k * lambda)
+	fmt.Fprintf(cfg.out(),
+		"accepted %d/%d draws; conditional mean %.4f (Exp(kλ) mean %.4f); KS stat %.4f p %.4f\n",
+		wantSamples, attempts, condMean, wantMean, ks.Statistic, ks.PValue)
+
+	verdict := Supported
+	if ks.PValue < 0.005 {
+		verdict = Borderline
+	}
+	if ks.PValue < 1e-6 {
+		verdict = Failed
+	}
+	return &Outcome{
+		ID: "E12", Title: "Lemma 8 (conditional min of exponentials)", Verdict: verdict,
+		Summary: fmt.Sprintf("conditional law vs Exp(kλ): KS p = %.4f, mean %.4f vs %.4f",
+			ks.PValue, condMean, wantMean),
+	}, nil
+}

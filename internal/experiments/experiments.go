@@ -1,0 +1,183 @@
+// Package experiments regenerates every empirical claim extracted from
+// the paper (see DESIGN.md §5 for the claim-to-experiment index). The
+// paper is a theory paper with no tables or figures; its "evaluation" is
+// a set of theorems, corollaries, lemmas, and worked examples, each of
+// which maps here to one experiment (E1–E15) that prints the measured
+// analogue next to the paper's prediction and issues a verdict.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"rumor/internal/stats"
+)
+
+// Verdict classifies an experiment outcome.
+type Verdict int
+
+// Verdicts.
+const (
+	// Supported: the measured behaviour matches the paper's prediction.
+	Supported Verdict = iota + 1
+	// Borderline: the trend matches but a statistic fell near the test
+	// threshold (often a statistical fluctuation at the configured trial
+	// count).
+	Borderline
+	// Failed: the measurement contradicts the prediction.
+	Failed
+)
+
+// String renders the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case Supported:
+		return "SUPPORTED"
+	case Borderline:
+		return "BORDERLINE"
+	case Failed:
+		return "FAILED"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
+// Config controls experiment execution.
+type Config struct {
+	// Quick shrinks sizes and trial counts for smoke runs.
+	Quick bool
+	// Seed is the root seed (default 20160725, the PODC'16 opening day).
+	Seed uint64
+	// Workers caps parallelism; 0 = GOMAXPROCS.
+	Workers int
+	// Out receives human-readable tables; nil discards them.
+	Out io.Writer
+}
+
+func (c Config) out() io.Writer {
+	if c.Out == nil {
+		return io.Discard
+	}
+	return c.Out
+}
+
+func (c Config) seed() uint64 {
+	if c.Seed == 0 {
+		return 20160725
+	}
+	return c.Seed
+}
+
+// pick returns quick when cfg.Quick and full otherwise.
+func (c Config) pick(full, quick int) int {
+	if c.Quick {
+		return quick
+	}
+	return full
+}
+
+// Outcome reports one experiment run.
+type Outcome struct {
+	ID      string
+	Title   string
+	Verdict Verdict
+	// Summary is a one-line paper-vs-measured digest.
+	Summary string
+	// Details holds the rendered tables (also written to Config.Out).
+	Details string
+}
+
+// Experiment is a runnable reproduction of one paper claim.
+type Experiment struct {
+	// ID is the experiment identifier ("E1".."E15").
+	ID string
+	// Title is a short name.
+	Title string
+	// Claim quotes the paper statement being checked.
+	Claim string
+	// Run executes the experiment.
+	Run func(cfg Config) (*Outcome, error)
+}
+
+// All returns every experiment in order.
+func All() []Experiment {
+	return []Experiment{
+		E01Star(),
+		E02Theorem1(),
+		E03Theorem2(),
+		E04Corollary3(),
+		E05AsyncPushVsPushPull(),
+		E06SyncPushVsAsyncPush(),
+		E07CouplingLadder(),
+		E08BlockCoupling(),
+		E09SocialNetworks(),
+		E10AsyncViews(),
+		E11DiamondChain(),
+		E12Lemma8(),
+		E13Throughput(),
+		E14ExpansionBounds(),
+		E15Quasirandom(),
+	}
+}
+
+// ByID returns the experiment with the given ID (case-insensitive).
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if strings.EqualFold(e.ID, id) {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+// RunAll executes every experiment and returns outcomes in order,
+// followed by a rendered summary table on cfg.Out. Each outcome's
+// Details field captures that experiment's rendered tables.
+func RunAll(cfg Config) ([]*Outcome, error) {
+	var outcomes []*Outcome
+	for _, e := range All() {
+		fmt.Fprintf(cfg.out(), "\n=== %s: %s ===\n%s\n\n", e.ID, e.Title, e.Claim)
+		var details strings.Builder
+		runCfg := cfg
+		runCfg.Out = io.MultiWriter(cfg.out(), &details)
+		o, err := e.Run(runCfg)
+		if err != nil {
+			return outcomes, fmt.Errorf("experiments: %s: %w", e.ID, err)
+		}
+		o.Details = details.String()
+		fmt.Fprintf(cfg.out(), "%s verdict: %v — %s\n", e.ID, o.Verdict, o.Summary)
+		outcomes = append(outcomes, o)
+	}
+	fmt.Fprintf(cfg.out(), "\n=== Summary ===\n")
+	tab := stats.NewTable("id", "title", "verdict", "summary")
+	for _, o := range outcomes {
+		tab.AddRow(o.ID, o.Title, o.Verdict.String(), o.Summary)
+	}
+	if err := tab.Render(cfg.out()); err != nil {
+		return outcomes, err
+	}
+	return outcomes, nil
+}
+
+// worst returns the worst verdict of the arguments.
+func worst(vs ...Verdict) Verdict {
+	w := Supported
+	for _, v := range vs {
+		if v > w {
+			w = v
+		}
+	}
+	return w
+}
+
+// sortedKeys returns the sorted keys of a string-keyed map.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,267 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// BFS returns the hop distance from src to every vertex, with -1 for
+// unreachable vertices.
+func BFS(g *Graph, src NodeID) []int32 {
+	n := g.NumNodes()
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	if n == 0 {
+		return dist
+	}
+	dist[src] = 0
+	queue := make([]NodeID, 0, n)
+	queue = append(queue, src)
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		du := dist[u]
+		for _, v := range g.Neighbors(u) {
+			if dist[v] < 0 {
+				dist[v] = du + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// IsConnected reports whether the graph is connected. The empty graph and
+// single-vertex graph are connected.
+func IsConnected(g *Graph) bool {
+	n := g.NumNodes()
+	if n <= 1 {
+		return true
+	}
+	dist := BFS(g, 0)
+	for _, d := range dist {
+		if d < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Eccentricity returns the maximum hop distance from src to any reachable
+// vertex, and whether all vertices are reachable.
+func Eccentricity(g *Graph, src NodeID) (int32, bool) {
+	dist := BFS(g, src)
+	var ecc int32
+	connected := true
+	for _, d := range dist {
+		if d < 0 {
+			connected = false
+			continue
+		}
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc, connected
+}
+
+// Diameter returns the exact diameter by running BFS from every vertex.
+// Cost is O(n·m); intended for small and medium graphs. Returns -1 for
+// disconnected graphs.
+func Diameter(g *Graph) int32 {
+	n := g.NumNodes()
+	if n == 0 {
+		return 0
+	}
+	var diam int32
+	for v := NodeID(0); int(v) < n; v++ {
+		ecc, connected := Eccentricity(g, v)
+		if !connected {
+			return -1
+		}
+		if ecc > diam {
+			diam = ecc
+		}
+	}
+	return diam
+}
+
+// DiameterLowerBound returns a lower bound on the diameter via a double
+// BFS sweep (exact on trees, usually tight in practice), in O(m) time.
+// Returns -1 for disconnected graphs.
+func DiameterLowerBound(g *Graph) int32 {
+	n := g.NumNodes()
+	if n == 0 {
+		return 0
+	}
+	dist := BFS(g, 0)
+	far := NodeID(0)
+	for v, d := range dist {
+		if d < 0 {
+			return -1
+		}
+		if d > dist[far] {
+			far = NodeID(v)
+		}
+	}
+	ecc, _ := Eccentricity(g, far)
+	return ecc
+}
+
+// LargestComponent returns the subgraph induced by the largest connected
+// component, along with the mapping from new IDs to original IDs. If the
+// graph is connected it is returned as-is with a nil mapping.
+func LargestComponent(g *Graph) (*Graph, []NodeID, error) {
+	n := g.NumNodes()
+	if n == 0 {
+		return g, nil, nil
+	}
+	comp := make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var sizes []int
+	queue := make([]NodeID, 0, n)
+	for v := NodeID(0); int(v) < n; v++ {
+		if comp[v] >= 0 {
+			continue
+		}
+		id := int32(len(sizes))
+		size := 0
+		comp[v] = id
+		queue = queue[:0]
+		queue = append(queue, v)
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			size++
+			for _, w := range g.Neighbors(u) {
+				if comp[w] < 0 {
+					comp[w] = id
+					queue = append(queue, w)
+				}
+			}
+		}
+		sizes = append(sizes, size)
+	}
+	if len(sizes) == 1 {
+		return g, nil, nil
+	}
+	best := int32(0)
+	for i, s := range sizes {
+		if s > sizes[best] {
+			best = int32(i)
+		}
+	}
+	oldToNew := make([]NodeID, n)
+	newToOld := make([]NodeID, 0, sizes[best])
+	for v := NodeID(0); int(v) < n; v++ {
+		if comp[v] == best {
+			oldToNew[v] = NodeID(len(newToOld))
+			newToOld = append(newToOld, v)
+		} else {
+			oldToNew[v] = -1
+		}
+	}
+	b := NewBuilder(len(newToOld)).SetName(g.name + "/lcc")
+	g.Edges(func(u, v NodeID) {
+		if oldToNew[u] >= 0 && oldToNew[v] >= 0 {
+			b.AddEdge(oldToNew[u], oldToNew[v])
+		}
+	})
+	sub, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return sub, newToOld, nil
+}
+
+// DegreeStats summarizes a graph's degree sequence.
+type DegreeStats struct {
+	Min, Max int32
+	Mean     float64
+	StdDev   float64
+}
+
+// Degrees returns the degree statistics of g.
+func Degrees(g *Graph) DegreeStats {
+	n := g.NumNodes()
+	if n == 0 {
+		return DegreeStats{}
+	}
+	stats := DegreeStats{Min: g.Degree(0), Max: g.Degree(0)}
+	var sum, sumSq float64
+	for v := NodeID(0); int(v) < n; v++ {
+		d := g.Degree(v)
+		if d < stats.Min {
+			stats.Min = d
+		}
+		if d > stats.Max {
+			stats.Max = d
+		}
+		fd := float64(d)
+		sum += fd
+		sumSq += fd * fd
+	}
+	stats.Mean = sum / float64(n)
+	variance := sumSq/float64(n) - stats.Mean*stats.Mean
+	if variance < 0 {
+		variance = 0
+	}
+	stats.StdDev = math.Sqrt(variance)
+	return stats
+}
+
+// String renders the stats compactly.
+func (s DegreeStats) String() string {
+	return fmt.Sprintf("deg[min=%d max=%d mean=%.2f sd=%.2f]", s.Min, s.Max, s.Mean, s.StdDev)
+}
+
+// ContactProbability returns π(v) = (1/n) Σ_{w ∈ Γ(v)} 1/deg(w): the
+// probability that v is contacted in a uniformly random asynchronous step
+// (the quantity used in the proof of Lemma 14).
+func ContactProbability(g *Graph, v NodeID) float64 {
+	n := g.NumNodes()
+	if n == 0 {
+		return 0
+	}
+	var sum float64
+	for _, w := range g.Neighbors(v) {
+		sum += 1 / float64(g.Degree(w))
+	}
+	return sum / float64(n)
+}
+
+// InducedSubgraph returns the subgraph induced by the given nodes, along
+// with the mapping from new IDs (positions in nodes) to original IDs.
+// Duplicate entries in nodes are rejected.
+func InducedSubgraph(g *Graph, nodes []NodeID) (*Graph, []NodeID, error) {
+	oldToNew := make(map[NodeID]NodeID, len(nodes))
+	for i, v := range nodes {
+		if v < 0 || int(v) >= g.NumNodes() {
+			return nil, nil, fmt.Errorf("%w: node %d", ErrOutOfRange, v)
+		}
+		if _, dup := oldToNew[v]; dup {
+			return nil, nil, fmt.Errorf("%w: duplicate node %d", ErrInvalidParam, v)
+		}
+		oldToNew[v] = NodeID(i)
+	}
+	b := NewBuilder(len(nodes)).SetName(g.name + "/induced")
+	for _, v := range nodes {
+		for _, w := range g.Neighbors(v) {
+			nw, ok := oldToNew[w]
+			if !ok {
+				continue
+			}
+			if oldToNew[v] < nw {
+				b.AddEdge(oldToNew[v], nw)
+			}
+		}
+	}
+	sub, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	mapping := append([]NodeID(nil), nodes...)
+	return sub, mapping, nil
+}

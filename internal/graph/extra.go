@@ -1,0 +1,62 @@
+package graph
+
+import "fmt"
+
+// CompleteBipartite returns K_{a,b}: every one of the a left vertices
+// (IDs 0..a-1) is adjacent to every one of the b right vertices
+// (IDs a..a+b-1). K_{1,n-1} is the star; general K_{a,b} interpolates
+// between the star's extreme degree asymmetry and the regular K_{a,a},
+// which makes the family useful for probing push-vs-pull asymmetries.
+func CompleteBipartite(a, b int) (*Graph, error) {
+	if a < 1 || b < 1 {
+		return nil, fmt.Errorf("%w: CompleteBipartite(%d,%d)", ErrInvalidParam, a, b)
+	}
+	bld := NewBuilder(a + b).SetName(fmt.Sprintf("bipartite(%d,%d)", a, b))
+	for u := 0; u < a; u++ {
+		for v := 0; v < b; v++ {
+			bld.AddEdge(NodeID(u), NodeID(a+v))
+		}
+	}
+	return bld.Build()
+}
+
+// Circulant returns the circulant graph C_n(offsets): vertex v is
+// adjacent to v ± d (mod n) for every offset d. Offsets must lie in
+// [1, n/2]; duplicate edges (e.g. d = n/2 counted twice) are merged.
+// Circulants are vertex-transitive and regular — a flexible source of
+// regular test topologies beyond the cycle (which is C_n(1)).
+func Circulant(n int, offsets []int) (*Graph, error) {
+	if n < 3 || len(offsets) == 0 {
+		return nil, fmt.Errorf("%w: Circulant(%d, %v)", ErrInvalidParam, n, offsets)
+	}
+	for _, d := range offsets {
+		if d < 1 || d > n/2 {
+			return nil, fmt.Errorf("%w: Circulant offset %d outside [1, %d]", ErrInvalidParam, d, n/2)
+		}
+	}
+	b := NewBuilder(n).SetName(fmt.Sprintf("circulant(%d,%v)", n, offsets))
+	for v := 0; v < n; v++ {
+		for _, d := range offsets {
+			b.AddEdge(NodeID(v), NodeID((v+d)%n))
+		}
+	}
+	return b.Build()
+}
+
+// Wheel returns the wheel graph W_n: a cycle on n-1 vertices (IDs
+// 1..n-1) plus a hub (ID 0) adjacent to all of them. Total n >= 4
+// vertices. The hub gives constant diameter while the rim keeps most
+// degrees at 3.
+func Wheel(n int) (*Graph, error) {
+	if n < 4 {
+		return nil, fmt.Errorf("%w: Wheel(%d)", ErrInvalidParam, n)
+	}
+	rim := n - 1
+	b := NewBuilder(n).SetName(fmt.Sprintf("wheel(%d)", n))
+	for v := 1; v <= rim; v++ {
+		b.AddEdge(0, NodeID(v))
+		next := v%rim + 1
+		b.AddEdge(NodeID(v), NodeID(next))
+	}
+	return b.Build()
+}

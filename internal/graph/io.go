@@ -1,0 +1,87 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeList writes g in a plain text format: a header line
+// "# nodes N edges M name NAME", then one "u v" pair per line (u < v).
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	name := g.Name()
+	if name == "" {
+		name = "graph"
+	}
+	if _, err := fmt.Fprintf(bw, "# nodes %d edges %d name %s\n", g.NumNodes(), g.NumEdges(), name); err != nil {
+		return err
+	}
+	var writeErr error
+	g.Edges(func(u, v NodeID) {
+		if writeErr != nil {
+			return
+		}
+		_, writeErr = fmt.Fprintf(bw, "%d %d\n", u, v)
+	})
+	if writeErr != nil {
+		return writeErr
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the format produced by WriteEdgeList. Lines starting
+// with '#' other than the header are ignored, as are blank lines. The
+// header is required (it carries the node count, which edge lists alone
+// cannot convey for graphs with isolated vertices).
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("graph: empty edge list input")
+	}
+	header := strings.Fields(sc.Text())
+	// Expected: # nodes N edges M name NAME
+	if len(header) < 5 || header[0] != "#" || header[1] != "nodes" || header[3] != "edges" {
+		return nil, fmt.Errorf("graph: malformed edge list header %q", sc.Text())
+	}
+	n, err := strconv.Atoi(header[2])
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("graph: bad node count in header %q", sc.Text())
+	}
+	name := ""
+	if len(header) >= 7 && header[5] == "name" {
+		name = header[6]
+	}
+	b := NewBuilder(n).SetName(name)
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("graph: line %d: expected 2 fields, got %q", line, text)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", line, err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", line, err)
+		}
+		b.AddEdge(NodeID(u), NodeID(v))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b.Build()
+}

@@ -1,0 +1,79 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rumor/internal/xrand"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	rng := xrand.New(30)
+	orig, err := GNP(50, 0.1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != orig.NumNodes() || back.NumEdges() != orig.NumEdges() {
+		t.Fatalf("round trip: n=%d->%d m=%d->%d",
+			orig.NumNodes(), back.NumNodes(), orig.NumEdges(), back.NumEdges())
+	}
+	orig.Edges(func(u, v NodeID) {
+		if !back.HasEdge(u, v) {
+			t.Fatalf("edge (%d,%d) lost in round trip", u, v)
+		}
+	})
+	if back.Name() != orig.Name() {
+		t.Fatalf("name lost: %q -> %q", orig.Name(), back.Name())
+	}
+}
+
+func TestEdgeListIsolatedNodes(t *testing.T) {
+	g := NewBuilder(5).AddEdge(0, 1).MustBuild()
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != 5 {
+		t.Fatalf("isolated nodes lost: n = %d", back.NumNodes())
+	}
+}
+
+func TestReadEdgeListIgnoresCommentsAndBlanks(t *testing.T) {
+	input := "# nodes 3 edges 2 name tiny\n\n# comment\n0 1\n\n1 2\n"
+	g, err := ReadEdgeList(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 || g.Name() != "tiny" {
+		t.Fatalf("parsed: m=%d name=%q", g.NumEdges(), g.Name())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"no header\n0 1\n",
+		"# nodes x edges 0\n",
+		"# nodes 3 edges 1 name t\n0\n",
+		"# nodes 3 edges 1 name t\na b\n",
+		"# nodes 3 edges 1 name t\n0 9\n",
+	}
+	for _, input := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(input)); err == nil {
+			t.Errorf("input %q accepted", input)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rumor/internal/xrand"
+)
+
+// ChungLu returns a Chung–Lu random graph with the given expected-degree
+// weights: each pair {u, v} is an edge independently with probability
+// min(1, w_u * w_v / W) where W = Σ w. Generation runs in O(n + m)
+// expected time using the Miller–Hagberg skipping algorithm over weights
+// sorted in decreasing order.
+func ChungLu(weights []float64, rng *xrand.RNG) (*Graph, error) {
+	n := len(weights)
+	if n < 2 {
+		return nil, fmt.Errorf("%w: ChungLu with %d weights", ErrInvalidParam, n)
+	}
+	var total float64
+	for _, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("%w: ChungLu weight %v", ErrInvalidParam, w)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("%w: ChungLu with zero total weight", ErrInvalidParam)
+	}
+	// Sort node indices by decreasing weight; generate on the sorted
+	// order, then emit edges with original IDs.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return weights[order[a]] > weights[order[b]] })
+	w := make([]float64, n)
+	for i, idx := range order {
+		w[i] = weights[idx]
+	}
+	b := NewBuilder(n).SetName(fmt.Sprintf("chunglu(%d)", n))
+	for u := 0; u < n-1; u++ {
+		if w[u] == 0 {
+			break // all remaining weights are zero
+		}
+		v := u + 1
+		p := math.Min(w[u]*w[v]/total, 1)
+		for v < n && p > 0 {
+			if p < 1 {
+				skip := int64(math.Log(rng.Float64Open()) / math.Log1p(-p))
+				if skip > int64(n) {
+					break
+				}
+				v += int(skip)
+			}
+			if v >= n {
+				break
+			}
+			q := math.Min(w[u]*w[v]/total, 1)
+			if rng.Float64() < q/p {
+				b.AddEdge(NodeID(order[u]), NodeID(order[v]))
+			}
+			p = q
+			v++
+		}
+	}
+	return b.Build()
+}
+
+// PowerLawWeights returns n Chung–Lu weights following a power law with
+// exponent beta > 2 and minimum expected degree minDeg:
+// w_i = minDeg * ((n / (i + i0))^(1/(beta-1))), the standard choice that
+// produces a power-law expected degree sequence with exponent beta.
+func PowerLawWeights(n int, beta, minDeg float64) ([]float64, error) {
+	if n < 1 || beta <= 2 || minDeg <= 0 {
+		return nil, fmt.Errorf("%w: PowerLawWeights(%d, %v, %v)", ErrInvalidParam, n, beta, minDeg)
+	}
+	w := make([]float64, n)
+	exp := 1 / (beta - 1)
+	for i := 0; i < n; i++ {
+		w[i] = minDeg * math.Pow(float64(n)/float64(i+1), exp)
+	}
+	return w, nil
+}
+
+// ChungLuPowerLaw returns a Chung–Lu graph with power-law expected degrees
+// (exponent beta, minimum expected degree minDeg) — the model the paper
+// cites for social networks (Fountoulakis, Panagiotou, Sauerwald [16]).
+// The returned graph may be disconnected; use LargestComponent for
+// spreading experiments.
+func ChungLuPowerLaw(n int, beta, minDeg float64, rng *xrand.RNG) (*Graph, error) {
+	w, err := PowerLawWeights(n, beta, minDeg)
+	if err != nil {
+		return nil, err
+	}
+	g, err := ChungLu(w, rng)
+	if err != nil {
+		return nil, err
+	}
+	g.name = fmt.Sprintf("powerlaw(%d,b=%.2f)", n, beta)
+	return g, nil
+}
+
+// PreferentialAttachment returns a Barabási–Albert preferential attachment
+// graph: starting from a clique on m+1 vertices, each subsequent vertex
+// attaches m edges to distinct existing vertices chosen with probability
+// proportional to their current degree. This is the model the paper cites
+// from Doerr, Fouz, Friedrich [9].
+func PreferentialAttachment(n, m int, rng *xrand.RNG) (*Graph, error) {
+	if m < 1 || n < m+2 {
+		return nil, fmt.Errorf("%w: PreferentialAttachment(%d, %d)", ErrInvalidParam, n, m)
+	}
+	b := NewBuilder(n).SetName(fmt.Sprintf("prefattach(%d,m=%d)", n, m))
+	// endpoints holds one entry per edge endpoint; sampling a uniform
+	// entry is sampling a vertex proportional to degree.
+	endpoints := make([]NodeID, 0, 2*m*n)
+	for u := 0; u <= m; u++ {
+		for v := u + 1; v <= m; v++ {
+			b.AddEdge(NodeID(u), NodeID(v))
+			endpoints = append(endpoints, NodeID(u), NodeID(v))
+		}
+	}
+	targets := make([]NodeID, 0, m)
+	for v := m + 1; v < n; v++ {
+		targets = targets[:0]
+		for len(targets) < m {
+			t := endpoints[rng.Intn(len(endpoints))]
+			duplicate := false
+			for _, prev := range targets {
+				if prev == t {
+					duplicate = true
+					break
+				}
+			}
+			if !duplicate {
+				targets = append(targets, t)
+			}
+		}
+		for _, t := range targets {
+			b.AddEdge(NodeID(v), t)
+			endpoints = append(endpoints, NodeID(v), t)
+		}
+	}
+	return b.Build()
+}

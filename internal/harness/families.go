@@ -1,0 +1,121 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+
+	"rumor/internal/graph"
+	"rumor/internal/xrand"
+)
+
+// Family is a named graph family that can be instantiated at (roughly) a
+// target size. Random families derive their randomness from the seed, so
+// instances are reproducible.
+type Family struct {
+	// Name identifies the family in reports ("hypercube", "gnp", ...).
+	Name string
+	// Regular reports whether instances are regular graphs (used by the
+	// experiments for Corollary 3, which applies to regular graphs only).
+	Regular bool
+	// Build returns a connected instance with approximately n nodes.
+	// The actual size may be rounded (e.g. hypercubes to powers of two).
+	Build func(n int, seed uint64) (*graph.Graph, error)
+}
+
+// StandardFamilies returns the graph families exercised by the
+// experiments: classical topologies, random graphs, social-network
+// models, and the adversarial diamond chain.
+func StandardFamilies() []Family {
+	return []Family{
+		{Name: "complete", Regular: true, Build: func(n int, _ uint64) (*graph.Graph, error) {
+			return graph.Complete(n)
+		}},
+		{Name: "star", Build: func(n int, _ uint64) (*graph.Graph, error) {
+			return graph.Star(n)
+		}},
+		{Name: "cycle", Regular: true, Build: func(n int, _ uint64) (*graph.Graph, error) {
+			return graph.Cycle(n)
+		}},
+		{Name: "hypercube", Regular: true, Build: func(n int, _ uint64) (*graph.Graph, error) {
+			dim := int(math.Round(math.Log2(float64(n))))
+			if dim < 1 {
+				dim = 1
+			}
+			return graph.Hypercube(dim)
+		}},
+		{Name: "torus", Regular: true, Build: func(n int, _ uint64) (*graph.Graph, error) {
+			side := int(math.Round(math.Sqrt(float64(n))))
+			if side < 3 {
+				side = 3
+			}
+			return graph.Grid(side, side, true)
+		}},
+		{Name: "binary-tree", Build: func(n int, _ uint64) (*graph.Graph, error) {
+			return graph.CompleteKAryTree(n, 2)
+		}},
+		{Name: "random-regular", Regular: true, Build: func(n int, seed uint64) (*graph.Graph, error) {
+			if n%2 == 1 {
+				n++ // n*d must be even for odd d
+			}
+			return graph.RandomRegular(n, 5, xrand.New(seed))
+		}},
+		{Name: "gnp", Build: func(n int, seed uint64) (*graph.Graph, error) {
+			p := 3 * math.Log(float64(n)) / float64(n)
+			if p > 1 {
+				p = 1
+			}
+			return graph.GNPConnected(n, p, xrand.New(seed), 100)
+		}},
+		{Name: "powerlaw", Build: func(n int, seed uint64) (*graph.Graph, error) {
+			g, err := graph.ChungLuPowerLaw(n, 2.5, 4, xrand.New(seed))
+			if err != nil {
+				return nil, err
+			}
+			lcc, _, err := graph.LargestComponent(g)
+			if err != nil {
+				return nil, err
+			}
+			if lcc.NumNodes() < n/2 {
+				return nil, fmt.Errorf("harness: powerlaw giant component too small (%d of %d)", lcc.NumNodes(), n)
+			}
+			return lcc, nil
+		}},
+		{Name: "pref-attach", Build: func(n int, seed uint64) (*graph.Graph, error) {
+			return graph.PreferentialAttachment(n, 3, xrand.New(seed))
+		}},
+		{Name: "diamond", Build: func(n int, _ uint64) (*graph.Graph, error) {
+			return graph.DiamondChainForSize(n)
+		}},
+	}
+}
+
+// RegularFamilies filters StandardFamilies to regular graphs.
+func RegularFamilies() []Family {
+	var out []Family
+	for _, f := range StandardFamilies() {
+		if f.Regular {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// FamilyByName returns the standard family with the given name.
+func FamilyByName(name string) (Family, error) {
+	for _, f := range StandardFamilies() {
+		if f.Name == name {
+			return f, nil
+		}
+	}
+	return Family{}, fmt.Errorf("harness: unknown graph family %q", name)
+}
+
+// FamilyNames lists the names of the standard families.
+func FamilyNames() []string {
+	fams := StandardFamilies()
+	names := make([]string, len(fams))
+	for i, f := range fams {
+		names[i] = f.Name
+	}
+	return names
+}

@@ -1,0 +1,252 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"rumor/internal/core"
+	"rumor/internal/graph"
+	"rumor/internal/stats"
+	"rumor/internal/xrand"
+)
+
+func TestRunnerDeterministicAcrossWorkerCounts(t *testing.T) {
+	fn := func(trial int, rng *xrand.RNG) (float64, error) {
+		return rng.Float64() + float64(trial), nil
+	}
+	serial, err := Runner{Trials: 50, Seed: 1, Workers: 1}.Run(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Runner{Trials: 50, Seed: 1, Workers: 8}.Run(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("trial %d differs: %v vs %v", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestRunnerDifferentSeedsDiffer(t *testing.T) {
+	fn := func(_ int, rng *xrand.RNG) (float64, error) { return rng.Float64(), nil }
+	a, _ := Runner{Trials: 10, Seed: 1}.Run(fn)
+	b, _ := Runner{Trials: 10, Seed: 2}.Run(fn)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same == 10 {
+		t.Fatal("different seeds produced identical results")
+	}
+}
+
+func TestRunnerPropagatesError(t *testing.T) {
+	sentinel := errors.New("boom")
+	_, err := Runner{Trials: 20, Seed: 1, Workers: 4}.Run(func(trial int, _ *xrand.RNG) (float64, error) {
+		if trial == 7 {
+			return 0, sentinel
+		}
+		return 1, nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want wrapped sentinel", err)
+	}
+}
+
+func TestRunnerRejectsZeroTrials(t *testing.T) {
+	_, err := Runner{Trials: 0, Seed: 1}.Run(func(int, *xrand.RNG) (float64, error) { return 0, nil })
+	if !errors.Is(err, ErrNoTrials) {
+		t.Fatalf("err = %v, want ErrNoTrials", err)
+	}
+}
+
+func TestRunnerRunsEveryTrialOnce(t *testing.T) {
+	var count int64
+	res, err := Runner{Trials: 37, Seed: 1, Workers: 5}.Run(func(trial int, _ *xrand.RNG) (float64, error) {
+		atomic.AddInt64(&count, 1)
+		return float64(trial), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 37 {
+		t.Fatalf("ran %d trials, want 37", count)
+	}
+	for i, v := range res {
+		if v != float64(i) {
+			t.Fatalf("result %d = %v", i, v)
+		}
+	}
+}
+
+func TestRunPairs(t *testing.T) {
+	as, bs, err := Runner{Trials: 10, Seed: 3}.RunPairs(func(trial int, _ *xrand.RNG) (float64, float64, error) {
+		return float64(trial), float64(trial * 2), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range as {
+		if as[i] != float64(i) || bs[i] != float64(2*i) {
+			t.Fatalf("pair %d = (%v, %v)", i, as[i], bs[i])
+		}
+	}
+}
+
+func TestStandardFamiliesBuildConnected(t *testing.T) {
+	for _, f := range StandardFamilies() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			g, err := f.Build(120, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !graph.IsConnected(g) {
+				t.Fatalf("%s instance disconnected", f.Name)
+			}
+			n := g.NumNodes()
+			if n < 30 || n > 400 {
+				t.Fatalf("%s size %d far from target 120", f.Name, n)
+			}
+			if f.Regular {
+				if _, ok := g.Regularity(); !ok {
+					t.Fatalf("%s claims regular but is not", f.Name)
+				}
+			}
+		})
+	}
+}
+
+func TestFamilyByName(t *testing.T) {
+	f, err := FamilyByName("hypercube")
+	if err != nil || f.Name != "hypercube" {
+		t.Fatalf("FamilyByName: %v, %v", f.Name, err)
+	}
+	if _, err := FamilyByName("nope"); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+	names := FamilyNames()
+	if len(names) != len(StandardFamilies()) {
+		t.Fatal("FamilyNames length mismatch")
+	}
+}
+
+func TestRegularFamilies(t *testing.T) {
+	for _, f := range RegularFamilies() {
+		if !f.Regular {
+			t.Fatalf("%s in RegularFamilies but not regular", f.Name)
+		}
+	}
+	if len(RegularFamilies()) < 4 {
+		t.Fatal("too few regular families")
+	}
+}
+
+func TestMeasureSyncStar(t *testing.T) {
+	g, err := graph.Star(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := MeasureSync(g, 1, core.PushPull, 50, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Times) != 50 {
+		t.Fatalf("got %d times", len(m.Times))
+	}
+	for _, v := range m.Times {
+		if v < 1 || v > 2 {
+			t.Fatalf("star sync push-pull time %v outside [1,2]", v)
+		}
+	}
+}
+
+func TestMeasureAsyncViewsAgree(t *testing.T) {
+	g, err := graph.Complete(48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := MeasureAsyncView(g, 0, core.PushPull, core.GlobalClock, 80, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MeasureAsyncView(g, 0, core.PushPull, core.PerNodeClocks, 80, 55, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.SameDistribution(a.Times, b.Times, 0.001) {
+		t.Fatal("global-clock and per-node views differ distributionally")
+	}
+}
+
+func TestMeasurePPVariant(t *testing.T) {
+	g, err := graph.Hypercube(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := MeasurePPVariant(g, 0, core.PPX, 30, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range m.Times {
+		if v < 1 {
+			t.Fatalf("ppx time %v < 1", v)
+		}
+	}
+}
+
+func TestMeasureCoverageOrdering(t *testing.T) {
+	g, err := graph.Complete(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := MeasureAsyncCoverage(g, 0, core.PushPull, 0.5, 40, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := MeasureAsyncCoverage(g, 0, core.PushPull, 1.0, 40, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Mean(half.Times) >= stats.Mean(full.Times) {
+		t.Fatal("50% coverage not earlier than 100%")
+	}
+	shalf, err := MeasureSyncCoverage(g, 0, core.PushPull, 0.5, 40, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sfull, err := MeasureSyncCoverage(g, 0, core.PushPull, 1.0, 40, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Mean(shalf.Times) > stats.Mean(sfull.Times) {
+		t.Fatal("sync 50% coverage later than 100%")
+	}
+}
+
+func TestMeasureErrorsPropagate(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	g := b.MustBuild()
+	if _, err := MeasureSync(g, 0, core.PushPull, 5, 1, 0); err == nil {
+		t.Fatal("disconnected graph accepted")
+	}
+	if _, err := MeasureAsync(g, 0, core.PushPull, 5, 1, 0); err == nil {
+		t.Fatal("disconnected graph accepted by async")
+	}
+}
+
+func ExampleRunner() {
+	r := Runner{Trials: 3, Seed: 42, Workers: 1}
+	results, _ := r.Run(func(trial int, rng *xrand.RNG) (float64, error) {
+		return float64(trial) * 10, nil
+	})
+	fmt.Println(results)
+	// Output: [0 10 20]
+}

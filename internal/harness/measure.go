@@ -1,0 +1,109 @@
+package harness
+
+import (
+	"fmt"
+
+	"rumor/internal/core"
+	"rumor/internal/graph"
+	"rumor/internal/xrand"
+)
+
+// Measurement is a sample of spreading times with its configuration.
+type Measurement struct {
+	// Times holds one spreading time per trial: rounds for synchronous
+	// processes, continuous time units for asynchronous ones.
+	Times []float64
+	// Graph identifies the instance measured.
+	Graph *graph.Graph
+	// Source is the rumor source used in every trial.
+	Source graph.NodeID
+}
+
+// MeasureSync samples the synchronous spreading time T(pp/push/pull, G, u)
+// over the given number of trials.
+func MeasureSync(g *graph.Graph, src graph.NodeID, p core.Protocol, trials int, seed uint64, workers int) (*Measurement, error) {
+	r := Runner{Trials: trials, Seed: seed, Workers: workers}
+	times, err := r.Run(func(_ int, rng *xrand.RNG) (float64, error) {
+		rounds, err := core.SyncSpreadingTime(g, src, p, rng)
+		return float64(rounds), err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Measurement{Times: times, Graph: g, Source: src}, nil
+}
+
+// MeasureAsync samples the asynchronous spreading time T(pp-a/..., G, u)
+// using the (fast) global-clock view.
+func MeasureAsync(g *graph.Graph, src graph.NodeID, p core.Protocol, trials int, seed uint64, workers int) (*Measurement, error) {
+	return MeasureAsyncView(g, src, p, core.GlobalClock, trials, seed, workers)
+}
+
+// MeasureAsyncView is MeasureAsync with an explicit process view.
+func MeasureAsyncView(g *graph.Graph, src graph.NodeID, p core.Protocol, view core.AsyncView, trials int, seed uint64, workers int) (*Measurement, error) {
+	r := Runner{Trials: trials, Seed: seed, Workers: workers}
+	times, err := r.Run(func(_ int, rng *xrand.RNG) (float64, error) {
+		res, err := core.RunAsync(g, src, core.AsyncConfig{Protocol: p, View: view}, rng)
+		if err != nil {
+			return 0, err
+		}
+		if !res.Complete {
+			return 0, fmt.Errorf("harness: graph %v is disconnected; spreading time undefined", g)
+		}
+		return res.Time, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Measurement{Times: times, Graph: g, Source: src}, nil
+}
+
+// MeasurePPVariant samples the spreading time of ppx or ppy.
+func MeasurePPVariant(g *graph.Graph, src graph.NodeID, v core.PPVariant, trials int, seed uint64, workers int) (*Measurement, error) {
+	r := Runner{Trials: trials, Seed: seed, Workers: workers}
+	times, err := r.Run(func(_ int, rng *xrand.RNG) (float64, error) {
+		res, err := core.RunPPVariant(g, src, v, core.SyncConfig{}, rng)
+		if err != nil {
+			return 0, err
+		}
+		return float64(res.Rounds), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Measurement{Times: times, Graph: g, Source: src}, nil
+}
+
+// MeasureAsyncCoverage samples the earliest time at which a fraction frac
+// of all nodes is informed under the asynchronous process.
+func MeasureAsyncCoverage(g *graph.Graph, src graph.NodeID, p core.Protocol, frac float64, trials int, seed uint64, workers int) (*Measurement, error) {
+	r := Runner{Trials: trials, Seed: seed, Workers: workers}
+	times, err := r.Run(func(_ int, rng *xrand.RNG) (float64, error) {
+		res, err := core.RunAsync(g, src, core.AsyncConfig{Protocol: p}, rng)
+		if err != nil {
+			return 0, err
+		}
+		return res.CoverageTime(frac), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Measurement{Times: times, Graph: g, Source: src}, nil
+}
+
+// MeasureSyncCoverage samples the earliest round at which a fraction frac
+// of all nodes is informed under the synchronous process.
+func MeasureSyncCoverage(g *graph.Graph, src graph.NodeID, p core.Protocol, frac float64, trials int, seed uint64, workers int) (*Measurement, error) {
+	r := Runner{Trials: trials, Seed: seed, Workers: workers}
+	times, err := r.Run(func(_ int, rng *xrand.RNG) (float64, error) {
+		res, err := core.RunSync(g, src, core.SyncConfig{Protocol: p}, rng)
+		if err != nil {
+			return 0, err
+		}
+		return float64(res.CoverageRound(frac)), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Measurement{Times: times, Graph: g, Source: src}, nil
+}

@@ -1,0 +1,97 @@
+// Package harness runs repeated simulation trials in parallel with
+// deterministic per-trial seeding, provides the registry of graph
+// families used across experiments, and offers measurement helpers that
+// collect spreading-time samples for every process the paper studies.
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"rumor/internal/xrand"
+)
+
+// ErrNoTrials reports a runner configured without trials.
+var ErrNoTrials = errors.New("harness: trials must be >= 1")
+
+// Runner executes independent trials concurrently. Each trial t receives
+// its own RNG stream derived from (Seed, t), so results are a pure
+// function of the configuration regardless of scheduling.
+type Runner struct {
+	// Trials is the number of trials (must be >= 1).
+	Trials int
+	// Seed is the root seed; trial t uses Child(t).
+	Seed uint64
+	// Workers caps concurrency; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Run executes fn for each trial and returns results indexed by trial.
+// The first error (by trial index) aborts the report: remaining workers
+// finish their current trial, and the error is returned.
+func (r Runner) Run(fn func(trial int, rng *xrand.RNG) (float64, error)) ([]float64, error) {
+	if r.Trials < 1 {
+		return nil, ErrNoTrials
+	}
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > r.Trials {
+		workers = r.Trials
+	}
+	root := xrand.New(r.Seed)
+	results := make([]float64, r.Trials)
+	errs := make([]error, r.Trials)
+	var next int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				t := int(next)
+				next++
+				mu.Unlock()
+				if t >= r.Trials {
+					return
+				}
+				rng := root.Child(uint64(t))
+				v, err := fn(t, rng)
+				results[t] = v
+				errs[t] = err
+			}
+		}()
+	}
+	wg.Wait()
+	for t, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("harness: trial %d: %w", t, err)
+		}
+	}
+	return results, nil
+}
+
+// RunPairs is Run for trial functions returning two values (e.g. a
+// synchronous and an asynchronous measurement per trial).
+func (r Runner) RunPairs(fn func(trial int, rng *xrand.RNG) (a, b float64, err error)) (as, bs []float64, err error) {
+	if r.Trials < 1 {
+		return nil, nil, ErrNoTrials
+	}
+	as = make([]float64, r.Trials)
+	bs = make([]float64, r.Trials)
+	_, err = r.Run(func(t int, rng *xrand.RNG) (float64, error) {
+		a, b, err := fn(t, rng)
+		as[t] = a
+		bs[t] = b
+		return 0, err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return as, bs, nil
+}

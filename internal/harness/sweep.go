@@ -1,0 +1,107 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+
+	"rumor/internal/core"
+	"rumor/internal/stats"
+)
+
+// Sweep measures spreading times across a grid of graph families and
+// sizes, for the synchronous and/or asynchronous push-pull-style process.
+type Sweep struct {
+	// Families to instantiate (at least one).
+	Families []Family
+	// Sizes are the target node counts (at least one).
+	Sizes []int
+	// Protocol is Push, Pull, or PushPull.
+	Protocol core.Protocol
+	// Sync and Async select which timing models to measure (at least
+	// one must be set).
+	Sync, Async bool
+	// Trials per measurement (>= 1).
+	Trials int
+	// Seed drives both graph generation and trials.
+	Seed uint64
+	// Workers caps parallelism; 0 = GOMAXPROCS.
+	Workers int
+}
+
+// SweepRow is one (family, size) measurement.
+type SweepRow struct {
+	Family string
+	N, M   int
+	// SyncTimes / AsyncTimes are per-trial spreading times (nil when the
+	// corresponding timing model was not requested).
+	SyncTimes, AsyncTimes []float64
+}
+
+// SyncSummary summarizes the synchronous sample.
+func (r *SweepRow) SyncSummary() stats.Summary { return stats.Summarize(r.SyncTimes) }
+
+// AsyncSummary summarizes the asynchronous sample.
+func (r *SweepRow) AsyncSummary() stats.Summary { return stats.Summarize(r.AsyncTimes) }
+
+// ErrBadSweep reports an invalid sweep configuration.
+var ErrBadSweep = errors.New("harness: invalid sweep configuration")
+
+// Run executes the sweep and returns one row per (family, size) in
+// deterministic order (families outer, sizes inner).
+func (s Sweep) Run() ([]SweepRow, error) {
+	if len(s.Families) == 0 || len(s.Sizes) == 0 {
+		return nil, fmt.Errorf("%w: need at least one family and one size", ErrBadSweep)
+	}
+	if !s.Sync && !s.Async {
+		return nil, fmt.Errorf("%w: neither sync nor async requested", ErrBadSweep)
+	}
+	if s.Trials < 1 {
+		return nil, fmt.Errorf("%w: trials = %d", ErrBadSweep, s.Trials)
+	}
+	rows := make([]SweepRow, 0, len(s.Families)*len(s.Sizes))
+	for fi, fam := range s.Families {
+		for si, size := range s.Sizes {
+			g, err := fam.Build(size, s.Seed+uint64(fi*1000+si))
+			if err != nil {
+				return nil, fmt.Errorf("harness: building %s(%d): %w", fam.Name, size, err)
+			}
+			row := SweepRow{Family: fam.Name, N: g.NumNodes(), M: g.NumEdges()}
+			if s.Sync {
+				m, err := MeasureSync(g, 0, s.Protocol, s.Trials, s.Seed+uint64(fi*7+si*13+1), s.Workers)
+				if err != nil {
+					return nil, err
+				}
+				row.SyncTimes = m.Times
+			}
+			if s.Async {
+				m, err := MeasureAsync(g, 0, s.Protocol, s.Trials, s.Seed+uint64(fi*7+si*13+2), s.Workers)
+				if err != nil {
+					return nil, err
+				}
+				row.AsyncTimes = m.Times
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// Table renders sweep rows as an aligned summary table.
+func SweepTable(rows []SweepRow) *stats.Table {
+	tab := stats.NewTable("family", "n", "m", "sync mean", "sync q99", "async mean", "async q99")
+	for i := range rows {
+		r := &rows[i]
+		syncMean, syncQ99 := "-", "-"
+		if len(r.SyncTimes) > 0 {
+			syncMean = fmt.Sprintf("%.3f", stats.Mean(r.SyncTimes))
+			syncQ99 = fmt.Sprintf("%.3f", stats.Quantile(r.SyncTimes, 0.99))
+		}
+		asyncMean, asyncQ99 := "-", "-"
+		if len(r.AsyncTimes) > 0 {
+			asyncMean = fmt.Sprintf("%.3f", stats.Mean(r.AsyncTimes))
+			asyncQ99 = fmt.Sprintf("%.3f", stats.Quantile(r.AsyncTimes, 0.99))
+		}
+		tab.AddRow(r.Family, r.N, r.M, syncMean, syncQ99, asyncMean, asyncQ99)
+	}
+	return tab
+}

@@ -1,0 +1,149 @@
+package harness
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"rumor/internal/core"
+)
+
+func smallFamilies(t *testing.T) []Family {
+	t.Helper()
+	var out []Family
+	for _, name := range []string{"complete", "star"} {
+		f, err := FamilyByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+func TestSweepRun(t *testing.T) {
+	s := Sweep{
+		Families: smallFamilies(t),
+		Sizes:    []int{32, 64},
+		Protocol: core.PushPull,
+		Sync:     true,
+		Async:    true,
+		Trials:   20,
+		Seed:     3,
+	}
+	rows, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	// Deterministic order: families outer, sizes inner.
+	wantOrder := []struct {
+		fam string
+		n   int
+	}{{"complete", 32}, {"complete", 64}, {"star", 32}, {"star", 64}}
+	for i, w := range wantOrder {
+		if rows[i].Family != w.fam || rows[i].N != w.n {
+			t.Fatalf("row %d = (%s, %d), want (%s, %d)", i, rows[i].Family, rows[i].N, w.fam, w.n)
+		}
+		if len(rows[i].SyncTimes) != 20 || len(rows[i].AsyncTimes) != 20 {
+			t.Fatalf("row %d sample sizes wrong", i)
+		}
+		if rows[i].SyncSummary().Mean <= 0 || rows[i].AsyncSummary().Mean <= 0 {
+			t.Fatalf("row %d degenerate summaries", i)
+		}
+	}
+}
+
+func TestSweepSyncOnly(t *testing.T) {
+	s := Sweep{
+		Families: smallFamilies(t)[:1],
+		Sizes:    []int{32},
+		Protocol: core.PushPull,
+		Sync:     true,
+		Trials:   5,
+		Seed:     1,
+	}
+	rows, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].AsyncTimes != nil {
+		t.Fatal("async measured despite not requested")
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	base := Sweep{
+		Families: smallFamilies(t),
+		Sizes:    []int{32},
+		Protocol: core.PushPull,
+		Sync:     true,
+		Trials:   5,
+	}
+	bad := base
+	bad.Families = nil
+	if _, err := bad.Run(); !errors.Is(err, ErrBadSweep) {
+		t.Error("no families accepted")
+	}
+	bad = base
+	bad.Sizes = nil
+	if _, err := bad.Run(); !errors.Is(err, ErrBadSweep) {
+		t.Error("no sizes accepted")
+	}
+	bad = base
+	bad.Sync = false
+	if _, err := bad.Run(); !errors.Is(err, ErrBadSweep) {
+		t.Error("no timing accepted")
+	}
+	bad = base
+	bad.Trials = 0
+	if _, err := bad.Run(); !errors.Is(err, ErrBadSweep) {
+		t.Error("zero trials accepted")
+	}
+}
+
+func TestSweepDeterministic(t *testing.T) {
+	s := Sweep{
+		Families: smallFamilies(t)[:1],
+		Sizes:    []int{48},
+		Protocol: core.PushPull,
+		Sync:     true,
+		Trials:   10,
+		Seed:     9,
+	}
+	a, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a[0].SyncTimes {
+		if a[0].SyncTimes[i] != b[0].SyncTimes[i] {
+			t.Fatal("sweep not deterministic")
+		}
+	}
+}
+
+func TestSweepTable(t *testing.T) {
+	s := Sweep{
+		Families: smallFamilies(t)[:1],
+		Sizes:    []int{32},
+		Protocol: core.PushPull,
+		Sync:     true,
+		Async:    true,
+		Trials:   5,
+		Seed:     2,
+	}
+	rows, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := SweepTable(rows).RenderString()
+	if !strings.Contains(out, "complete") || !strings.Contains(out, "async q99") {
+		t.Fatalf("table malformed:\n%s", out)
+	}
+}

@@ -1,0 +1,209 @@
+// Package spectral estimates graph expansion parameters. The paper notes
+// that Theorem 1 makes the known conductance/expansion upper bounds for
+// synchronous push-pull (Giakkoupis [17, 18]: T_{1/n}(pp) = O(log n / Φ))
+// carry over to the asynchronous protocol; this package provides the
+// Φ-side measurements: the exact conductance for small graphs (Gray-code
+// enumeration of all cuts) and a spectral-gap estimate (power iteration
+// on the lazy random walk) with Cheeger bounds for large ones.
+package spectral
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+
+	"rumor/internal/graph"
+	"rumor/internal/xrand"
+)
+
+// Package errors.
+var (
+	ErrIsolated = errors.New("spectral: graph has isolated vertices")
+	ErrTooLarge = errors.New("spectral: graph too large for exact enumeration")
+	ErrEmpty    = errors.New("spectral: empty or trivial graph")
+)
+
+// SpectralGapLazy estimates 1 - λ₂ of the lazy random walk matrix
+// P = (I + D⁻¹A)/2 by power iteration with deflation (in the symmetrized
+// space D^{-1/2} A D^{-1/2}). iters bounds the iteration count (200 is
+// plenty for the graphs here); the returned gap is in [0, 1].
+//
+// Cheeger's inequalities relate the gap to conductance:
+// gap/2 ≤ ... in lazy form: gap ≤ Φ and Φ²/4 ≤ gap, so
+// gap ≤ Φ ≤ 2·sqrt(gap). (For the lazy walk, 1-λ₂ = (1-λ₂^nonlazy)/2.)
+func SpectralGapLazy(g *graph.Graph, iters int, rng *xrand.RNG) (float64, error) {
+	n := g.NumNodes()
+	if n < 2 {
+		return 0, ErrEmpty
+	}
+	for v := graph.NodeID(0); int(v) < n; v++ {
+		if g.Degree(v) == 0 {
+			return 0, fmt.Errorf("%w: node %d", ErrIsolated, v)
+		}
+	}
+	if iters < 10 {
+		iters = 10
+	}
+	// Top eigenvector of S = (I + D^{-1/2} A D^{-1/2})/2 is
+	// φ_v = sqrt(deg v), normalized; its eigenvalue is 1.
+	phi := make([]float64, n)
+	var norm float64
+	invSqrtDeg := make([]float64, n)
+	for v := 0; v < n; v++ {
+		d := float64(g.Degree(graph.NodeID(v)))
+		phi[v] = math.Sqrt(d)
+		norm += d
+		invSqrtDeg[v] = 1 / math.Sqrt(d)
+	}
+	norm = math.Sqrt(norm)
+	for v := range phi {
+		phi[v] /= norm
+	}
+
+	x := make([]float64, n)
+	for v := range x {
+		x[v] = rng.Float64() - 0.5
+	}
+	y := make([]float64, n)
+	deflate := func(vec []float64) {
+		var dot float64
+		for v := range vec {
+			dot += vec[v] * phi[v]
+		}
+		for v := range vec {
+			vec[v] -= dot * phi[v]
+		}
+	}
+	normalize := func(vec []float64) float64 {
+		var ss float64
+		for _, v := range vec {
+			ss += v * v
+		}
+		s := math.Sqrt(ss)
+		if s == 0 {
+			return 0
+		}
+		for i := range vec {
+			vec[i] /= s
+		}
+		return s
+	}
+	deflate(x)
+	if normalize(x) == 0 {
+		// Degenerate random start; use a deterministic fallback.
+		for v := range x {
+			x[v] = float64(v%3) - 1
+		}
+		deflate(x)
+		normalize(x)
+	}
+	lambda := 0.0
+	for it := 0; it < iters; it++ {
+		// y = S x.
+		for v := 0; v < n; v++ {
+			var acc float64
+			for _, w := range g.Neighbors(graph.NodeID(v)) {
+				acc += x[w] * invSqrtDeg[w]
+			}
+			y[v] = 0.5*x[v] + 0.5*acc*invSqrtDeg[v]
+		}
+		deflate(y)
+		newLambda := 0.0
+		for v := 0; v < n; v++ {
+			newLambda += x[v] * y[v]
+		}
+		if normalize(y) == 0 {
+			// x was (numerically) in the top eigenspace only: λ₂ ≈ 0.
+			return 1, nil
+		}
+		x, y = y, x
+		if it > 10 && math.Abs(newLambda-lambda) < 1e-12 {
+			lambda = newLambda
+			break
+		}
+		lambda = newLambda
+	}
+	gap := 1 - lambda
+	if gap < 0 {
+		gap = 0
+	}
+	if gap > 1 {
+		gap = 1
+	}
+	return gap, nil
+}
+
+// CheegerBounds returns the conductance range implied by a lazy-walk
+// spectral gap: lo = gap, hi = 2·sqrt(gap) (clamped to [0, 1]).
+func CheegerBounds(gap float64) (lo, hi float64) {
+	lo = gap
+	hi = 2 * math.Sqrt(gap)
+	if hi > 1 {
+		hi = 1
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return lo, hi
+}
+
+// ConductanceExact computes Φ(G) = min over cuts S with vol(S) ≤ vol(V)/2
+// of cut(S)/vol(S), by Gray-code enumeration of all 2^n subsets. Only for
+// n ≤ 24 (cost 2^n × O(deg)).
+func ConductanceExact(g *graph.Graph) (float64, error) {
+	n := g.NumNodes()
+	if n < 2 {
+		return 0, ErrEmpty
+	}
+	if n > 24 {
+		return 0, fmt.Errorf("%w: n=%d (max 24)", ErrTooLarge, n)
+	}
+	for v := graph.NodeID(0); int(v) < n; v++ {
+		if g.Degree(v) == 0 {
+			return 0, fmt.Errorf("%w: node %d", ErrIsolated, v)
+		}
+	}
+	totalVol := int64(2 * g.NumEdges())
+	inS := make([]bool, n)
+	var vol, cut int64
+	best := math.Inf(1)
+	// Gray code: subset at step k is gray(k) = k ^ (k >> 1); successive
+	// subsets differ in bit tz = trailing zeros of k.
+	for k := uint64(1); k < uint64(1)<<uint(n); k++ {
+		v := graph.NodeID(bits.TrailingZeros64(k))
+		if inS[v] {
+			// v leaves S.
+			inS[v] = false
+			vol -= int64(g.Degree(v))
+			for _, w := range g.Neighbors(v) {
+				if inS[w] {
+					cut++ // edge v-w becomes crossing
+				} else {
+					cut--
+				}
+			}
+		} else {
+			inS[v] = true
+			vol += int64(g.Degree(v))
+			for _, w := range g.Neighbors(v) {
+				if inS[w] {
+					cut-- // edge v-w becomes internal
+				} else {
+					cut++
+				}
+			}
+		}
+		if vol == 0 || vol == totalVol {
+			continue
+		}
+		denom := vol
+		if totalVol-vol < denom {
+			denom = totalVol - vol
+		}
+		if phi := float64(cut) / float64(denom); phi < best {
+			best = phi
+		}
+	}
+	return best, nil
+}

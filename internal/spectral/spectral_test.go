@@ -1,0 +1,182 @@
+package spectral
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"rumor/internal/graph"
+	"rumor/internal/xrand"
+)
+
+func mustGraph(g *graph.Graph, err error) *graph.Graph {
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestSpectralGapCompleteGraph(t *testing.T) {
+	// K_n: non-lazy normalized adjacency eigenvalues are 1 and -1/(n-1);
+	// lazy second eigenvalue (1 - 1/(n-1))/2, gap = 1/2 + 1/(2(n-1)).
+	for _, n := range []int{4, 10, 25} {
+		g := mustGraph(graph.Complete(n))
+		gap, err := SpectralGapLazy(g, 300, xrand.New(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0.5 + 1/(2*float64(n-1))
+		if math.Abs(gap-want) > 1e-6 {
+			t.Errorf("K_%d gap = %v, want %v", n, gap, want)
+		}
+	}
+}
+
+func TestSpectralGapCycle(t *testing.T) {
+	// Cycle: λ₂(non-lazy) = cos(2π/n); lazy gap = (1 - cos(2π/n))/2.
+	for _, n := range []int{8, 16, 32} {
+		g := mustGraph(graph.Cycle(n))
+		gap, err := SpectralGapLazy(g, 3000, xrand.New(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := (1 - math.Cos(2*math.Pi/float64(n))) / 2
+		if math.Abs(gap-want) > 1e-5 {
+			t.Errorf("C_%d gap = %v, want %v", n, gap, want)
+		}
+	}
+}
+
+func TestSpectralGapHypercube(t *testing.T) {
+	// Q_d: λ₂(non-lazy) = (d-2)/d; lazy gap = 1/d.
+	for _, d := range []int{3, 4, 6} {
+		g := mustGraph(graph.Hypercube(d))
+		gap, err := SpectralGapLazy(g, 2000, xrand.New(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1 / float64(d)
+		if math.Abs(gap-want) > 1e-6 {
+			t.Errorf("Q_%d gap = %v, want %v", d, gap, want)
+		}
+	}
+}
+
+func TestSpectralGapDisconnectedIsZero(t *testing.T) {
+	b := graph.NewBuilder(6)
+	b.AddEdge(0, 1).AddEdge(1, 2).AddEdge(0, 2)
+	b.AddEdge(3, 4).AddEdge(4, 5).AddEdge(3, 5)
+	g := b.MustBuild()
+	gap, err := SpectralGapLazy(g, 500, xrand.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gap > 1e-8 {
+		t.Fatalf("disconnected gap = %v, want 0", gap)
+	}
+}
+
+func TestSpectralGapErrors(t *testing.T) {
+	if _, err := SpectralGapLazy(graph.NewBuilder(1).MustBuild(), 100, xrand.New(1)); !errors.Is(err, ErrEmpty) {
+		t.Error("trivial graph accepted")
+	}
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1) // node 2 isolated
+	if _, err := SpectralGapLazy(b.MustBuild(), 100, xrand.New(1)); !errors.Is(err, ErrIsolated) {
+		t.Error("isolated vertex accepted")
+	}
+}
+
+func TestConductanceExactKnown(t *testing.T) {
+	cases := []struct {
+		build func() (*graph.Graph, error)
+		want  float64
+	}{
+		// K_4: best cut is a balanced split: cut 4 / vol 6 = 2/3.
+		{func() (*graph.Graph, error) { return graph.Complete(4) }, 2.0 / 3},
+		// Path(4): cut the middle edge: 1 / 3.
+		{func() (*graph.Graph, error) { return graph.Path(4) }, 1.0 / 3},
+		// Cycle(8): half arc: cut 2 / vol 8 = 1/4.
+		{func() (*graph.Graph, error) { return graph.Cycle(8) }, 0.25},
+		// Star(5): every cut isolates leaves or the center: Φ = 1.
+		{func() (*graph.Graph, error) { return graph.Star(5) }, 1},
+		// Barbell: two K_4 joined by one edge: cut 1 / vol 13.
+		{func() (*graph.Graph, error) { return graph.Barbell(4, 0) }, 1.0 / 13},
+	}
+	for _, c := range cases {
+		g := mustGraph(c.build())
+		phi, err := ConductanceExact(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(phi-c.want) > 1e-12 {
+			t.Errorf("%v: Φ = %v, want %v", g, phi, c.want)
+		}
+	}
+}
+
+func TestConductanceExactErrors(t *testing.T) {
+	big := mustGraph(graph.Cycle(30))
+	if _, err := ConductanceExact(big); !errors.Is(err, ErrTooLarge) {
+		t.Error("n=30 accepted for exact enumeration")
+	}
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1)
+	if _, err := ConductanceExact(b.MustBuild()); !errors.Is(err, ErrIsolated) {
+		t.Error("isolated vertex accepted")
+	}
+}
+
+func TestCheegerBoundsHoldExactly(t *testing.T) {
+	// On small random connected graphs, gap ≤ Φ ≤ 2√gap must hold
+	// between the exact conductance and the estimated gap.
+	for seed := uint64(0); seed < 6; seed++ {
+		rng := xrand.New(seed)
+		g, err := graph.GNPConnected(14, 0.35, rng, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gap, err := SpectralGapLazy(g, 2000, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		phi, err := ConductanceExact(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, hi := CheegerBounds(gap)
+		const eps = 1e-7
+		if phi < lo-eps || phi > hi+eps {
+			t.Errorf("seed %d: Φ=%v outside Cheeger range [%v, %v] (gap %v)", seed, phi, lo, hi, gap)
+		}
+	}
+}
+
+func TestCheegerBoundsClamped(t *testing.T) {
+	lo, hi := CheegerBounds(1)
+	if hi != 1 || lo != 1 {
+		t.Fatalf("CheegerBounds(1) = (%v, %v)", lo, hi)
+	}
+	lo, hi = CheegerBounds(0)
+	if lo != 0 || hi != 0 {
+		t.Fatalf("CheegerBounds(0) = (%v, %v)", lo, hi)
+	}
+}
+
+func TestSpectralGapDeterministicGivenSeed(t *testing.T) {
+	g := mustGraph(graph.Hypercube(5))
+	a, err := SpectralGapLazy(g, 500, xrand.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SpectralGapLazy(g, 500, xrand.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("gap estimate not deterministic")
+	}
+}
+
+// newTestRNG builds a generator for tests needing one inline.
+func newTestRNG(seed uint64) *xrand.RNG { return xrand.New(seed) }

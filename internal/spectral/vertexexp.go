@@ -1,0 +1,69 @@
+package spectral
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"rumor/internal/graph"
+)
+
+// VertexExpansionExact computes the vertex expansion
+// α(G) = min over nonempty S with |S| ≤ n/2 of |∂S| / |S|, where
+// ∂S = N(S) \ S is the outside neighborhood — the parameter in the
+// paper's reference [18] (Giakkoupis, "Tight bounds for rumor spreading
+// with vertex expansion"), whose upper bounds carry over to pp-a by
+// Theorem 1. Gray-code enumeration over all subsets; n ≤ 24 only.
+func VertexExpansionExact(g *graph.Graph) (float64, error) {
+	n := g.NumNodes()
+	if n < 2 {
+		return 0, ErrEmpty
+	}
+	if n > 24 {
+		return 0, fmt.Errorf("%w: n=%d (max 24)", ErrTooLarge, n)
+	}
+	inS := make([]bool, n)
+	nbrsInS := make([]int32, n)
+	sizeS := 0
+	boundary := 0 // |{w ∉ S : nbrsInS[w] > 0}|
+	best := math.Inf(1)
+	half := n / 2
+	for k := uint64(1); k < uint64(1)<<uint(n); k++ {
+		v := graph.NodeID(bits.TrailingZeros64(k))
+		if inS[v] {
+			// v leaves S.
+			inS[v] = false
+			sizeS--
+			for _, w := range g.Neighbors(v) {
+				nbrsInS[w]--
+				if !inS[w] && nbrsInS[w] == 0 {
+					boundary--
+				}
+			}
+			// v itself may now be in the boundary.
+			if nbrsInS[v] > 0 {
+				boundary++
+			}
+		} else {
+			// v joins S.
+			inS[v] = true
+			sizeS++
+			if nbrsInS[v] > 0 {
+				boundary-- // v was a boundary vertex; now inside
+			}
+			for _, w := range g.Neighbors(v) {
+				nbrsInS[w]++
+				if !inS[w] && nbrsInS[w] == 1 {
+					boundary++
+				}
+			}
+		}
+		if sizeS == 0 || sizeS > half {
+			continue
+		}
+		if alpha := float64(boundary) / float64(sizeS); alpha < best {
+			best = alpha
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,84 @@
+package spectral
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"rumor/internal/graph"
+)
+
+func TestVertexExpansionKnown(t *testing.T) {
+	cases := []struct {
+		build func() (*graph.Graph, error)
+		want  float64
+	}{
+		// K_6: any S with |S| = 3 has ∂S = 3: α = 1.
+		{func() (*graph.Graph, error) { return graph.Complete(6) }, 1},
+		// Path(6): S = {0,1,2}: ∂ = {3}: 1/3.
+		{func() (*graph.Graph, error) { return graph.Path(6) }, 1.0 / 3},
+		// Cycle(8): S = arc of 4: ∂ = 2: 1/2.
+		{func() (*graph.Graph, error) { return graph.Cycle(8) }, 0.5},
+		// Star(9): S = 4 leaves: ∂ = {center}: 1/4.
+		{func() (*graph.Graph, error) { return graph.Star(9) }, 0.25},
+		// Barbell(4,0): S = one K_4: ∂ = 1 (the far bridge endpoint): 1/4.
+		{func() (*graph.Graph, error) { return graph.Barbell(4, 0) }, 0.25},
+	}
+	for _, c := range cases {
+		g := mustGraph(c.build())
+		alpha, err := VertexExpansionExact(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(alpha-c.want) > 1e-12 {
+			t.Errorf("%v: α = %v, want %v", g, alpha, c.want)
+		}
+	}
+}
+
+func TestVertexExpansionErrors(t *testing.T) {
+	if _, err := VertexExpansionExact(mustGraph(graph.Cycle(30))); !errors.Is(err, ErrTooLarge) {
+		t.Error("n=30 accepted")
+	}
+	if _, err := VertexExpansionExact(graph.NewBuilder(1).MustBuild()); !errors.Is(err, ErrEmpty) {
+		t.Error("trivial graph accepted")
+	}
+}
+
+func TestVertexExpansionDisconnectedIsZero(t *testing.T) {
+	b := graph.NewBuilder(6)
+	b.AddEdge(0, 1).AddEdge(1, 2).AddEdge(3, 4).AddEdge(4, 5)
+	g := b.MustBuild()
+	alpha, err := VertexExpansionExact(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alpha != 0 {
+		t.Fatalf("disconnected α = %v, want 0", alpha)
+	}
+}
+
+func TestVertexExpansionAtMostConductanceTimesMaxDeg(t *testing.T) {
+	// Sanity cross-check on small random graphs: α ≤ Φ · maxdeg (both
+	// measure bottlenecks; the vertex boundary is at most the edge
+	// boundary, and vol(S) ≤ |S|·maxdeg gives the relation
+	// Φ = cut/vol ≥ |∂S|/(|S|·maxdeg) ≥ α/maxdeg... i.e. α ≤ Φ·maxdeg).
+	for seed := uint64(0); seed < 5; seed++ {
+		g, err := graph.GNPConnected(12, 0.4, newTestRNG(seed), 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alpha, err := VertexExpansionExact(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		phi, err := ConductanceExact(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxDeg := float64(g.MaxDegree())
+		if alpha > phi*maxDeg+1e-9 {
+			t.Errorf("seed %d: α=%v > Φ·maxdeg=%v", seed, alpha, phi*maxDeg)
+		}
+	}
+}

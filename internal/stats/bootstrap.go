@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"math"
+
+	"rumor/internal/xrand"
+)
+
+// CI is a two-sided confidence interval.
+type CI struct {
+	Lo, Hi float64
+}
+
+// Contains reports whether x lies inside the interval.
+func (c CI) Contains(x float64) bool { return x >= c.Lo && x <= c.Hi }
+
+// BootstrapMeanCI returns a percentile-bootstrap confidence interval for
+// the mean of xs at the given confidence level (e.g. 0.95), using resamples
+// resampling rounds. It returns a degenerate interval for samples of
+// size < 2.
+func BootstrapMeanCI(xs []float64, confidence float64, resamples int, rng *xrand.RNG) CI {
+	if len(xs) < 2 {
+		m := Mean(xs)
+		return CI{Lo: m, Hi: m}
+	}
+	if resamples < 10 {
+		resamples = 10
+	}
+	means := make([]float64, resamples)
+	n := len(xs)
+	for r := 0; r < resamples; r++ {
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += xs[rng.Intn(n)]
+		}
+		means[r] = sum / float64(n)
+	}
+	alpha := 1 - confidence
+	return CI{
+		Lo: Quantile(means, alpha/2),
+		Hi: Quantile(means, 1-alpha/2),
+	}
+}
+
+// NormalMeanCI returns the normal-approximation confidence interval for
+// the mean (mean ± z·stderr) at the given confidence level.
+func NormalMeanCI(xs []float64, confidence float64) CI {
+	m := Mean(xs)
+	se := StdErr(xs)
+	z := normalQuantile(0.5 + confidence/2)
+	return CI{Lo: m - z*se, Hi: m + z*se}
+}
+
+// normalQuantile computes the standard normal quantile via the
+// Acklam/Beasley-Springer-Moro rational approximation (absolute error
+// below 1.2e-9 over (0,1)).
+func normalQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02,
+		-2.759285104469687e+02, 1.383577518672690e+02,
+		-3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02,
+		-1.556989798598866e+02, 6.680131188771972e+01,
+		-1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01,
+		-2.400758277161838e+00, -2.549732539343734e+00,
+		4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01,
+		2.445134137142996e+00, 3.754408661907416e+00}
+	const pLow = 0.02425
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-pLow:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+}

@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// KSResult reports a two-sample Kolmogorov–Smirnov test.
+type KSResult struct {
+	// Statistic is the supremum distance between the two empirical CDFs.
+	Statistic float64
+	// PValue is the asymptotic two-sided p-value (Kolmogorov
+	// distribution approximation). Small values reject the hypothesis
+	// that both samples come from the same distribution.
+	PValue float64
+}
+
+// KolmogorovSmirnov computes the two-sample KS statistic and asymptotic
+// p-value for samples xs and ys. Inputs are not modified. Empty samples
+// yield a degenerate result with PValue 1.
+func KolmogorovSmirnov(xs, ys []float64) KSResult {
+	if len(xs) == 0 || len(ys) == 0 {
+		return KSResult{Statistic: 0, PValue: 1}
+	}
+	sx := append([]float64(nil), xs...)
+	sy := append([]float64(nil), ys...)
+	sort.Float64s(sx)
+	sort.Float64s(sy)
+	nx, ny := float64(len(sx)), float64(len(sy))
+	var d float64
+	i, j := 0, 0
+	for i < len(sx) && j < len(sy) {
+		var t float64
+		if sx[i] <= sy[j] {
+			t = sx[i]
+		} else {
+			t = sy[j]
+		}
+		for i < len(sx) && sx[i] <= t {
+			i++
+		}
+		for j < len(sy) && sy[j] <= t {
+			j++
+		}
+		diff := math.Abs(float64(i)/nx - float64(j)/ny)
+		if diff > d {
+			d = diff
+		}
+	}
+	ne := nx * ny / (nx + ny)
+	lambda := (math.Sqrt(ne) + 0.12 + 0.11/math.Sqrt(ne)) * d
+	return KSResult{Statistic: d, PValue: ksProbability(lambda)}
+}
+
+// ksProbability returns Q_KS(λ) = 2 Σ_{k>=1} (-1)^{k-1} e^{-2k²λ²}, the
+// asymptotic tail probability of the Kolmogorov distribution.
+func ksProbability(lambda float64) float64 {
+	if lambda <= 0 {
+		return 1
+	}
+	sum := 0.0
+	sign := 1.0
+	for k := 1; k <= 100; k++ {
+		term := math.Exp(-2 * float64(k*k) * lambda * lambda)
+		sum += sign * term
+		sign = -sign
+		if term < 1e-12 {
+			break
+		}
+	}
+	p := 2 * sum
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// SameDistribution reports whether the KS test fails to reject equality
+// at significance level alpha (i.e. the samples look alike).
+func SameDistribution(xs, ys []float64, alpha float64) bool {
+	return KolmogorovSmirnov(xs, ys).PValue >= alpha
+}

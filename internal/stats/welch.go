@@ -1,0 +1,61 @@
+package stats
+
+import "math"
+
+// WelchResult reports Welch's unequal-variance t-test for the difference
+// of two sample means.
+type WelchResult struct {
+	// T is the test statistic (positive when mean(xs) > mean(ys)).
+	T float64
+	// DF is the Welch–Satterthwaite degrees of freedom.
+	DF float64
+	// PValue is the two-sided p-value under a normal approximation to
+	// the t distribution — accurate for the large samples (≥ 30 per
+	// side) the harness produces.
+	PValue float64
+}
+
+// WelchT runs Welch's t-test on two samples. Samples of size < 2 yield a
+// degenerate result with PValue 1.
+func WelchT(xs, ys []float64) WelchResult {
+	if len(xs) < 2 || len(ys) < 2 {
+		return WelchResult{PValue: 1}
+	}
+	sx, sy := Summarize(xs), Summarize(ys)
+	vx := sx.Variance / float64(sx.N)
+	vy := sy.Variance / float64(sy.N)
+	se := math.Sqrt(vx + vy)
+	if se == 0 {
+		if sx.Mean == sy.Mean {
+			return WelchResult{PValue: 1}
+		}
+		return WelchResult{T: math.Inf(sign(sx.Mean - sy.Mean)), PValue: 0}
+	}
+	t := (sx.Mean - sy.Mean) / se
+	df := (vx + vy) * (vx + vy) /
+		(vx*vx/float64(sx.N-1) + vy*vy/float64(sy.N-1))
+	// Two-sided normal-approximation p-value.
+	p := 2 * normalTail(math.Abs(t))
+	if p > 1 {
+		p = 1
+	}
+	return WelchResult{T: t, DF: df, PValue: p}
+}
+
+// MeansDiffer reports whether the two sample means differ significantly
+// at level alpha.
+func MeansDiffer(xs, ys []float64, alpha float64) bool {
+	return WelchT(xs, ys).PValue < alpha
+}
+
+// normalTail returns P[Z > z] for standard normal Z.
+func normalTail(z float64) float64 {
+	return 0.5 * math.Erfc(z/math.Sqrt2)
+}
+
+func sign(x float64) int {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}

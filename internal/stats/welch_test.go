@@ -1,0 +1,83 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"rumor/internal/xrand"
+)
+
+func TestWelchTSameDistribution(t *testing.T) {
+	rng := xrand.New(50)
+	xs := make([]float64, 500)
+	ys := make([]float64, 500)
+	for i := range xs {
+		xs[i] = rng.Exp(1)
+		ys[i] = rng.Exp(1)
+	}
+	res := WelchT(xs, ys)
+	if res.PValue < 0.01 {
+		t.Fatalf("Welch rejected identical means: p=%v t=%v", res.PValue, res.T)
+	}
+	if MeansDiffer(xs, ys, 0.01) {
+		t.Fatal("MeansDiffer true for identical distributions")
+	}
+}
+
+func TestWelchTDifferentMeans(t *testing.T) {
+	rng := xrand.New(51)
+	xs := make([]float64, 400)
+	ys := make([]float64, 400)
+	for i := range xs {
+		xs[i] = rng.Exp(1)     // mean 1
+		ys[i] = rng.Exp(1) * 2 // mean 2
+	}
+	res := WelchT(xs, ys)
+	if res.PValue > 1e-6 {
+		t.Fatalf("Welch failed to detect 2x mean difference: p=%v", res.PValue)
+	}
+	if res.T >= 0 {
+		t.Fatalf("sign wrong: t=%v for mean(xs) < mean(ys)", res.T)
+	}
+	if !MeansDiffer(xs, ys, 0.01) {
+		t.Fatal("MeansDiffer false for clearly different means")
+	}
+}
+
+func TestWelchTDegenerate(t *testing.T) {
+	if res := WelchT([]float64{1}, []float64{1, 2, 3}); res.PValue != 1 {
+		t.Fatalf("tiny sample p = %v", res.PValue)
+	}
+	// Zero variance, equal means.
+	if res := WelchT([]float64{2, 2, 2}, []float64{2, 2}); res.PValue != 1 {
+		t.Fatalf("identical constants p = %v", res.PValue)
+	}
+	// Zero variance, different means.
+	if res := WelchT([]float64{2, 2}, []float64{3, 3}); res.PValue != 0 {
+		t.Fatalf("distinct constants p = %v", res.PValue)
+	}
+}
+
+func TestWelchTDF(t *testing.T) {
+	// Equal sizes and variances: df ≈ n1 + n2 - 2.
+	rng := xrand.New(52)
+	xs := make([]float64, 100)
+	ys := make([]float64, 100)
+	for i := range xs {
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+	}
+	res := WelchT(xs, ys)
+	if res.DF < 150 || res.DF > 200 {
+		t.Fatalf("df = %v, want ~198", res.DF)
+	}
+}
+
+func TestNormalTail(t *testing.T) {
+	if got := normalTail(0); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("normalTail(0) = %v", got)
+	}
+	if got := normalTail(1.959964); math.Abs(got-0.025) > 1e-4 {
+		t.Fatalf("normalTail(1.96) = %v", got)
+	}
+}

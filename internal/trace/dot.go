@@ -1,0 +1,39 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteDOT writes the spreading tree in Graphviz DOT format: one directed
+// edge per informing (first-informer tree), nodes labelled with their
+// informing time. Render with e.g. `dot -Tsvg spread.dot -o spread.svg`.
+func (t *Trace) WriteDOT(w io.Writer, name string) error {
+	if name == "" {
+		name = "spread"
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "digraph %q {\n  rankdir=TB;\n  node [shape=circle, fontsize=10];\n", name); err != nil {
+		return err
+	}
+	for v := 0; v < t.n; v++ {
+		p := t.parent[v]
+		if p == -2 {
+			continue
+		}
+		if p == -1 {
+			if _, err := fmt.Fprintf(bw, "  %d [label=\"%d\\nt=0\", style=filled, fillcolor=gold];\n", v, v); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(bw, "  %d [label=\"%d\\nt=%.3g\"];\n  %d -> %d;\n", v, v, t.time[v], p, v); err != nil {
+			return err
+		}
+	}
+	if _, err := io.WriteString(bw, "}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

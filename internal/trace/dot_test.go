@@ -1,0 +1,60 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"rumor/internal/core"
+	"rumor/internal/graph"
+	"rumor/internal/xrand"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g, err := graph.Star(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder()
+	if _, err := core.RunSync(g, 0, core.SyncConfig{Protocol: core.PushPull, Observer: rec}, xrand.New(1)); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := rec.Build(g.NumNodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := tr.WriteDOT(&sb, "star"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "digraph \"star\"") {
+		t.Fatalf("missing digraph header:\n%s", out)
+	}
+	if !strings.Contains(out, "fillcolor=gold") {
+		t.Fatal("source not highlighted")
+	}
+	// One tree edge per informed non-source node.
+	edges := strings.Count(out, "->")
+	if edges != tr.NumInformed()-1 {
+		t.Fatalf("%d edges for %d informed nodes", edges, tr.NumInformed())
+	}
+	if !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Fatal("unterminated graph")
+	}
+}
+
+func TestWriteDOTDefaultName(t *testing.T) {
+	rec := NewRecorder()
+	rec.OnInformed(0, 0, -1)
+	tr, err := rec.Build(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := tr.WriteDOT(&sb, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "digraph \"spread\"") {
+		t.Fatal("default name not applied")
+	}
+}

@@ -1,0 +1,190 @@
+// Package trace records rumor spreading executions: which node informed
+// which, and when. A Recorder plugs into the core engines as an Observer;
+// the resulting Trace exposes the spreading tree (first-informer tree) and
+// rumor paths, which the paper's proofs reason about (the paths π_v in
+// Lemmas 9 and 10).
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"rumor/internal/graph"
+)
+
+// Event is one informing: node V learned the rumor from node From at Time
+// (rounds for synchronous processes, continuous time for asynchronous
+// ones). The source has From == -1 and Time == 0.
+type Event struct {
+	Time float64
+	V    graph.NodeID
+	From graph.NodeID
+}
+
+// Recorder implements core.Observer, collecting informing events in order.
+type Recorder struct {
+	events []Event
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// OnInformed records one informing event.
+func (r *Recorder) OnInformed(time float64, v, from graph.NodeID) {
+	r.events = append(r.events, Event{Time: time, V: v, From: from})
+}
+
+// Reset clears recorded events so the recorder can be reused.
+func (r *Recorder) Reset() { r.events = r.events[:0] }
+
+// Build converts the recorded events into an immutable Trace for a graph
+// with n nodes. It returns an error if events are inconsistent (duplicate
+// informings, unknown nodes, missing source).
+func (r *Recorder) Build(n int) (*Trace, error) {
+	t := &Trace{
+		n:      n,
+		parent: make([]graph.NodeID, n),
+		time:   make([]float64, n),
+		events: append([]Event(nil), r.events...),
+	}
+	t.source = -1
+	for i := range t.parent {
+		t.parent[i] = -2 // -2 = never informed
+		t.time[i] = -1
+	}
+	for _, e := range r.events {
+		if e.V < 0 || int(e.V) >= n {
+			return nil, fmt.Errorf("trace: event for out-of-range node %d", e.V)
+		}
+		if t.parent[e.V] != -2 {
+			return nil, fmt.Errorf("trace: node %d informed twice", e.V)
+		}
+		if e.From == -1 {
+			if t.source >= 0 {
+				return nil, fmt.Errorf("trace: two sources (%d and %d)", t.source, e.V)
+			}
+			t.source = e.V
+		} else if e.From < 0 || int(e.From) >= n {
+			return nil, fmt.Errorf("trace: event from out-of-range node %d", e.From)
+		}
+		t.parent[e.V] = e.From
+		t.time[e.V] = e.Time
+	}
+	if t.source < 0 {
+		return nil, fmt.Errorf("trace: no source event recorded")
+	}
+	return t, nil
+}
+
+// Trace is an immutable record of one spreading execution.
+type Trace struct {
+	n      int
+	source graph.NodeID
+	parent []graph.NodeID // -2 if never informed; -1 for the source
+	time   []float64
+	events []Event
+}
+
+// Source returns the source node.
+func (t *Trace) Source() graph.NodeID { return t.source }
+
+// NumInformed returns how many nodes were informed (including the source).
+func (t *Trace) NumInformed() int {
+	count := 0
+	for _, p := range t.parent {
+		if p != -2 {
+			count++
+		}
+	}
+	return count
+}
+
+// Informed reports whether v was informed.
+func (t *Trace) Informed(v graph.NodeID) bool { return t.parent[v] != -2 }
+
+// TimeOf returns the time v was informed, or -1 if never.
+func (t *Trace) TimeOf(v graph.NodeID) float64 { return t.time[v] }
+
+// ParentOf returns the node v first received the rumor from, -1 for the
+// source, or -2 if v was never informed.
+func (t *Trace) ParentOf(v graph.NodeID) graph.NodeID { return t.parent[v] }
+
+// Events returns the recorded events in informing order. The returned
+// slice must not be modified.
+func (t *Trace) Events() []Event { return t.events }
+
+// Path returns the rumor path π_v = (source, ..., v): the chain of
+// first-informers through which the rumor reached v. It returns nil if v
+// was never informed.
+func (t *Trace) Path(v graph.NodeID) []graph.NodeID {
+	if !t.Informed(v) {
+		return nil
+	}
+	var rev []graph.NodeID
+	for u := v; u != -1; u = t.parent[u] {
+		rev = append(rev, u)
+		if len(rev) > t.n {
+			panic("trace: parent cycle")
+		}
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Depth returns the length (number of hops) of the rumor path to v, or -1
+// if v was never informed.
+func (t *Trace) Depth(v graph.NodeID) int {
+	p := t.Path(v)
+	if p == nil {
+		return -1
+	}
+	return len(p) - 1
+}
+
+// MaxDepth returns the maximum rumor-path depth over informed nodes.
+func (t *Trace) MaxDepth() int {
+	depth := make([]int, t.n)
+	for i := range depth {
+		depth[i] = -1
+	}
+	// Events are recorded in informing order, so parents precede children.
+	max := 0
+	for _, e := range t.events {
+		if e.From == -1 {
+			depth[e.V] = 0
+			continue
+		}
+		depth[e.V] = depth[e.From] + 1
+		if depth[e.V] > max {
+			max = depth[e.V]
+		}
+	}
+	return max
+}
+
+// Children returns the spreading tree as a child-list per node.
+func (t *Trace) Children() [][]graph.NodeID {
+	kids := make([][]graph.NodeID, t.n)
+	for v := 0; v < t.n; v++ {
+		p := t.parent[v]
+		if p >= 0 {
+			kids[p] = append(kids[p], graph.NodeID(v))
+		}
+	}
+	return kids
+}
+
+// InformingTimes returns the sorted times of all informing events
+// (including the source's time 0).
+func (t *Trace) InformingTimes() []float64 {
+	var out []float64
+	for v := 0; v < t.n; v++ {
+		if t.parent[v] != -2 {
+			out = append(out, t.time[v])
+		}
+	}
+	sort.Float64s(out)
+	return out
+}

@@ -1,0 +1,208 @@
+package trace
+
+import (
+	"testing"
+
+	"rumor/internal/core"
+	"rumor/internal/graph"
+	"rumor/internal/xrand"
+)
+
+func TestRecorderBuildFromSyncRun(t *testing.T) {
+	g, err := graph.Hypercube(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder()
+	res, err := core.RunSync(g, 3, core.SyncConfig{Protocol: core.PushPull, Observer: rec}, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := rec.Build(g.NumNodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Source() != 3 {
+		t.Fatalf("source = %d", tr.Source())
+	}
+	if tr.NumInformed() != res.NumInformed {
+		t.Fatalf("trace informed %d, result %d", tr.NumInformed(), res.NumInformed)
+	}
+	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+		if float64(res.InformedAt[v]) != tr.TimeOf(v) {
+			t.Fatalf("time mismatch at %d: %d vs %v", v, res.InformedAt[v], tr.TimeOf(v))
+		}
+		if res.Parent[v] == -1 && v != 3 {
+			continue
+		}
+		if v != 3 && tr.ParentOf(v) != res.Parent[v] {
+			t.Fatalf("parent mismatch at %d", v)
+		}
+	}
+}
+
+func TestTracePathsEndAtSource(t *testing.T) {
+	g, err := graph.Complete(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder()
+	if _, err := core.RunAsync(g, 7, core.AsyncConfig{Protocol: core.PushPull, Observer: rec}, xrand.New(2)); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := rec.Build(g.NumNodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+		p := tr.Path(v)
+		if p == nil {
+			t.Fatalf("no path to informed node %d", v)
+		}
+		if p[0] != 7 || p[len(p)-1] != v {
+			t.Fatalf("path endpoints wrong: %v", p)
+		}
+		// Consecutive path nodes are graph neighbors.
+		for i := 1; i < len(p); i++ {
+			if !g.HasEdge(p[i-1], p[i]) {
+				t.Fatalf("path step (%d,%d) is not an edge", p[i-1], p[i])
+			}
+		}
+		if tr.Depth(v) != len(p)-1 {
+			t.Fatalf("depth %d != len(path)-1", tr.Depth(v))
+		}
+	}
+}
+
+func TestTraceMaxDepthConsistent(t *testing.T) {
+	g, err := graph.Path(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder()
+	if _, err := core.RunSync(g, 0, core.SyncConfig{Protocol: core.PushPull, Observer: rec}, xrand.New(3)); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := rec.Build(g.NumNodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On a path from an end, the rumor chain to the far end is the path
+	// itself: MaxDepth = n-1.
+	if tr.MaxDepth() != 11 {
+		t.Fatalf("max depth on path = %d, want 11", tr.MaxDepth())
+	}
+	max := 0
+	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+		if d := tr.Depth(v); d > max {
+			max = d
+		}
+	}
+	if max != tr.MaxDepth() {
+		t.Fatalf("MaxDepth %d != max over Depth %d", tr.MaxDepth(), max)
+	}
+}
+
+func TestTraceChildrenFormTree(t *testing.T) {
+	g, err := graph.Complete(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder()
+	if _, err := core.RunSync(g, 0, core.SyncConfig{Protocol: core.PushPull, Observer: rec}, xrand.New(4)); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := rec.Build(g.NumNodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kids := tr.Children()
+	edges := 0
+	for _, c := range kids {
+		edges += len(c)
+	}
+	if edges != tr.NumInformed()-1 {
+		t.Fatalf("tree has %d edges for %d informed nodes", edges, tr.NumInformed())
+	}
+}
+
+func TestTraceInformingTimesSorted(t *testing.T) {
+	g, err := graph.Complete(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder()
+	if _, err := core.RunAsync(g, 0, core.AsyncConfig{Protocol: core.PushPull, Observer: rec}, xrand.New(5)); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := rec.Build(g.NumNodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := tr.InformingTimes()
+	if len(times) != 25 {
+		t.Fatalf("got %d times", len(times))
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] < times[i-1] {
+			t.Fatal("informing times unsorted")
+		}
+	}
+}
+
+func TestRecorderReset(t *testing.T) {
+	rec := NewRecorder()
+	rec.OnInformed(0, 0, -1)
+	rec.Reset()
+	rec.OnInformed(0, 1, -1)
+	tr, err := rec.Build(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Source() != 1 {
+		t.Fatalf("source after reset = %d", tr.Source())
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		events []Event
+	}{
+		{"no source", []Event{{Time: 1, V: 0, From: 1}}},
+		{"double inform", []Event{{0, 0, -1}, {1, 1, 0}, {2, 1, 0}}},
+		{"two sources", []Event{{0, 0, -1}, {0, 1, -1}}},
+		{"out of range", []Event{{0, 9, -1}}},
+		{"bad from", []Event{{0, 0, -1}, {1, 1, 9}}},
+	}
+	for _, c := range cases {
+		rec := NewRecorder()
+		for _, e := range c.events {
+			rec.OnInformed(e.Time, e.V, e.From)
+		}
+		if _, err := rec.Build(3); err == nil {
+			t.Errorf("%s: Build succeeded", c.name)
+		}
+	}
+}
+
+func TestTraceUninformedQueries(t *testing.T) {
+	rec := NewRecorder()
+	rec.OnInformed(0, 0, -1)
+	tr, err := rec.Build(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Informed(1) {
+		t.Fatal("node 1 reported informed")
+	}
+	if tr.Path(1) != nil {
+		t.Fatal("path to uninformed node")
+	}
+	if tr.Depth(1) != -1 {
+		t.Fatal("depth of uninformed node")
+	}
+	if tr.ParentOf(1) != -2 {
+		t.Fatal("parent of uninformed node")
+	}
+}

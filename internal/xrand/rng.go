@@ -1,0 +1,198 @@
+// Package xrand provides a small, fast, deterministic random number
+// generator substrate for the simulation engines.
+//
+// The generator is xoshiro256** seeded through splitmix64. It is not
+// cryptographically secure; it is chosen for speed, statistical quality,
+// and reproducibility. Every simulation in this repository is a pure
+// function of (inputs, seed): parallel trials derive independent child
+// streams with Child, so results do not depend on goroutine scheduling.
+package xrand
+
+import (
+	"math"
+	"math/bits"
+)
+
+// RNG is a deterministic pseudo-random number generator
+// (xoshiro256** with 256 bits of state).
+//
+// The zero value is not valid; construct with New.
+// RNG is not safe for concurrent use; give each goroutine its own
+// instance (see Child).
+type RNG struct {
+	s0, s1, s2, s3 uint64
+}
+
+// New returns a generator seeded from seed via splitmix64, which maps any
+// seed (including 0) to a well-mixed nondegenerate state.
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed resets the generator state as if freshly constructed with New(seed).
+func (r *RNG) Seed(seed uint64) {
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	r.s0, r.s1, r.s2, r.s3 = next(), next(), next(), next()
+	// The all-zero state is the only invalid one; splitmix64 cannot
+	// produce four zero outputs in a row, but guard regardless.
+	if r.s0|r.s1|r.s2|r.s3 == 0 {
+		r.s3 = 1
+	}
+}
+
+// Child derives an independent generator stream from the current generator
+// state and the stream index i. Deriving children with distinct indices
+// from the same parent yields streams that are independent for all
+// practical simulation purposes. The parent's state is not advanced, so
+// Child(i) is reproducible.
+func (r *RNG) Child(i uint64) *RNG {
+	// Mix the parent state with the index through splitmix64 of a
+	// combined seed. Using two rounds of mixing on distinct state words
+	// avoids correlated children for adjacent indices.
+	seed := r.s0 ^ (r.s2 * 0x9e3779b97f4a7c15) ^ (i+1)*0xd1342543de82ef95
+	return New(seed)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns a uniformly distributed 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s1*5, 7) * 9
+	t := r.s1 << 17
+	r.s2 ^= r.s0
+	r.s3 ^= r.s1
+	r.s1 ^= r.s2
+	r.s0 ^= r.s3
+	r.s2 ^= t
+	r.s3 = rotl(r.s3, 45)
+	return result
+}
+
+// Uint64n returns a uniform value in [0, n). It panics if n == 0.
+// It uses Lemire's multiply-shift rejection method, which is unbiased.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n with n == 0")
+	}
+	// Fast path for powers of two.
+	if n&(n-1) == 0 {
+		return r.Uint64() & (n - 1)
+	}
+	x := r.Uint64()
+	hi, lo := bits.Mul64(x, n)
+	if lo < n {
+		thresh := (-n) % n
+		for lo < thresh {
+			x = r.Uint64()
+			hi, lo = bits.Mul64(x, n)
+		}
+	}
+	return hi
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Int32n returns a uniform int32 in [0, n). It panics if n <= 0.
+func (r *RNG) Int32n(n int32) int32 {
+	if n <= 0 {
+		panic("xrand: Int32n with n <= 0")
+	}
+	return int32(r.Uint64n(uint64(n)))
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Float64Open returns a uniform value in the open interval (0, 1),
+// suitable for inverse-CDF sampling where log(0) must be avoided.
+func (r *RNG) Float64Open() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return u
+		}
+	}
+}
+
+// Exp returns an exponentially distributed value with rate lambda
+// (mean 1/lambda), via inverse-CDF sampling. It panics if lambda <= 0.
+func (r *RNG) Exp(lambda float64) float64 {
+	if lambda <= 0 {
+		panic("xrand: Exp with lambda <= 0")
+	}
+	return -math.Log(r.Float64Open()) / lambda
+}
+
+// Geometric returns a geometrically distributed value with success
+// probability p: the number of Bernoulli(p) trials up to and including the
+// first success (support {1, 2, ...}). It panics unless 0 < p <= 1.
+func (r *RNG) Geometric(p float64) int64 {
+	if p <= 0 || p > 1 {
+		panic("xrand: Geometric with p outside (0, 1]")
+	}
+	if p == 1 {
+		return 1
+	}
+	// Inverse CDF: ceil(log(1-U) / log(1-p)).
+	u := r.Float64Open()
+	g := math.Ceil(math.Log(u) / math.Log1p(-p))
+	if g < 1 {
+		g = 1
+	}
+	return int64(g)
+}
+
+// Bernoulli returns true with probability p.
+func (r *RNG) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Perm returns a pseudo-random permutation of [0, n) as a slice.
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := 1; i < n; i++ {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle performs a Fisher-Yates shuffle of n elements using swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Shuffle32 shuffles a slice of int32 in place.
+func (r *RNG) Shuffle32(s []int32) {
+	for i := len(s) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		s[i], s[j] = s[j], s[i]
+	}
+}
