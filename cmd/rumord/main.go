@@ -1,0 +1,119 @@
+// Command rumord serves rumor-spreading simulation jobs over HTTP: a
+// bounded worker pool executes batches of simulation cells with
+// deterministic seeding, a two-tier cache (cell results + constructed
+// graphs) exploits the purity of every measurement, and results stream
+// back as NDJSON while a job runs.
+//
+// Example session:
+//
+//	rumord -addr :8080 &
+//	curl -s localhost:8080/v1/jobs -d '{
+//	    "families": ["hypercube", "complete"], "sizes": [256, 1024],
+//	    "protocols": ["push-pull"], "timings": ["sync", "async"],
+//	    "trials": 100, "seed": 1}'
+//	curl -s localhost:8080/v1/jobs/job-00000001
+//	curl -sN localhost:8080/v1/jobs/job-00000001/results
+//	curl -s localhost:8080/metricsz
+//
+// SIGINT/SIGTERM drains gracefully: in-flight and queued cells finish
+// (up to -drain-timeout), then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rumor/internal/service"
+)
+
+// onListen, when non-nil, receives the bound listen address (test hook
+// for -addr :0).
+var onListen func(net.Addr)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rumord:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rumord", flag.ContinueOnError)
+	var (
+		addr         = fs.String("addr", ":8080", "listen address")
+		workers      = fs.Int("workers", 0, "cell worker pool size (0 = all cores)")
+		trialWorkers = fs.Int("trial-workers", 1, "per-cell trial parallelism")
+		queueLimit   = fs.Int("queue", 4096, "max pending cells before submits are rejected")
+		resultCap    = fs.Int("result-cache", 4096, "cell result LRU capacity (0 disables the tier)")
+		graphCap     = fs.Int("graph-cache", 64, "constructed graph LRU capacity (0 disables the tier)")
+		jobRetention = fs.Int("job-retention", 256, "terminal jobs kept for status/result queries")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "max time to drain on shutdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var results *service.ResultCache
+	if *resultCap > 0 {
+		results = service.NewResultCache(*resultCap)
+	}
+	var graphs *service.GraphCache
+	if *graphCap > 0 {
+		graphs = service.NewGraphCache(*graphCap)
+	}
+	sched := service.NewScheduler(service.SchedulerConfig{
+		Workers:      *workers,
+		QueueLimit:   *queueLimit,
+		TrialWorkers: *trialWorkers,
+		JobRetention: *jobRetention,
+		Results:      results,
+		Graphs:       graphs,
+	})
+	srv := &http.Server{Addr: *addr, Handler: service.NewServer(sched)}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("rumord: listening on %s", ln.Addr())
+	if onListen != nil {
+		onListen(ln.Addr())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Printf("rumord: draining (timeout %s)", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Printf("rumord: http shutdown: %v", err)
+	}
+	if err := sched.Shutdown(drainCtx); err != nil {
+		log.Printf("rumord: scheduler drain cut short: %v", err)
+	} else {
+		log.Printf("rumord: drained cleanly")
+	}
+	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"rumor/internal/service"
+)
+
+// End-to-end daemon lifecycle: rumord starts on an ephemeral port,
+// accepts a job over HTTP, streams NDJSON results, and drains cleanly
+// when the process receives SIGTERM.
+func TestRumordServesAndDrainsOnSIGTERM(t *testing.T) {
+	addrCh := make(chan net.Addr, 1)
+	onListen = func(a net.Addr) { addrCh <- a }
+	defer func() { onListen = nil }()
+
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run([]string{"-addr", "127.0.0.1:0", "-workers", "2", "-drain-timeout", "30s"})
+	}()
+	var base string
+	select {
+	case addr := <-addrCh:
+		base = "http://" + addr.String()
+	case err := <-errCh:
+		t.Fatalf("rumord exited before listening: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("rumord did not start listening")
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	spec := `{"families":["hypercube","complete"],"sizes":[64],` +
+		`"protocols":["push-pull"],"timings":["sync","async"],"trials":10,"seed":3}`
+	resp, err = http.Post(base+"/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st service.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || st.CellsTotal != 4 {
+		t.Fatalf("submit: status %d, %+v", resp.StatusCode, st)
+	}
+
+	resp, err = http.Get(base + "/v1/jobs/" + st.ID + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := 0
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		var row service.CellResult
+		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+			t.Fatalf("row %d: %v", rows, err)
+		}
+		rows++
+	}
+	resp.Body.Close()
+	if rows != 4 {
+		t.Fatalf("streamed %d rows, want 4", rows)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("rumord exited with error after SIGTERM: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("rumord did not drain after SIGTERM")
+	}
+}

@@ -10,15 +10,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
 	"rumor"
 	"rumor/internal/core"
 	"rumor/internal/harness"
+	"rumor/internal/service"
 	"rumor/internal/stats"
 )
 
@@ -42,6 +45,7 @@ func run(args []string) error {
 		source    = fs.Int("source", 0, "source node")
 		workers   = fs.Int("workers", 0, "parallel workers (0 = all cores)")
 		csv       = fs.Bool("csv", false, "emit CSV instead of an aligned table")
+		useCache  = fs.Bool("cache", false, "serve repeated cells from a result LRU (rumord's cache tier)")
 		curve     = fs.Bool("curve", false, "emit the mean spreading curve (informed fraction vs time) instead of summary rows")
 		curvePts  = fs.Int("curve-points", 40, "number of grid points for -curve")
 	)
@@ -78,30 +82,52 @@ func run(args []string) error {
 		}
 	}
 
+	// Summary rows run through the same cell executor as the rumord
+	// service, so the CLI and the daemon share one execution path. The
+	// graph tier is always on (sync and async of one sweep size share
+	// one built instance, as the pre-service code did); -cache
+	// additionally turns on the completed-cell result LRU.
+	trialWorkers := *workers
+	if trialWorkers <= 0 {
+		trialWorkers = runtime.GOMAXPROCS(0)
+	}
+	exec := service.Executor{
+		TrialWorkers: trialWorkers,
+		Graphs:       service.NewGraphCache(0),
+	}
+	if *useCache {
+		exec.Results = service.NewResultCache(0)
+	}
+	var timings []string
+	if *timing == "sync" || *timing == "both" {
+		timings = append(timings, service.TimingSync)
+	}
+	if *timing == "async" || *timing == "both" {
+		timings = append(timings, service.TimingAsync)
+	}
 	tab := stats.NewTable("graph", "n", "m", "timing", "protocol",
 		"mean", "median", "q99", "max", "stderr")
 	for _, size := range sizes {
-		g, err := fam.Build(size, *seed)
-		if err != nil {
-			return err
-		}
-		src := rumor.NodeID(*source)
-		if int(src) >= g.NumNodes() {
-			src = 0
-		}
-		if *timing == "sync" || *timing == "both" {
-			m, err := rumor.MeasureSync(g, src, proto, *trials, *seed, *workers)
+		for _, tm := range timings {
+			trialSeed := *seed
+			if tm == service.TimingAsync {
+				trialSeed = *seed + 1
+			}
+			cell := service.CellSpec{
+				Family:    *graphName,
+				N:         size,
+				Protocol:  proto.String(),
+				Timing:    tm,
+				Trials:    *trials,
+				GraphSeed: *seed,
+				TrialSeed: trialSeed,
+				Source:    *source,
+			}
+			res, _, err := exec.Run(context.Background(), 0, cell)
 			if err != nil {
 				return err
 			}
-			addRow(tab, g, "sync", proto, m.Times)
-		}
-		if *timing == "async" || *timing == "both" {
-			m, err := rumor.MeasureAsync(g, src, proto, *trials, *seed+1, *workers)
-			if err != nil {
-				return err
-			}
-			addRow(tab, g, "async", proto, m.Times)
+			addRow(tab, res, tm, proto)
 		}
 	}
 	if *csv {
@@ -110,10 +136,10 @@ func run(args []string) error {
 	return tab.Render(os.Stdout)
 }
 
-func addRow(tab *stats.Table, g *rumor.Graph, timing string, proto core.Protocol, times []float64) {
-	s := stats.Summarize(times)
-	tab.AddRow(g.Name(), g.NumNodes(), g.NumEdges(), timing, proto.String(),
-		s.Mean, s.Median, stats.Quantile(times, 0.99), s.Max, stats.StdErr(times))
+func addRow(tab *stats.Table, res *service.CellResult, timing string, proto core.Protocol) {
+	s := res.Summary
+	tab.AddRow(res.Graph, res.N, res.M, timing, proto.String(),
+		s.Mean, s.Median, stats.Quantile(res.Times, 0.99), s.Max, stats.StdErr(res.Times))
 }
 
 // emitCurves prints the trial-averaged informed fraction on a uniform
@@ -189,14 +215,5 @@ func emitCurves(g *rumor.Graph, proto core.Protocol, timing string, trials int, 
 }
 
 func parseProtocol(name string) (core.Protocol, error) {
-	switch strings.ToLower(name) {
-	case "push":
-		return core.Push, nil
-	case "pull":
-		return core.Pull, nil
-	case "push-pull", "pushpull", "pp":
-		return core.PushPull, nil
-	default:
-		return 0, fmt.Errorf("unknown protocol %q (want push, pull, push-pull)", name)
-	}
+	return service.ParseProtocol(name)
 }

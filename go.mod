@@ -1,0 +1,3 @@
+module rumor
+
+go 1.24

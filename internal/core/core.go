@@ -195,33 +195,75 @@ type AsyncResult struct {
 // CoverageRound returns the first round by which at least
 // ceil(frac * n) nodes were informed, or -1 if coverage was never reached.
 func (r *SyncResult) CoverageRound(frac float64) int32 {
-	times := make([]float64, 0, len(r.InformedAt))
-	for _, t := range r.InformedAt {
-		if t >= 0 {
-			times = append(times, float64(t))
+	return int32(r.CoverageRounds([]float64{frac})[0])
+}
+
+// CoverageRounds returns, for each fraction, the first round by which at
+// least ceil(frac * n) nodes were informed, or -1 if that coverage was
+// never reached. The informing times are sorted once and shared across
+// all queries, so batching fractions is much cheaper than repeated
+// CoverageRound calls.
+func (r *SyncResult) CoverageRounds(fracs []float64) []int32 {
+	times := sortedInformedTimes32(r.InformedAt)
+	out := make([]int32, len(fracs))
+	for i, frac := range fracs {
+		t := coverageFromSorted(times, len(r.InformedAt), frac)
+		if t < 0 {
+			out[i] = -1
+		} else {
+			out[i] = int32(t)
 		}
 	}
-	t := coverageTime(times, len(r.InformedAt), frac)
-	if t < 0 {
-		return -1
-	}
-	return int32(t)
+	return out
 }
 
 // CoverageTime returns the earliest time by which at least ceil(frac * n)
 // nodes were informed, or -1 if coverage was never reached.
 func (r *AsyncResult) CoverageTime(frac float64) float64 {
-	times := make([]float64, 0, len(r.InformedAt))
-	for _, t := range r.InformedAt {
+	return r.CoverageTimes([]float64{frac})[0]
+}
+
+// CoverageTimes returns, for each fraction, the earliest time by which at
+// least ceil(frac * n) nodes were informed, or -1 if that coverage was
+// never reached. The informing times are sorted once and shared across
+// all queries, so batching fractions is much cheaper than repeated
+// CoverageTime calls.
+func (r *AsyncResult) CoverageTimes(fracs []float64) []float64 {
+	times := sortedInformedTimes(r.InformedAt)
+	out := make([]float64, len(fracs))
+	for i, frac := range fracs {
+		out[i] = coverageFromSorted(times, len(r.InformedAt), frac)
+	}
+	return out
+}
+
+// sortedInformedTimes collects the non-negative informing times, sorted.
+func sortedInformedTimes(informedAt []float64) []float64 {
+	times := make([]float64, 0, len(informedAt))
+	for _, t := range informedAt {
 		if t >= 0 {
 			times = append(times, t)
 		}
 	}
-	return coverageTime(times, len(r.InformedAt), frac)
+	sort.Float64s(times)
+	return times
 }
 
-// coverageTime returns the ceil(frac*n)-th smallest time, or -1.
-func coverageTime(times []float64, n int, frac float64) float64 {
+// sortedInformedTimes32 is sortedInformedTimes for round-indexed results.
+func sortedInformedTimes32(informedAt []int32) []float64 {
+	times := make([]float64, 0, len(informedAt))
+	for _, t := range informedAt {
+		if t >= 0 {
+			times = append(times, float64(t))
+		}
+	}
+	sort.Float64s(times)
+	return times
+}
+
+// coverageFromSorted returns the ceil(frac*n)-th smallest of the sorted
+// times, or -1 if fewer than that many nodes were ever informed.
+func coverageFromSorted(sorted []float64, n int, frac float64) float64 {
 	if frac <= 0 {
 		return 0
 	}
@@ -229,11 +271,10 @@ func coverageTime(times []float64, n int, frac float64) float64 {
 	if need < 1 {
 		need = 1
 	}
-	if len(times) < need {
+	if len(sorted) < need {
 		return -1
 	}
-	sort.Float64s(times)
-	return times[need-1]
+	return sorted[need-1]
 }
 
 // validateCommon checks parameters shared by all engines and returns the

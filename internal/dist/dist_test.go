@@ -1,0 +1,89 @@
+package dist
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"rumor/internal/xrand"
+)
+
+func TestNewExpValidation(t *testing.T) {
+	for _, rate := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := NewExp(rate); !errors.Is(err, ErrBadRate) {
+			t.Errorf("rate %v: err = %v, want ErrBadRate", rate, err)
+		}
+	}
+	e, err := NewExp(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Rate() != 2 || e.Mean() != 0.5 {
+		t.Errorf("rate/mean = %v/%v", e.Rate(), e.Mean())
+	}
+}
+
+func TestExpSampleMean(t *testing.T) {
+	e, err := NewExp(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(1)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += e.Sample(rng)
+	}
+	mean := sum / n
+	if math.Abs(mean-0.25) > 0.01 {
+		t.Errorf("sample mean %v, want ~0.25", mean)
+	}
+}
+
+func TestDominatedEmpirically(t *testing.T) {
+	rng := xrand.New(2)
+	small := make([]float64, 500)
+	big := make([]float64, 500)
+	for i := range small {
+		small[i] = rng.Float64()
+		big[i] = rng.Float64() + 0.5
+	}
+	if !DominatedEmpirically(small, big, 0.05) {
+		t.Error("clearly smaller sample not dominated")
+	}
+	if DominatedEmpirically(big, small, 0.05) {
+		t.Error("clearly bigger sample reported dominated")
+	}
+	// A sample dominates itself exactly (gap 0).
+	if !DominatedEmpirically(small, small, 0) {
+		t.Error("sample does not dominate itself")
+	}
+	// Empty samples are trivially dominated.
+	if !DominatedEmpirically(nil, big, 0) || !DominatedEmpirically(small, nil, 0) {
+		t.Error("empty sample handling wrong")
+	}
+}
+
+func TestDominatedEmpiricallyTolerance(t *testing.T) {
+	// xs slightly above ys: dominated only with enough slack.
+	xs := []float64{1.1, 2.1, 3.1}
+	ys := []float64{1, 2, 3}
+	if DominatedEmpirically(xs, ys, 0.2) {
+		t.Error("shifted-up sample dominated with small tol")
+	}
+	if !DominatedEmpirically(xs, ys, 0.4) {
+		// Each step the ys CDF leads by 1/3 until xs catches up.
+		t.Error("shifted-up sample not dominated with generous tol")
+	}
+}
+
+func TestDominatedEmpiricallyInt(t *testing.T) {
+	xs := []int64{1, 2, 3, 4}
+	ys := []int64{2, 3, 4, 5}
+	if !DominatedEmpiricallyInt(xs, ys, 0) {
+		t.Error("integer domination failed")
+	}
+	if DominatedEmpiricallyInt(ys, xs, 0.1) {
+		t.Error("reverse integer domination accepted")
+	}
+}

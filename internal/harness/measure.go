@@ -77,33 +77,70 @@ func MeasurePPVariant(g *graph.Graph, src graph.NodeID, v core.PPVariant, trials
 // MeasureAsyncCoverage samples the earliest time at which a fraction frac
 // of all nodes is informed under the asynchronous process.
 func MeasureAsyncCoverage(g *graph.Graph, src graph.NodeID, p core.Protocol, frac float64, trials int, seed uint64, workers int) (*Measurement, error) {
+	profile, err := MeasureAsyncCoverageProfile(g, src, p, []float64{frac}, trials, seed, workers)
+	if err != nil {
+		return nil, err
+	}
+	return &Measurement{Times: profile[0], Graph: g, Source: src}, nil
+}
+
+// MeasureAsyncCoverageProfile samples, for every fraction in fracs, the
+// earliest time at which that fraction of all nodes is informed under the
+// asynchronous process. Each trial is simulated once and queried for all
+// fractions through the batch CoverageTimes helper (one sort per trial).
+// The result is indexed [frac][trial].
+func MeasureAsyncCoverageProfile(g *graph.Graph, src graph.NodeID, p core.Protocol, fracs []float64, trials int, seed uint64, workers int) ([][]float64, error) {
+	profile := make([][]float64, len(fracs))
+	for i := range profile {
+		profile[i] = make([]float64, trials)
+	}
 	r := Runner{Trials: trials, Seed: seed, Workers: workers}
-	times, err := r.Run(func(_ int, rng *xrand.RNG) (float64, error) {
+	_, err := r.Run(func(t int, rng *xrand.RNG) (float64, error) {
 		res, err := core.RunAsync(g, src, core.AsyncConfig{Protocol: p}, rng)
 		if err != nil {
 			return 0, err
 		}
-		return res.CoverageTime(frac), nil
+		for i, v := range res.CoverageTimes(fracs) {
+			profile[i][t] = v
+		}
+		return 0, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Measurement{Times: times, Graph: g, Source: src}, nil
+	return profile, nil
 }
 
 // MeasureSyncCoverage samples the earliest round at which a fraction frac
 // of all nodes is informed under the synchronous process.
 func MeasureSyncCoverage(g *graph.Graph, src graph.NodeID, p core.Protocol, frac float64, trials int, seed uint64, workers int) (*Measurement, error) {
+	profile, err := MeasureSyncCoverageProfile(g, src, p, []float64{frac}, trials, seed, workers)
+	if err != nil {
+		return nil, err
+	}
+	return &Measurement{Times: profile[0], Graph: g, Source: src}, nil
+}
+
+// MeasureSyncCoverageProfile is MeasureAsyncCoverageProfile for the
+// synchronous process; times are (integer) round numbers.
+func MeasureSyncCoverageProfile(g *graph.Graph, src graph.NodeID, p core.Protocol, fracs []float64, trials int, seed uint64, workers int) ([][]float64, error) {
+	profile := make([][]float64, len(fracs))
+	for i := range profile {
+		profile[i] = make([]float64, trials)
+	}
 	r := Runner{Trials: trials, Seed: seed, Workers: workers}
-	times, err := r.Run(func(_ int, rng *xrand.RNG) (float64, error) {
+	_, err := r.Run(func(t int, rng *xrand.RNG) (float64, error) {
 		res, err := core.RunSync(g, src, core.SyncConfig{Protocol: p}, rng)
 		if err != nil {
 			return 0, err
 		}
-		return float64(res.CoverageRound(frac)), nil
+		for i, v := range res.CoverageRounds(fracs) {
+			profile[i][t] = float64(v)
+		}
+		return 0, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Measurement{Times: times, Graph: g, Source: src}, nil
+	return profile, nil
 }

@@ -1,0 +1,124 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"rumor/internal/core"
+	"rumor/internal/graph"
+	"rumor/internal/xrand"
+)
+
+// Scheduling independence on a real simulation workload: the measured
+// spreading-time sample must be bit-identical for 1 worker and 8
+// workers, because each trial's RNG stream is derived from (Seed,
+// trial), never from goroutine interleaving.
+func TestRunnerSchedulingIndependenceSimulation(t *testing.T) {
+	g, err := graph.Hypercube(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) []float64 {
+		r := Runner{Trials: 64, Seed: 11, Workers: workers}
+		times, err := r.Run(func(_ int, rng *xrand.RNG) (float64, error) {
+			res, err := core.RunAsync(g, 0, core.AsyncConfig{Protocol: core.PushPull}, rng)
+			if err != nil {
+				return 0, err
+			}
+			return res.Time, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return times
+	}
+	serial := run(1)
+	parallel := run(8)
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("trial %d: %v (1 worker) != %v (8 workers)", i, serial[i], parallel[i])
+		}
+	}
+}
+
+// When several trials fail, the error reported is the one of the lowest
+// trial index — regardless of worker count and completion order.
+func TestRunnerFirstErrorByTrialIndex(t *testing.T) {
+	for _, workers := range []int{1, 4, 16} {
+		r := Runner{Trials: 40, Seed: 1, Workers: workers}
+		_, err := r.Run(func(trial int, _ *xrand.RNG) (float64, error) {
+			if trial%2 == 1 { // trials 1, 3, 5, ... all fail
+				return 0, fmt.Errorf("trial-%d failed", trial)
+			}
+			return 1, nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: no error reported", workers)
+		}
+		want := "harness: trial 1: trial-1 failed"
+		if err.Error() != want {
+			t.Errorf("workers=%d: err = %q, want %q (first by trial index)", workers, err, want)
+		}
+	}
+}
+
+// RunPairs writes both values of every trial to the correct indices
+// under concurrency, and the two returned slices have distinct backing
+// arrays (no aliasing between the a-sample and the b-sample).
+func TestRunPairsAliasing(t *testing.T) {
+	r := Runner{Trials: 33, Seed: 9, Workers: 8}
+	as, bs, err := r.RunPairs(func(trial int, rng *xrand.RNG) (float64, float64, error) {
+		v := rng.Float64()
+		return v, -v, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) != 33 || len(bs) != 33 {
+		t.Fatalf("lengths = %d, %d", len(as), len(bs))
+	}
+	if &as[0] == &bs[0] {
+		t.Fatal("as and bs share a backing array")
+	}
+	for i := range as {
+		if as[i] != -bs[i] {
+			t.Fatalf("pair %d desynchronized: %v vs %v", i, as[i], bs[i])
+		}
+		if as[i] == 0 {
+			t.Fatalf("trial %d never ran", i)
+		}
+	}
+	// The a-sample must reproduce a plain Run with the same seed: the
+	// pair runner must not perturb per-trial seeding.
+	plain, err := Runner{Trials: 33, Seed: 9, Workers: 1}.Run(func(_ int, rng *xrand.RNG) (float64, error) {
+		return rng.Float64(), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain {
+		if plain[i] != as[i] {
+			t.Fatalf("trial %d: RunPairs stream %v != Run stream %v", i, as[i], plain[i])
+		}
+	}
+}
+
+// RunPairs propagates the first error by trial index and returns nil
+// slices, mirroring Run.
+func TestRunPairsErrorPropagation(t *testing.T) {
+	sentinel := errors.New("pair boom")
+	as, bs, err := Runner{Trials: 10, Seed: 1, Workers: 4}.RunPairs(
+		func(trial int, _ *xrand.RNG) (float64, float64, error) {
+			if trial >= 3 {
+				return 0, 0, sentinel
+			}
+			return 1, 2, nil
+		})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want wrapped sentinel", err)
+	}
+	if as != nil || bs != nil {
+		t.Fatal("slices returned alongside error")
+	}
+}

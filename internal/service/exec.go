@@ -1,0 +1,156 @@
+package service
+
+import (
+	"context"
+	"fmt"
+
+	"rumor/internal/core"
+	"rumor/internal/graph"
+	"rumor/internal/harness"
+	"rumor/internal/stats"
+	"rumor/internal/xrand"
+)
+
+// coverageFracs are the coverage milestones reported for every cell.
+var coverageFracs = []float64{0.5, 0.9, 1.0}
+
+var coverageNames = []string{"q50", "q90", "q100"}
+
+// Executor runs single cells through the two-tier cache: result hits
+// return immediately, graph hits skip adjacency construction, and
+// misses run the trials through harness.Runner. Both the rumord
+// scheduler workers and the rumorsim CLI use this one path, so a result
+// computed by either is byte-identical (and cache-shareable) with the
+// other.
+type Executor struct {
+	// Results is the completed-cell LRU; nil disables result caching.
+	Results *ResultCache
+	// Graphs is the constructed-graph LRU; nil disables graph sharing.
+	Graphs *GraphCache
+	// TrialWorkers bounds the per-cell trial parallelism; 0 means 1
+	// (cells themselves are the unit of parallelism in the scheduler).
+	TrialWorkers int
+}
+
+// Run executes one cell (or serves it from cache) and returns its
+// result re-indexed to index. The bool reports whether the result came
+// from the cache. ctx cancels between trials; a cancelled run returns
+// ctx's error and caches nothing.
+func (e *Executor) Run(ctx context.Context, index int, cell CellSpec) (*CellResult, bool, error) {
+	if err := cell.Validate(); err != nil {
+		return nil, false, err
+	}
+	key := cell.Key()
+	if e.Results != nil {
+		if cached, ok := e.Results.Get(key); ok {
+			res := *cached
+			res.Index = index
+			return &res, true, nil
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+
+	var g *graph.Graph
+	var err error
+	if e.Graphs != nil {
+		g, err = e.Graphs.Get(cell)
+	} else {
+		g, err = BuildGraph(cell)
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("service: building %s(%d): %w", cell.Family, cell.N, err)
+	}
+
+	res, err := e.runCell(ctx, cell, g)
+	if err != nil {
+		return nil, false, err
+	}
+	res.Key = key
+	if e.Results != nil {
+		e.Results.Put(key, res)
+	}
+	out := *res
+	out.Index = index
+	return &out, false, nil
+}
+
+// runCell runs the cell's trials on the built graph. Per-trial seeding
+// comes from harness.Runner, so the sample is identical for any worker
+// count; coverage milestones are extracted per trial with the batch
+// helpers (one sort per trial) and averaged.
+func (e *Executor) runCell(ctx context.Context, cell CellSpec, g *graph.Graph) (*CellResult, error) {
+	proto, err := ParseProtocol(cell.Protocol)
+	if err != nil {
+		return nil, err
+	}
+	src := graph.NodeID(cell.Source)
+	if int(src) >= g.NumNodes() {
+		src = 0
+	}
+	workers := e.TrialWorkers
+	if workers <= 0 {
+		workers = 1
+	}
+	r := harness.Runner{Trials: cell.Trials, Seed: cell.TrialSeed, Workers: workers}
+	coverage := make([][]float64, len(coverageFracs))
+	for i := range coverage {
+		coverage[i] = make([]float64, cell.Trials)
+	}
+	var times []float64
+	switch cell.Timing {
+	case TimingSync:
+		times, err = r.Run(func(t int, rng *xrand.RNG) (float64, error) {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+			res, err := core.RunSync(g, src, core.SyncConfig{Protocol: proto}, rng)
+			if err != nil {
+				return 0, err
+			}
+			if !res.Complete {
+				return 0, fmt.Errorf("service: graph %v is disconnected; spreading time undefined", g)
+			}
+			for i, v := range res.CoverageRounds(coverageFracs) {
+				coverage[i][t] = float64(v)
+			}
+			return float64(res.Rounds), nil
+		})
+	case TimingAsync:
+		times, err = r.Run(func(t int, rng *xrand.RNG) (float64, error) {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+			res, err := core.RunAsync(g, src, core.AsyncConfig{Protocol: proto}, rng)
+			if err != nil {
+				return 0, err
+			}
+			if !res.Complete {
+				return 0, fmt.Errorf("service: graph %v is disconnected; spreading time undefined", g)
+			}
+			for i, v := range res.CoverageTimes(coverageFracs) {
+				coverage[i][t] = v
+			}
+			return res.Time, nil
+		})
+	default:
+		return nil, fmt.Errorf("%w: unknown timing %q", ErrBadSpec, cell.Timing)
+	}
+	if err != nil {
+		return nil, err
+	}
+	cov := make(map[string]float64, len(coverageFracs))
+	for i, name := range coverageNames {
+		cov[name] = stats.Mean(coverage[i])
+	}
+	return &CellResult{
+		Cell:     cell,
+		Graph:    g.Name(),
+		N:        g.NumNodes(),
+		M:        g.NumEdges(),
+		Times:    times,
+		Summary:  stats.Summarize(times),
+		Coverage: cov,
+	}, nil
+}

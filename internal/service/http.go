@@ -1,0 +1,152 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// Server exposes the scheduler over HTTP:
+//
+//	POST   /v1/jobs              submit a JobSpec; 202 with the job status
+//	GET    /v1/jobs              list job statuses
+//	GET    /v1/jobs/{id}         one job's status
+//	GET    /v1/jobs/{id}/results stream results as NDJSON, in canonical
+//	                             cell order, as cells complete
+//	DELETE /v1/jobs/{id}         cancel a job
+//	GET    /healthz              liveness
+//	GET    /metricsz             scheduler + cache metrics snapshot
+//
+// Backpressure maps to HTTP: a full queue rejects the submit with 429.
+type Server struct {
+	sched *Scheduler
+	mux   *http.ServeMux
+}
+
+// NewServer wraps the scheduler in the HTTP API.
+func NewServer(sched *Scheduler) *Server {
+	s := &Server{sched: sched, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/jobs", s.submit)
+	s.mux.HandleFunc("GET /v1/jobs", s.list)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.status)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/results", s.results)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
+	s.mux.HandleFunc("GET /healthz", s.healthz)
+	s.mux.HandleFunc("GET /metricsz", s.metricsz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// httpError is the JSON error envelope.
+type httpError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, httpError{Error: err.Error()})
+}
+
+func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding job spec: %w", err))
+		return
+	}
+	job, err := s.sched.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, ErrShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job.Status())
+}
+
+func (s *Server) list(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.sched.Jobs())
+}
+
+func (s *Server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	job, err := s.sched.Job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return nil, false
+	}
+	return job, true
+}
+
+func (s *Server) status(w http.ResponseWriter, r *http.Request) {
+	if job, ok := s.job(w, r); ok {
+		writeJSON(w, http.StatusOK, job.Status())
+	}
+}
+
+func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	job.Cancel()
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+// results streams the job's cell results as NDJSON in canonical cell
+// order, flushing after every row so clients see cells as they
+// complete. Because cell order and cell contents are pure functions of
+// the job spec, the streamed bytes are identical across runs, worker
+// counts, and cache states. A job that fails or is cancelled ends the
+// stream with one {"error": ...} row.
+func (s *Server) results(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	for i := 0; i < job.NumCells(); i++ {
+		res, err := job.WaitCell(r.Context(), i)
+		if err != nil {
+			_ = enc.Encode(httpError{Error: err.Error()})
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return
+		}
+		if err := enc.Encode(res); err != nil {
+			return // client went away
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) metricsz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.sched.Metrics())
+}

@@ -1,0 +1,285 @@
+// Package service turns the one-shot simulation harness into a
+// long-running batch service: jobs are grids of simulation cells
+// (graph family × size × protocol × timing × trials × seed), each cell
+// a pure function of its spec. Cells are canonically hashed, executed on
+// a bounded worker pool, cached by hash (determinism makes cache hits
+// exact), and streamed back to clients as NDJSON while the job runs.
+//
+// Everything here preserves the repository invariant that results are a
+// pure function of the spec: scheduling order, worker count, and cache
+// state never change what a job returns — only how fast.
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"rumor/internal/core"
+	"rumor/internal/harness"
+	"rumor/internal/stats"
+)
+
+// Timing selects the timing model of a cell.
+const (
+	TimingSync  = "sync"
+	TimingAsync = "async"
+)
+
+// Spec validation errors.
+var (
+	ErrBadSpec = errors.New("service: invalid job spec")
+)
+
+// CellSpec is one simulation measurement: a graph instance (family,
+// size, graph seed), a process (protocol, timing), and a sample size
+// (trials, trial seed). It is the unit of scheduling and caching.
+type CellSpec struct {
+	// Family is a standard graph family name (harness.FamilyNames).
+	Family string `json:"family"`
+	// N is the target node count; the family may round it.
+	N int `json:"n"`
+	// Protocol is "push", "pull", or "push-pull".
+	Protocol string `json:"protocol"`
+	// Timing is "sync" or "async".
+	Timing string `json:"timing"`
+	// Trials is the number of independent trials (>= 1).
+	Trials int `json:"trials"`
+	// GraphSeed drives graph construction. Cells sharing
+	// (Family, N, GraphSeed) run on the same graph instance, which the
+	// graph cache exploits: a push/sync cell and a pull/async cell of
+	// the same sweep reuse one adjacency structure.
+	GraphSeed uint64 `json:"graph_seed"`
+	// TrialSeed roots the per-trial RNG streams (trial t uses Child(t)).
+	TrialSeed uint64 `json:"trial_seed"`
+	// Source is the rumor source node (clamped to 0 if out of range).
+	Source int `json:"source"`
+}
+
+// Key returns the canonical cache key of the cell: a SHA-256 hash of an
+// unambiguous rendering of every field. Two cells share a key iff they
+// are the same measurement, and determinism guarantees equal results.
+func (c CellSpec) Key() string {
+	canonical := fmt.Sprintf("v1|family=%s|n=%d|protocol=%s|timing=%s|trials=%d|gseed=%d|tseed=%d|source=%d",
+		c.Family, c.N, c.Protocol, c.Timing, c.Trials, c.GraphSeed, c.TrialSeed, c.Source)
+	sum := sha256.Sum256([]byte(canonical))
+	return hex.EncodeToString(sum[:16])
+}
+
+// GraphKey identifies the graph instance the cell runs on; cells that
+// share it can share one constructed graph.
+func (c CellSpec) GraphKey() string {
+	return fmt.Sprintf("%s|%d|%d", c.Family, c.N, c.GraphSeed)
+}
+
+// Validate checks the cell against the family registry and protocol set.
+func (c CellSpec) Validate() error {
+	if _, err := harness.FamilyByName(c.Family); err != nil {
+		return fmt.Errorf("%w: unknown family %q", ErrBadSpec, c.Family)
+	}
+	if _, err := ParseProtocol(c.Protocol); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	if c.Timing != TimingSync && c.Timing != TimingAsync {
+		return fmt.Errorf("%w: unknown timing %q (want sync or async)", ErrBadSpec, c.Timing)
+	}
+	if c.N < 1 {
+		return fmt.Errorf("%w: n = %d", ErrBadSpec, c.N)
+	}
+	if c.Trials < 1 {
+		return fmt.Errorf("%w: trials = %d", ErrBadSpec, c.Trials)
+	}
+	if c.Source < 0 {
+		return fmt.Errorf("%w: source = %d", ErrBadSpec, c.Source)
+	}
+	return nil
+}
+
+// ParseProtocol maps the wire protocol name to core.Protocol.
+func ParseProtocol(name string) (core.Protocol, error) {
+	switch strings.ToLower(name) {
+	case "push":
+		return core.Push, nil
+	case "pull":
+		return core.Pull, nil
+	case "push-pull", "pushpull", "pp":
+		return core.PushPull, nil
+	default:
+		return 0, fmt.Errorf("unknown protocol %q (want push, pull, push-pull)", name)
+	}
+}
+
+// JobSpec is a batch of cells given as a grid: the cross product of
+// families × sizes × protocols × timings, each cell run for Trials
+// trials under a seed derived deterministically from Seed and the cell's
+// grid coordinates.
+type JobSpec struct {
+	Families  []string `json:"families"`
+	Sizes     []int    `json:"sizes"`
+	Protocols []string `json:"protocols"`
+	Timings   []string `json:"timings"`
+	Trials    int      `json:"trials"`
+	Seed      uint64   `json:"seed"`
+	Source    int      `json:"source"`
+	// Priority orders jobs in the scheduler queue: higher runs first.
+	// Jobs of equal priority run in submission order.
+	Priority int `json:"priority,omitempty"`
+}
+
+// Validate checks the grid components (each axis value once, not the
+// expanded cross product — a 4096-cell job validates in O(axes)).
+func (s JobSpec) Validate() error {
+	if len(s.Families) == 0 {
+		return fmt.Errorf("%w: no families", ErrBadSpec)
+	}
+	if len(s.Sizes) == 0 {
+		return fmt.Errorf("%w: no sizes", ErrBadSpec)
+	}
+	if len(s.Protocols) == 0 {
+		return fmt.Errorf("%w: no protocols", ErrBadSpec)
+	}
+	if len(s.Timings) == 0 {
+		return fmt.Errorf("%w: no timings", ErrBadSpec)
+	}
+	for _, f := range s.Families {
+		if _, err := harness.FamilyByName(f); err != nil {
+			return fmt.Errorf("%w: unknown family %q", ErrBadSpec, f)
+		}
+	}
+	for _, n := range s.Sizes {
+		if n < 1 {
+			return fmt.Errorf("%w: n = %d", ErrBadSpec, n)
+		}
+	}
+	for _, p := range s.Protocols {
+		if _, err := ParseProtocol(p); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadSpec, err)
+		}
+	}
+	for _, tm := range s.Timings {
+		if tm != TimingSync && tm != TimingAsync {
+			return fmt.Errorf("%w: unknown timing %q (want sync or async)", ErrBadSpec, tm)
+		}
+	}
+	if s.Trials < 1 {
+		return fmt.Errorf("%w: trials = %d", ErrBadSpec, s.Trials)
+	}
+	if s.Source < 0 {
+		return fmt.Errorf("%w: source = %d", ErrBadSpec, s.Source)
+	}
+	return nil
+}
+
+// CellCount returns the number of cells the grid expands to, without
+// materializing them. ok is false if the product overflows int.
+func (s JobSpec) CellCount() (count int, ok bool) {
+	count = 1
+	for _, axis := range []int{len(s.Families), len(s.Sizes), len(s.Protocols), len(s.Timings)} {
+		if axis == 0 {
+			return 0, true
+		}
+		if count > math.MaxInt/axis {
+			return 0, false
+		}
+		count *= axis
+	}
+	return count, true
+}
+
+// Cells expands the grid into cell specs in canonical order (families
+// outermost, then sizes, protocols, timings). The graph seed depends
+// only on the job seed and the (family, size) coordinates — so all
+// protocol/timing cells of one sweep point share a graph instance —
+// while the trial seed additionally mixes in protocol and timing so
+// distinct measurements get independent RNG streams. Identical grids
+// reproduce exactly.
+func (s JobSpec) Cells() []CellSpec {
+	cells := make([]CellSpec, 0, len(s.Families)*len(s.Sizes)*len(s.Protocols)*len(s.Timings))
+	for fi, fam := range s.Families {
+		for si, n := range s.Sizes {
+			for pi, proto := range s.Protocols {
+				for ti, timing := range s.Timings {
+					cells = append(cells, CellSpec{
+						Family:    fam,
+						N:         n,
+						Protocol:  proto,
+						Timing:    timing,
+						Trials:    s.Trials,
+						GraphSeed: mixSeed(s.Seed, uint64(fi), uint64(si)),
+						TrialSeed: mixSeed(s.Seed, uint64(fi), uint64(si), uint64(pi), uint64(ti)),
+						Source:    s.Source,
+					})
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// mixSeed derives a cell seed from the job seed and grid coordinates
+// using splitmix64-style finalization, so neighboring cells do not get
+// correlated streams.
+func mixSeed(seed uint64, coords ...uint64) uint64 {
+	x := seed
+	for _, c := range coords {
+		x += 0x9e3779b97f4a7c15 + c
+		x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+		x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+		x ^= x >> 31
+	}
+	return x
+}
+
+// CellResult is the outcome of one cell. It is a pure function of the
+// CellSpec; wall-clock metadata lives in scheduler metrics, not here, so
+// cached and freshly computed results are byte-identical on the wire.
+type CellResult struct {
+	// Index is the cell's position in the job's canonical cell order.
+	Index int `json:"index"`
+	// Cell is the spec that produced this result.
+	Cell CellSpec `json:"cell"`
+	// Key is the cell's canonical cache key.
+	Key string `json:"key"`
+	// Graph is the built instance's descriptive name (e.g.
+	// "hypercube(10)"), which carries the family's rounded parameters.
+	Graph string `json:"graph"`
+	// N and M are the actual node and edge counts of the built instance
+	// (families may round the requested size).
+	N int `json:"n"`
+	M int `json:"m"`
+	// Times are the per-trial spreading times (rounds for sync,
+	// continuous time for async), indexed by trial.
+	Times []float64 `json:"times"`
+	// Summary holds descriptive statistics of Times.
+	Summary stats.Summary `json:"summary"`
+	// Coverage maps "q50"/"q90"/"q100" to the mean time to inform 50%,
+	// 90%, and 100% of the nodes across trials.
+	Coverage map[string]float64 `json:"coverage,omitempty"`
+}
+
+// JobState is the lifecycle state of a submitted job.
+type JobState string
+
+// Job lifecycle states.
+const (
+	JobQueued    JobState = "queued"
+	JobRunning   JobState = "running"
+	JobDone      JobState = "done"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
+)
+
+// JobStatus is a point-in-time snapshot of a job, as reported by the
+// status endpoint.
+type JobStatus struct {
+	ID         string   `json:"id"`
+	State      JobState `json:"state"`
+	Priority   int      `json:"priority"`
+	CellsTotal int      `json:"cells_total"`
+	CellsDone  int      `json:"cells_done"`
+	CacheHits  int      `json:"cache_hits"`
+	Error      string   `json:"error,omitempty"`
+}

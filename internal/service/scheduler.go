@@ -1,0 +1,567 @@
+package service
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Scheduler errors.
+var (
+	// ErrQueueFull reports backpressure: the pending-cell queue cannot
+	// accept the job right now. Callers should retry later (HTTP maps
+	// this to 429).
+	ErrQueueFull = errors.New("service: queue full")
+	// ErrJobTooLarge reports a job whose cell count exceeds the queue
+	// capacity outright: it can never be accepted, at any load (HTTP
+	// maps this to 400, not 429, so clients do not retry forever).
+	ErrJobTooLarge = errors.New("service: job exceeds queue capacity")
+	// ErrShuttingDown reports a submit after shutdown began.
+	ErrShuttingDown = errors.New("service: scheduler is shutting down")
+	// ErrUnknownJob reports a lookup of a job ID that was never submitted.
+	ErrUnknownJob = errors.New("service: unknown job")
+	// ErrJobNotDone reports a cell read from a job that terminated
+	// before computing that cell (failed or cancelled).
+	ErrJobNotDone = errors.New("service: job terminated before cell completed")
+)
+
+// SchedulerConfig configures a Scheduler.
+type SchedulerConfig struct {
+	// Workers is the size of the cell worker pool; 0 means GOMAXPROCS.
+	Workers int
+	// QueueLimit bounds the number of pending (not yet started) cells
+	// across all jobs; a submit that would exceed it is rejected with
+	// ErrQueueFull. 0 means 4096.
+	QueueLimit int
+	// TrialWorkers bounds per-cell trial parallelism (see Executor).
+	TrialWorkers int
+	// JobRetention bounds how many terminal (done/failed/cancelled)
+	// jobs are kept for status/result queries; the oldest are evicted
+	// when a new submission pushes past the bound. Running and queued
+	// jobs are never evicted. 0 means 256.
+	JobRetention int
+	// Results and Graphs are the shared caches; nil disables each tier.
+	Results *ResultCache
+	Graphs  *GraphCache
+}
+
+// task is one pending cell of one job.
+type task struct {
+	job   *Job
+	index int // cell index within the job
+}
+
+// taskHeap orders tasks by (priority desc, job submission seq asc, cell
+// index asc): strictly a scheduling order — results never depend on it.
+type taskHeap []task
+
+func (h taskHeap) Len() int { return len(h) }
+func (h taskHeap) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.job.priority != b.job.priority {
+		return a.job.priority > b.job.priority
+	}
+	if a.job.seq != b.job.seq {
+		return a.job.seq < b.job.seq
+	}
+	return a.index < b.index
+}
+func (h taskHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *taskHeap) Push(x interface{}) { *h = append(*h, x.(task)) }
+func (h *taskHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	*h = old[:n-1]
+	return t
+}
+
+// Scheduler runs jobs on a bounded worker pool with priorities,
+// per-job cancellation, explicit backpressure, and graceful drain.
+type Scheduler struct {
+	exec       Executor
+	workers    int
+	queueLimit int
+	retention  int
+
+	mu      sync.Mutex
+	cond    *sync.Cond // signals workers: new task or shutdown
+	pending taskHeap
+	jobs    map[string]*Job
+	nextSeq int64
+	closed  bool
+	wg      sync.WaitGroup
+
+	started    time.Time
+	cellsRun   int64 // cells computed (cache misses)
+	cellsHit   int64 // cells served from the result cache
+	cellErrors int64
+}
+
+// NewScheduler starts the worker pool and returns the scheduler.
+func NewScheduler(cfg SchedulerConfig) *Scheduler {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	queueLimit := cfg.QueueLimit
+	if queueLimit <= 0 {
+		queueLimit = 4096
+	}
+	retention := cfg.JobRetention
+	if retention <= 0 {
+		retention = 256
+	}
+	s := &Scheduler{
+		exec: Executor{
+			Results:      cfg.Results,
+			Graphs:       cfg.Graphs,
+			TrialWorkers: cfg.TrialWorkers,
+		},
+		workers:    workers,
+		queueLimit: queueLimit,
+		retention:  retention,
+		jobs:       make(map[string]*Job),
+		started:    time.Now(),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for i := 0; i < workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Submit validates and enqueues a job, returning it immediately. The
+// job's cells run as workers free up; results stream via Job.WaitCell.
+// Submit rejects with ErrQueueFull when the pending queue cannot hold
+// the job's cells and with ErrShuttingDown after Shutdown began.
+func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	// Size-check the grid before materializing it, so an oversized
+	// request is rejected without allocating its cross product.
+	count, ok := spec.CellCount()
+	if !ok {
+		return nil, fmt.Errorf("%w: cell count overflows; split the job", ErrJobTooLarge)
+	}
+	if count > s.queueLimit {
+		return nil, fmt.Errorf("%w: %d cells > limit %d; split the job or raise the queue limit",
+			ErrJobTooLarge, count, s.queueLimit)
+	}
+	cells := spec.Cells()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrShuttingDown
+	}
+	if len(s.pending)+len(cells) > s.queueLimit {
+		return nil, fmt.Errorf("%w: %d pending + %d new > limit %d",
+			ErrQueueFull, len(s.pending), len(cells), s.queueLimit)
+	}
+	s.nextSeq++
+	ctx, cancel := context.WithCancel(context.Background())
+	job := &Job{
+		sched:    s,
+		id:       fmt.Sprintf("job-%08d", s.nextSeq),
+		seq:      s.nextSeq,
+		priority: spec.Priority,
+		spec:     spec,
+		cells:    cells,
+		state:    JobQueued,
+		results:  make([]*CellResult, len(cells)),
+		ready:    make([]chan struct{}, len(cells)),
+		terminal: make(chan struct{}),
+		ctx:      ctx,
+		cancel:   cancel,
+	}
+	for i := range job.ready {
+		job.ready[i] = make(chan struct{})
+	}
+	s.jobs[job.id] = job
+	for i := range cells {
+		heap.Push(&s.pending, task{job: job, index: i})
+	}
+	s.pruneJobsLocked()
+	s.cond.Broadcast()
+	return job, nil
+}
+
+// pruneJobsLocked evicts the oldest terminal jobs once the registry
+// exceeds the retention bound, so a long-running daemon does not
+// accumulate every job's results forever. Live jobs are never evicted.
+// Caller holds s.mu.
+func (s *Scheduler) pruneJobsLocked() {
+	excess := len(s.jobs) - s.retention
+	if excess <= 0 {
+		return
+	}
+	terminal := make([]*Job, 0, excess)
+	for _, j := range s.jobs {
+		select {
+		case <-j.terminal:
+			terminal = append(terminal, j)
+		default:
+		}
+	}
+	sort.Slice(terminal, func(i, k int) bool { return terminal[i].seq < terminal[k].seq })
+	for _, j := range terminal {
+		if excess <= 0 {
+			break
+		}
+		delete(s.jobs, j.id)
+		excess--
+	}
+}
+
+// Job returns a submitted job by ID.
+func (s *Scheduler) Job(id string) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	return j, nil
+}
+
+// Jobs returns status snapshots of all known jobs in submission order.
+func (s *Scheduler) Jobs() []JobStatus {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].seq < jobs[k].seq })
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	return out
+}
+
+// worker pops tasks in priority order until shutdown drains the queue.
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for len(s.pending) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if len(s.pending) == 0 && s.closed {
+			s.mu.Unlock()
+			return
+		}
+		t := heap.Pop(&s.pending).(task)
+		s.mu.Unlock()
+		s.runTask(t)
+	}
+}
+
+// runTask executes one cell and records the outcome on its job.
+func (s *Scheduler) runTask(t task) {
+	job := t.job
+	if !job.startCell() {
+		return // job already terminal (cancelled or failed)
+	}
+	res, cached, err := s.exec.Run(job.ctx, t.index, job.cells[t.index])
+	s.mu.Lock()
+	switch {
+	case errors.Is(err, context.Canceled):
+		// A cancelled job's in-flight cells abort through the context;
+		// that is not a simulation failure.
+	case err != nil:
+		s.cellErrors++
+	case cached:
+		s.cellsHit++
+	default:
+		s.cellsRun++
+	}
+	s.mu.Unlock()
+	if err != nil {
+		job.fail(t.index, err)
+		return
+	}
+	job.completeCell(t.index, res, cached)
+}
+
+// Metrics is the scheduler's /metricsz snapshot.
+type Metrics struct {
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	Workers       int            `json:"workers"`
+	QueueLimit    int            `json:"queue_limit"`
+	QueueDepth    int            `json:"queue_depth"`
+	Jobs          map[string]int `json:"jobs"`
+	CellsComputed int64          `json:"cells_computed"`
+	CellsCached   int64          `json:"cells_cached"`
+	CellErrors    int64          `json:"cell_errors"`
+	CellsPerSec   float64        `json:"cells_per_sec"`
+	ResultCache   *CacheStats    `json:"result_cache,omitempty"`
+	GraphCache    *CacheStats    `json:"graph_cache,omitempty"`
+}
+
+// Metrics returns a point-in-time snapshot of throughput and queue
+// state.
+func (s *Scheduler) Metrics() Metrics {
+	s.mu.Lock()
+	m := Metrics{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Workers:       s.workers,
+		QueueLimit:    s.queueLimit,
+		QueueDepth:    len(s.pending),
+		Jobs:          make(map[string]int),
+		CellsComputed: s.cellsRun,
+		CellsCached:   s.cellsHit,
+		CellErrors:    s.cellErrors,
+	}
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		m.Jobs[string(j.Status().State)]++
+	}
+	if m.UptimeSeconds > 0 {
+		m.CellsPerSec = float64(m.CellsComputed+m.CellsCached) / m.UptimeSeconds
+	}
+	if s.exec.Results != nil {
+		st := s.exec.Results.Stats()
+		m.ResultCache = &st
+	}
+	if s.exec.Graphs != nil {
+		st := s.exec.Graphs.Stats()
+		m.GraphCache = &st
+	}
+	return m
+}
+
+// Shutdown stops accepting jobs and drains: queued and running cells
+// finish normally. If ctx expires first, all unfinished jobs are
+// cancelled and Shutdown returns ctx's error once workers exit.
+func (s *Scheduler) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.cancelAll()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// purgeJob drops a terminated job's tasks from the pending heap so dead
+// work stops counting against the queue limit.
+func (s *Scheduler) purgeJob(j *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	live := s.pending[:0]
+	for _, t := range s.pending {
+		if t.job != j {
+			live = append(live, t)
+		}
+	}
+	if len(live) == len(s.pending) {
+		return
+	}
+	s.pending = live
+	heap.Init(&s.pending)
+}
+
+// cancelAll cancels every non-terminal job and flushes the queue.
+func (s *Scheduler) cancelAll() {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.pending = nil
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	for _, j := range jobs {
+		j.Cancel()
+	}
+}
+
+// Job is a submitted batch with live progress. All methods are safe for
+// concurrent use.
+type Job struct {
+	sched    *Scheduler // for purging pending cells on cancel/fail
+	id       string
+	seq      int64
+	priority int
+	spec     JobSpec
+	cells    []CellSpec
+	ctx      context.Context
+	cancel   context.CancelFunc
+
+	mu        sync.Mutex
+	state     JobState
+	err       error
+	results   []*CellResult   // indexed by cell; nil until computed
+	ready     []chan struct{} // ready[i] closed once results[i] is set
+	done      int
+	cacheHits int
+	terminal  chan struct{} // closed on done/failed/cancelled
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Spec returns the spec the job was submitted with.
+func (j *Job) Spec() JobSpec { return j.spec }
+
+// Cells returns the job's cells in canonical order.
+func (j *Job) Cells() []CellSpec { return j.cells }
+
+// NumCells returns the number of cells.
+func (j *Job) NumCells() int { return len(j.cells) }
+
+// Status returns a point-in-time snapshot.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:         j.id,
+		State:      j.state,
+		Priority:   j.priority,
+		CellsTotal: len(j.cells),
+		CellsDone:  j.done,
+		CacheHits:  j.cacheHits,
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	return st
+}
+
+// Cancel moves the job to the cancelled state (if not already terminal)
+// and stops its remaining cells; running trials notice via context.
+func (j *Job) Cancel() {
+	j.mu.Lock()
+	if j.state == JobDone || j.state == JobFailed || j.state == JobCancelled {
+		j.mu.Unlock()
+		return
+	}
+	j.state = JobCancelled
+	j.err = context.Canceled
+	close(j.terminal)
+	j.mu.Unlock()
+	j.cancel()
+	if j.sched != nil {
+		j.sched.purgeJob(j)
+	}
+}
+
+// Err returns the job's terminal error (nil while running or if done).
+func (j *Job) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Terminal returns a channel closed when the job reaches a terminal
+// state (done, failed, or cancelled).
+func (j *Job) Terminal() <-chan struct{} { return j.terminal }
+
+// Wait blocks until the job is terminal and returns its error.
+func (j *Job) Wait() error {
+	<-j.terminal
+	return j.Err()
+}
+
+// WaitCell blocks until cell i's result is available (in canonical
+// order — the basis of deterministic result streaming) and returns it.
+// It fails if the job terminates without computing the cell or ctx is
+// cancelled first.
+func (j *Job) WaitCell(ctx context.Context, i int) (*CellResult, error) {
+	if i < 0 || i >= len(j.cells) {
+		return nil, fmt.Errorf("service: cell index %d out of range [0, %d)", i, len(j.cells))
+	}
+	select {
+	case <-j.ready[i]:
+	case <-j.terminal:
+		// Terminal state: the cell may still have completed (job done,
+		// or failed on a different cell after this one finished).
+		select {
+		case <-j.ready[i]:
+		default:
+			return nil, fmt.Errorf("%w: %v", ErrJobNotDone, j.Err())
+		}
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.results[i], nil
+}
+
+// startCell transitions queued→running and reports whether the cell
+// should run (false once the job is terminal).
+func (j *Job) startCell() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case JobQueued:
+		j.state = JobRunning
+		return true
+	case JobRunning:
+		return true
+	default:
+		return false
+	}
+}
+
+// completeCell records a computed cell and closes the job when all
+// cells are in.
+func (j *Job) completeCell(i int, res *CellResult, cached bool) {
+	j.mu.Lock()
+	if j.results[i] == nil {
+		j.results[i] = res
+		j.done++
+		if cached {
+			j.cacheHits++
+		}
+		close(j.ready[i])
+	}
+	finished := j.done == len(j.cells) && j.state == JobRunning
+	if finished {
+		j.state = JobDone
+		close(j.terminal)
+	}
+	j.mu.Unlock()
+}
+
+// fail moves the job to failed (first error wins) and cancels the rest.
+func (j *Job) fail(i int, err error) {
+	j.mu.Lock()
+	if j.state == JobDone || j.state == JobFailed || j.state == JobCancelled {
+		j.mu.Unlock()
+		return
+	}
+	j.state = JobFailed
+	j.err = fmt.Errorf("cell %d (%s): %w", i, j.cells[i].Key(), err)
+	close(j.terminal)
+	j.mu.Unlock()
+	j.cancel()
+	if j.sched != nil {
+		j.sched.purgeJob(j)
+	}
+}
