@@ -3,20 +3,31 @@
 // example the paper states; see DESIGN.md §5) and prints paper-expected
 // versus measured results with a verdict per experiment.
 //
+// Every experiment is a grid of service cells reduced by a pure
+// function; this command runs the grids through the same executor the
+// rumord daemon uses, so a result computed here is byte-identical with
+// the daemon's (and, with -cache, repeated cells — e.g. the grid E2 and
+// E3 share — are computed once).
+//
 // Examples:
 //
-//	experiments                 # full suite (minutes)
-//	experiments -quick          # reduced sizes/trials (seconds)
-//	experiments -run E11        # a single experiment
+//	experiments                      # full suite (minutes)
+//	experiments -quick               # reduced sizes/trials (seconds)
+//	experiments -run E11             # a single experiment
+//	experiments -quick -cache        # serve repeated cells from the result LRU
+//	experiments -quick -bench B.json # cold vs warm suite timing to B.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"rumor/internal/experiments"
+	"rumor/internal/service"
 )
 
 func main() {
@@ -32,8 +43,10 @@ func run(args []string) error {
 		quick    = fs.Bool("quick", false, "reduced sizes and trial counts")
 		runID    = fs.String("run", "", "run a single experiment (E1..E15)")
 		seed     = fs.Uint64("seed", 0, "root seed (0 = default)")
-		workers  = fs.Int("workers", 0, "parallel workers (0 = all cores)")
+		workers  = fs.Int("workers", 0, "parallel cells in flight (0 = all cores)")
 		markdown = fs.String("md", "", "also write a Markdown report to this file")
+		cache    = fs.Bool("cache", false, "serve repeated cells from a result LRU (rumord's cache tier)")
+		bench    = fs.String("bench", "", "run the suite twice (cold, then warm cache) and write timing JSON to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -43,6 +56,10 @@ func run(args []string) error {
 		Seed:    *seed,
 		Workers: *workers,
 		Out:     os.Stdout,
+		Runner:  experiments.NewLocalRunner(*workers, *cache || *bench != ""),
+	}
+	if *bench != "" {
+		return runBench(*bench, cfg)
 	}
 	if *runID != "" {
 		e, err := experiments.ByID(*runID)
@@ -82,6 +99,101 @@ func run(args []string) error {
 		if o.Verdict == experiments.Failed {
 			os.Exit(2)
 		}
+	}
+	return nil
+}
+
+// benchReport is the schema of the -bench output (BENCH_2.json): the
+// wall time of one full suite run against a cold result cache and one
+// against the warm cache left by the first, with the cache counters and
+// a verdict-equality check (warm results must be byte-identical — the
+// caches only change speed).
+type benchReport struct {
+	Benchmark         string             `json:"benchmark"`
+	Mode              string             `json:"mode"`
+	Seed              uint64             `json:"seed"`
+	Experiments       int                `json:"experiments"`
+	Cells             int                `json:"cells"`
+	ColdSeconds       float64            `json:"cold_seconds"`
+	WarmSeconds       float64            `json:"warm_seconds"`
+	Speedup           float64            `json:"speedup"`
+	VerdictsIdentical bool               `json:"verdicts_identical"`
+	ResultCache       service.CacheStats `json:"result_cache"`
+	GraphCache        service.CacheStats `json:"graph_cache"`
+	GeneratedAt       string             `json:"generated_at"`
+}
+
+func runBench(path string, cfg experiments.Config) error {
+	runner, ok := cfg.Runner.(*service.Executor)
+	if !ok || runner.Results == nil {
+		runner = experiments.NewLocalRunner(cfg.Workers, true)
+		cfg.Runner = runner
+	}
+	cfg.Out = io.Discard
+
+	cells := 0
+	for _, e := range experiments.All() {
+		cells += len(e.Cells(cfg))
+	}
+
+	start := time.Now()
+	cold, err := experiments.RunAll(cfg)
+	if err != nil {
+		return err
+	}
+	coldDur := time.Since(start)
+
+	start = time.Now()
+	warm, err := experiments.RunAll(cfg)
+	if err != nil {
+		return err
+	}
+	warmDur := time.Since(start)
+
+	identical := len(cold) == len(warm)
+	for i := range cold {
+		if !identical {
+			break
+		}
+		identical = cold[i].Verdict == warm[i].Verdict && cold[i].Summary == warm[i].Summary &&
+			cold[i].Details == warm[i].Details
+	}
+
+	mode := "full"
+	if cfg.Quick {
+		mode = "quick"
+	}
+	report := benchReport{
+		Benchmark:         "experiment-suite-warm-vs-cold",
+		Mode:              mode,
+		Seed:              cfg.Seed,
+		Experiments:       len(experiments.All()),
+		Cells:             cells,
+		ColdSeconds:       coldDur.Seconds(),
+		WarmSeconds:       warmDur.Seconds(),
+		Speedup:           coldDur.Seconds() / warmDur.Seconds(),
+		VerdictsIdentical: identical,
+		ResultCache:       runner.Results.Stats(),
+		GraphCache:        runner.Graphs.Stats(),
+		GeneratedAt:       time.Now().UTC().Format(time.RFC3339),
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("suite (%s): cold %.2fs, warm %.2fs (%.1fx), verdicts identical: %v; wrote %s\n",
+		mode, report.ColdSeconds, report.WarmSeconds, report.Speedup, identical, path)
+	if !identical {
+		return fmt.Errorf("warm-cache suite run diverged from cold run (determinism violation)")
 	}
 	return nil
 }

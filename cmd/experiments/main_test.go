@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -23,6 +24,43 @@ func TestRunUnknownExperiment(t *testing.T) {
 func TestRunBadFlag(t *testing.T) {
 	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
 		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunBenchWritesReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the quick suite twice")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	if err := run([]string{"-quick", "-bench", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Benchmark         string  `json:"benchmark"`
+		Cells             int     `json:"cells"`
+		ColdSeconds       float64 `json:"cold_seconds"`
+		WarmSeconds       float64 `json:"warm_seconds"`
+		VerdictsIdentical bool    `json:"verdicts_identical"`
+		ResultCache       struct {
+			Hits uint64 `json:"hits"`
+		} `json:"result_cache"`
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatal(err)
+	}
+	if report.Cells == 0 || report.ColdSeconds <= 0 || report.WarmSeconds <= 0 {
+		t.Fatalf("degenerate bench report: %+v", report)
+	}
+	if !report.VerdictsIdentical {
+		t.Fatal("warm-cache run diverged from cold run")
+	}
+	if report.ResultCache.Hits == 0 {
+		t.Fatal("warm run produced no cache hits")
 	}
 }
 

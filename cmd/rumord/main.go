@@ -2,7 +2,9 @@
 // bounded worker pool executes batches of simulation cells with
 // deterministic seeding, a two-tier cache (cell results + constructed
 // graphs) exploits the purity of every measurement, and results stream
-// back as NDJSON while a job runs.
+// back as NDJSON while a job runs. The paper's E1–E15 experiment suite
+// rides the same scheduler: each experiment runs as a job whose cells
+// stream back followed by the experiment's verdict.
 //
 // Example session:
 //
@@ -13,6 +15,8 @@
 //	    "trials": 100, "seed": 1}'
 //	curl -s localhost:8080/v1/jobs/job-00000001
 //	curl -sN localhost:8080/v1/jobs/job-00000001/results
+//	curl -s localhost:8080/v1/experiments
+//	curl -sN localhost:8080/v1/experiments/e11 -d '{"quick": true}'
 //	curl -s localhost:8080/metricsz
 //
 // SIGINT/SIGTERM drains gracefully: in-flight and queued cells finish
@@ -32,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"rumor/internal/experiments"
 	"rumor/internal/service"
 )
 
@@ -78,7 +83,9 @@ func run(args []string) error {
 		Results:      results,
 		Graphs:       graphs,
 	})
-	srv := &http.Server{Addr: *addr, Handler: service.NewServer(sched)}
+	api := service.NewServer(sched)
+	experiments.RegisterHTTP(api, sched)
+	srv := &http.Server{Addr: *addr, Handler: api}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

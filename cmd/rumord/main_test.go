@@ -79,6 +79,51 @@ func TestRumordServesAndDrainsOnSIGTERM(t *testing.T) {
 		t.Fatalf("streamed %d rows, want 4", rows)
 	}
 
+	// Experiment endpoints: the registry lists E1–E15, and running one
+	// (E12 is graphless and cheap) streams its cells plus a final
+	// outcome row with a verdict.
+	resp, err = http.Get(base + "/v1/experiments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var infos []map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(infos) != 15 {
+		t.Fatalf("experiment registry lists %d entries, want 15", len(infos))
+	}
+
+	resp, err = http.Post(base+"/v1/experiments/e12", "application/json",
+		strings.NewReader(`{"quick": true, "seed": 1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("experiment run status = %d", resp.StatusCode)
+	}
+	var lines []string
+	sc = bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	resp.Body.Close()
+	if len(lines) != 2 { // one cell + the outcome
+		t.Fatalf("experiment stream has %d rows, want 2", len(lines))
+	}
+	var outcome struct {
+		ID      string `json:"id"`
+		Verdict string `json:"verdict"`
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &outcome); err != nil {
+		t.Fatal(err)
+	}
+	if outcome.ID != "E12" || outcome.Verdict == "" || outcome.Verdict == "FAILED" {
+		t.Fatalf("experiment outcome = %+v", outcome)
+	}
+
 	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
 		t.Fatal(err)
 	}

@@ -44,6 +44,8 @@ func run(args []string) error {
 		seed      = fs.Uint64("seed", 1, "root RNG seed")
 		source    = fs.Int("source", 0, "source node")
 		workers   = fs.Int("workers", 0, "parallel workers (0 = all cores)")
+		loss      = fs.Float64("loss", 0, "per-contact loss probability in [0, 1)")
+		view      = fs.String("view", "", "async process view: global-clock, per-node-clocks, per-edge-clocks")
 		csv       = fs.Bool("csv", false, "emit CSV instead of an aligned table")
 		useCache  = fs.Bool("cache", false, "serve repeated cells from a result LRU (rumord's cache tier)")
 		curve     = fs.Bool("curve", false, "emit the mean spreading curve (informed fraction vs time) instead of summary rows")
@@ -118,10 +120,14 @@ func run(args []string) error {
 				N:         size,
 				Protocol:  proto.String(),
 				Timing:    tm,
+				LossProb:  *loss,
 				Trials:    *trials,
 				GraphSeed: *seed,
 				TrialSeed: trialSeed,
 				Source:    *source,
+			}
+			if tm == service.TimingAsync {
+				cell.View = *view
 			}
 			res, _, err := exec.Run(context.Background(), 0, cell)
 			if err != nil {

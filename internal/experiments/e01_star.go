@@ -4,9 +4,7 @@ import (
 	"fmt"
 	"math"
 
-	"rumor/internal/core"
-	"rumor/internal/graph"
-	"rumor/internal/harness"
+	"rumor/internal/service"
 	"rumor/internal/stats"
 )
 
@@ -21,44 +19,54 @@ import (
 //     push to every leaf individually — coupon collection).
 func E01Star() Experiment {
 	return Experiment{
-		ID:    "E1",
-		Title: "Star graph anomaly",
-		Claim: "§1: star: sync pp ≤ 2 rounds; async pp = Θ(log n); sync push = Θ(n log n).",
-		Run:   runE01,
+		ID:     "E1",
+		Title:  "Star graph anomaly",
+		Claim:  "§1: star: sync pp ≤ 2 rounds; async pp = Θ(log n); sync push = Θ(n log n).",
+		Cells:  e01Cells,
+		Reduce: e01Reduce,
 	}
 }
 
-func runE01(cfg Config) (*Outcome, error) {
-	sizes := []int{256, 1024, 4096, 16384}
-	pushSizes := []int{128, 512, 2048}
+func e01Sizes(cfg Config) (sizes, pushSizes []int) {
+	if cfg.Quick {
+		return []int{128, 512}, []int{64, 256}
+	}
+	return []int{256, 1024, 4096, 16384}, []int{128, 512, 2048}
+}
+
+func e01Cells(cfg Config) []service.CellSpec {
+	sizes, pushSizes := e01Sizes(cfg)
 	trials := cfg.pick(200, 50)
 	pushTrials := cfg.pick(60, 15)
-	if cfg.Quick {
-		sizes = []int{128, 512}
-		pushSizes = []int{64, 256}
+	var cells []service.CellSpec
+	for _, n := range sizes {
+		// Source = a leaf: the paper's worst case (center first needs to
+		// be informed by push).
+		cells = append(cells,
+			timeCell("star", n, "push-pull", service.TimingSync, trials, cfg.seed(), 0, 1),
+			timeCell("star", n, "push-pull", service.TimingAsync, trials, cfg.seed(), 1, 1))
 	}
+	for _, n := range pushSizes {
+		cells = append(cells,
+			timeCell("star", n, "push", service.TimingSync, pushTrials, cfg.seed(), 2, 0))
+	}
+	return cells
+}
+
+func e01Reduce(cfg Config, results []*service.CellResult) (*Outcome, error) {
+	sizes, pushSizes := e01Sizes(cfg)
+	cur := &cursor{results: results}
 
 	tab := stats.NewTable("n", "sync-pp q99 (≤2?)", "async-pp mean", "async-pp q99", "ln n")
 	var ns, asyncMeans []float64
 	syncOK := true
-	for _, n := range sizes {
-		g, err := graph.Star(n)
-		if err != nil {
-			return nil, err
-		}
-		// Source = a leaf: the paper's worst case (center first needs to
-		// be informed by push).
-		syncM, err := harness.MeasureSync(g, 1, core.PushPull, trials, cfg.seed(), cfg.Workers)
-		if err != nil {
-			return nil, err
-		}
-		asyncM, err := harness.MeasureAsync(g, 1, core.PushPull, trials, cfg.seed()+1, cfg.Workers)
-		if err != nil {
-			return nil, err
-		}
-		sq99 := stats.Quantile(syncM.Times, 0.99)
-		am := stats.Mean(asyncM.Times)
-		aq99 := stats.Quantile(asyncM.Times, 0.99)
+	for range sizes {
+		syncRes := cur.next()
+		asyncRes := cur.next()
+		n := syncRes.N
+		sq99 := stats.Quantile(syncRes.Times, 0.99)
+		am := stats.Mean(asyncRes.Times)
+		aq99 := stats.Quantile(asyncRes.Times, 0.99)
 		if sq99 > 2 {
 			syncOK = false
 		}
@@ -81,16 +89,10 @@ func runE01(cfg Config) (*Outcome, error) {
 	// Sync push: coupon collection by the center.
 	pushTab := stats.NewTable("n", "sync-push mean rounds", "n·ln n", "mean / (n ln n)")
 	var pns, pmeans []float64
-	for _, n := range pushSizes {
-		g, err := graph.Star(n)
-		if err != nil {
-			return nil, err
-		}
-		m, err := harness.MeasureSync(g, 0, core.Push, pushTrials, cfg.seed()+2, cfg.Workers)
-		if err != nil {
-			return nil, err
-		}
-		mean := stats.Mean(m.Times)
+	for range pushSizes {
+		res := cur.next()
+		n := res.N
+		mean := stats.Mean(res.Times)
 		nln := float64(n) * math.Log(float64(n))
 		pns = append(pns, float64(n))
 		pmeans = append(pmeans, mean)

@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"math"
 
-	"rumor/internal/core"
 	"rumor/internal/harness"
+	"rumor/internal/service"
 	"rumor/internal/stats"
 )
 
@@ -16,41 +16,47 @@ import (
 // small constant across families.
 func E02Theorem1() Experiment {
 	return Experiment{
-		ID:    "E2",
-		Title: "Theorem 1 (async ≤ sync + log n)",
-		Claim: "Thm 1: T_{1/n}(pp-a,G,u) = O(T_{1/n}(pp,G,u) + log n) for every graph.",
-		Run:   runE02,
+		ID:     "E2",
+		Title:  "Theorem 1 (async ≤ sync + log n)",
+		Claim:  "Thm 1: T_{1/n}(pp-a,G,u) = O(T_{1/n}(pp,G,u) + log n) for every graph.",
+		Cells:  theoremCells,
+		Reduce: e02Reduce,
 	}
 }
 
-func runE02(cfg Config) (*Outcome, error) {
+// theoremCells is the grid E2 and E3 share: one sync and one async
+// push-pull sample per standard family. Sharing the grid (identical
+// specs, hence identical cache keys) means a result-caching runner
+// computes these cells once for both experiments.
+func theoremCells(cfg Config) []service.CellSpec {
 	n := cfg.pick(1024, 256)
 	trials := cfg.pick(150, 40)
+	var cells []service.CellSpec
+	for _, fam := range harness.StandardFamilies() {
+		cells = append(cells,
+			timeCell(fam.Name, n, "push-pull", service.TimingSync, trials, cfg.seed(), 10, 0),
+			timeCell(fam.Name, n, "push-pull", service.TimingAsync, trials, cfg.seed(), 11, 0))
+	}
+	return cells
+}
+
+func e02Reduce(cfg Config, results []*service.CellResult) (*Outcome, error) {
+	cur := &cursor{results: results}
 	tab := stats.NewTable("family", "n", "sync q99", "sync max", "async q99", "async max", "ratio q99a/(q99s+ln n)")
 	maxRatio := 0.0
 	worstFamily := ""
 	for _, fam := range harness.StandardFamilies() {
-		g, err := fam.Build(n, cfg.seed())
-		if err != nil {
-			return nil, err
-		}
-		sync, err := harness.MeasureSync(g, 0, core.PushPull, trials, cfg.seed()+10, cfg.Workers)
-		if err != nil {
-			return nil, err
-		}
-		async, err := harness.MeasureAsync(g, 0, core.PushPull, trials, cfg.seed()+11, cfg.Workers)
-		if err != nil {
-			return nil, err
-		}
+		sync := cur.next()
+		async := cur.next()
 		sq := stats.Quantile(sync.Times, 0.99)
 		aq := stats.Quantile(async.Times, 0.99)
-		logN := math.Log(float64(g.NumNodes()))
+		logN := math.Log(float64(sync.N))
 		ratio := aq / (sq + logN)
 		if ratio > maxRatio {
 			maxRatio = ratio
 			worstFamily = fam.Name
 		}
-		tab.AddRow(fam.Name, g.NumNodes(), sq, stats.Quantile(sync.Times, 1),
+		tab.AddRow(fam.Name, sync.N, sq, stats.Quantile(sync.Times, 1),
 			aq, stats.Quantile(async.Times, 1), ratio)
 	}
 	if err := tab.Render(cfg.out()); err != nil {

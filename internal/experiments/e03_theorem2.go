@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"math"
 
-	"rumor/internal/core"
 	"rumor/internal/harness"
+	"rumor/internal/service"
 	"rumor/internal/stats"
 )
 
@@ -13,44 +13,38 @@ import (
 // process is at most ~sqrt(n) slower than the async one in expectation):
 // E[T(pp-a)] = Ω(E[T(pp)] / sqrt(n)), i.e.
 // E[T(pp)] / (sqrt(n) · E[T(pp-a)]) = O(1) on every graph.
+//
+// The measurement grid is exactly E2's (theoremCells): both theorems
+// read the same sync/async push-pull samples, so a caching runner
+// computes them once.
 func E03Theorem2() Experiment {
 	return Experiment{
-		ID:    "E3",
-		Title: "Theorem 2 (sync ≤ sqrt(n)·async)",
-		Claim: "Thm 2: E[T(pp-a,G,u)] = Ω(E[T(pp,G,u)]/√n) for every graph.",
-		Run:   runE03,
+		ID:     "E3",
+		Title:  "Theorem 2 (sync ≤ sqrt(n)·async)",
+		Claim:  "Thm 2: E[T(pp-a,G,u)] = Ω(E[T(pp,G,u)]/√n) for every graph.",
+		Cells:  theoremCells,
+		Reduce: e03Reduce,
 	}
 }
 
-func runE03(cfg Config) (*Outcome, error) {
-	n := cfg.pick(1024, 256)
-	trials := cfg.pick(150, 40)
+func e03Reduce(cfg Config, results []*service.CellResult) (*Outcome, error) {
+	cur := &cursor{results: results}
 	tab := stats.NewTable("family", "n", "E[sync] rounds", "E[async] time", "sync/async", "ratio/(√n)")
 	maxRatio := 0.0
 	worstFamily := ""
 	for _, fam := range harness.StandardFamilies() {
-		g, err := fam.Build(n, cfg.seed())
-		if err != nil {
-			return nil, err
-		}
-		sync, err := harness.MeasureSync(g, 0, core.PushPull, trials, cfg.seed()+20, cfg.Workers)
-		if err != nil {
-			return nil, err
-		}
-		async, err := harness.MeasureAsync(g, 0, core.PushPull, trials, cfg.seed()+21, cfg.Workers)
-		if err != nil {
-			return nil, err
-		}
+		sync := cur.next()
+		async := cur.next()
 		sm := stats.Mean(sync.Times)
 		am := stats.Mean(async.Times)
-		sqrtN := math.Sqrt(float64(g.NumNodes()))
+		sqrtN := math.Sqrt(float64(sync.N))
 		ratio := sm / am
 		capped := ratio / sqrtN
 		if capped > maxRatio {
 			maxRatio = capped
 			worstFamily = fam.Name
 		}
-		tab.AddRow(fam.Name, g.NumNodes(), sm, am, ratio, capped)
+		tab.AddRow(fam.Name, sync.N, sm, am, ratio, capped)
 	}
 	if err := tab.Render(cfg.out()); err != nil {
 		return nil, err

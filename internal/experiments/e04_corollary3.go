@@ -3,8 +3,8 @@ package experiments
 import (
 	"fmt"
 
-	"rumor/internal/core"
 	"rumor/internal/harness"
+	"rumor/internal/service"
 	"rumor/internal/stats"
 )
 
@@ -15,37 +15,44 @@ import (
 // to noise, and not growing with n).
 func E04Corollary3() Experiment {
 	return Experiment{
-		ID:    "E4",
-		Title: "Corollary 3 (push = Θ(push-pull) sync, regular)",
-		Claim: "Cor 3: on regular graphs, T_{p,1/n} = Θ(T_{pp,1/n}).",
-		Run:   runE04,
+		ID:     "E4",
+		Title:  "Corollary 3 (push = Θ(push-pull) sync, regular)",
+		Claim:  "Cor 3: on regular graphs, T_{p,1/n} = Θ(T_{pp,1/n}).",
+		Cells:  e04Cells,
+		Reduce: e04Reduce,
 	}
 }
 
-func runE04(cfg Config) (*Outcome, error) {
-	sizes := []int{256, 1024}
-	trials := cfg.pick(150, 40)
+func e04Sizes(cfg Config) []int {
 	if cfg.Quick {
-		sizes = []int{128, 256}
+		return []int{128, 256}
 	}
+	return []int{256, 1024}
+}
+
+func e04Cells(cfg Config) []service.CellSpec {
+	trials := cfg.pick(150, 40)
+	var cells []service.CellSpec
+	for _, n := range e04Sizes(cfg) {
+		for _, fam := range harness.RegularFamilies() {
+			cells = append(cells,
+				timeCell(fam.Name, n, "push", service.TimingSync, trials, cfg.seed(), 30, 0),
+				timeCell(fam.Name, n, "push-pull", service.TimingSync, trials, cfg.seed(), 31, 0))
+		}
+	}
+	return cells
+}
+
+func e04Reduce(cfg Config, results []*service.CellResult) (*Outcome, error) {
+	cur := &cursor{results: results}
 	tab := stats.NewTable("family", "n", "push q99", "pp q99", "ratio")
 	ratiosBySize := map[string][]float64{}
 	maxRatio := 0.0
 	minRatio := 1e18
-	for _, n := range sizes {
+	for range e04Sizes(cfg) {
 		for _, fam := range harness.RegularFamilies() {
-			g, err := fam.Build(n, cfg.seed())
-			if err != nil {
-				return nil, err
-			}
-			push, err := harness.MeasureSync(g, 0, core.Push, trials, cfg.seed()+30, cfg.Workers)
-			if err != nil {
-				return nil, err
-			}
-			pp, err := harness.MeasureSync(g, 0, core.PushPull, trials, cfg.seed()+31, cfg.Workers)
-			if err != nil {
-				return nil, err
-			}
+			push := cur.next()
+			pp := cur.next()
 			pq := stats.Quantile(push.Times, 0.99)
 			ppq := stats.Quantile(pp.Times, 0.99)
 			ratio := pq / ppq
@@ -56,7 +63,7 @@ func runE04(cfg Config) (*Outcome, error) {
 			if ratio < minRatio {
 				minRatio = ratio
 			}
-			tab.AddRow(fam.Name, g.NumNodes(), pq, ppq, ratio)
+			tab.AddRow(fam.Name, push.N, pq, ppq, ratio)
 		}
 	}
 	if err := tab.Render(cfg.out()); err != nil {

@@ -3,8 +3,8 @@ package experiments
 import (
 	"fmt"
 
-	"rumor/internal/core"
 	"rumor/internal/harness"
+	"rumor/internal/service"
 	"rumor/internal/stats"
 )
 
@@ -17,38 +17,44 @@ import (
 // against the doubled push-pull sample with a two-sample KS test.
 func E05AsyncPushVsPushPull() Experiment {
 	return Experiment{
-		ID:    "E5",
-		Title: "Async push ~ 2× async push-pull (regular)",
-		Claim: "§1 obs (2): on regular graphs, T(push-a) =d 2·T(pp-a).",
-		Run:   runE05,
+		ID:     "E5",
+		Title:  "Async push ~ 2× async push-pull (regular)",
+		Claim:  "§1 obs (2): on regular graphs, T(push-a) =d 2·T(pp-a).",
+		Cells:  e05Cells,
+		Reduce: e05Reduce,
 	}
 }
 
-func runE05(cfg Config) (*Outcome, error) {
+// e05Size shrinks the cycle: its Θ(n) spreading time makes 400 trials
+// expensive at n=512.
+func e05Size(fam string, n int) int {
+	if fam == "cycle" {
+		return n / 2
+	}
+	return n
+}
+
+func e05Cells(cfg Config) []service.CellSpec {
 	n := cfg.pick(512, 128)
 	trials := cfg.pick(400, 100)
+	var cells []service.CellSpec
+	for _, fam := range harness.RegularFamilies() {
+		size := e05Size(fam.Name, n)
+		cells = append(cells,
+			timeCell(fam.Name, size, "push", service.TimingAsync, trials, cfg.seed(), 40, 0),
+			timeCell(fam.Name, size, "push-pull", service.TimingAsync, trials, cfg.seed(), 41, 0))
+	}
+	return cells
+}
+
+func e05Reduce(cfg Config, results []*service.CellResult) (*Outcome, error) {
+	cur := &cursor{results: results}
 	tab := stats.NewTable("family", "n", "E[push-a]", "2·E[pp-a]", "mean ratio", "KS stat", "KS p")
 	minP := 1.0
 	worstFam := ""
 	for _, fam := range harness.RegularFamilies() {
-		// The cycle's Θ(n) spreading time makes 400 trials expensive at
-		// n=512; shrink it.
-		size := n
-		if fam.Name == "cycle" {
-			size = n / 2
-		}
-		g, err := fam.Build(size, cfg.seed())
-		if err != nil {
-			return nil, err
-		}
-		push, err := harness.MeasureAsync(g, 0, core.Push, trials, cfg.seed()+40, cfg.Workers)
-		if err != nil {
-			return nil, err
-		}
-		pp, err := harness.MeasureAsync(g, 0, core.PushPull, trials, cfg.seed()+41, cfg.Workers)
-		if err != nil {
-			return nil, err
-		}
+		push := cur.next()
+		pp := cur.next()
 		doubled := make([]float64, len(pp.Times))
 		for i, v := range pp.Times {
 			doubled[i] = 2 * v
@@ -60,7 +66,7 @@ func runE05(cfg Config) (*Outcome, error) {
 		}
 		pm := stats.Mean(push.Times)
 		dm := stats.Mean(doubled)
-		tab.AddRow(fam.Name, g.NumNodes(), pm, dm, pm/dm*2, ks.Statistic, ks.PValue)
+		tab.AddRow(fam.Name, push.N, pm, dm, pm/dm*2, ks.Statistic, ks.PValue)
 	}
 	if err := tab.Render(cfg.out()); err != nil {
 		return nil, err

@@ -3,11 +3,14 @@ package experiments
 import (
 	"fmt"
 
-	"rumor/internal/core"
-	"rumor/internal/graph"
-	"rumor/internal/harness"
+	"rumor/internal/service"
 	"rumor/internal/stats"
 )
+
+// e06Families are the regular AND irregular topologies the bound is
+// checked on (all standard families, named so the reducer and the cell
+// grid agree).
+var e06Families = []string{"complete", "hypercube", "star", "binary-tree", "gnp", "pref-attach"}
 
 // E06SyncPushVsAsyncPush checks the paper's observation (1) in Section 1
 // (due to Sauerwald): for any graph, the synchronous push spreading time
@@ -16,60 +19,42 @@ import (
 // stays below a small constant on regular AND irregular families.
 func E06SyncPushVsAsyncPush() Experiment {
 	return Experiment{
-		ID:    "E6",
-		Title: "Sync push ≤ O(async push)",
-		Claim: "§1 obs (1) [Sauerwald]: T_{1/n}(push) = O(T_{1/n}(push-a)) on any graph.",
-		Run:   runE06,
+		ID:     "E6",
+		Title:  "Sync push ≤ O(async push)",
+		Claim:  "§1 obs (1) [Sauerwald]: T_{1/n}(push) = O(T_{1/n}(push-a)) on any graph.",
+		Cells:  e06Cells,
+		Reduce: e06Reduce,
 	}
 }
 
-func runE06(cfg Config) (*Outcome, error) {
+func e06Cells(cfg Config) []service.CellSpec {
 	n := cfg.pick(512, 128)
 	trials := cfg.pick(120, 30)
-	builders := []struct {
-		name  string
-		build func() (*graph.Graph, error)
-	}{
-		{"complete", func() (*graph.Graph, error) { return graph.Complete(n) }},
-		{"hypercube", func() (*graph.Graph, error) {
-			f, _ := harness.FamilyByName("hypercube")
-			return f.Build(n, cfg.seed())
-		}},
-		{"star", func() (*graph.Graph, error) { return graph.Star(n) }},
-		{"binary-tree", func() (*graph.Graph, error) { return graph.CompleteKAryTree(n, 2) }},
-		{"gnp", func() (*graph.Graph, error) {
-			f, _ := harness.FamilyByName("gnp")
-			return f.Build(n, cfg.seed())
-		}},
-		{"pref-attach", func() (*graph.Graph, error) {
-			f, _ := harness.FamilyByName("pref-attach")
-			return f.Build(n, cfg.seed())
-		}},
+	var cells []service.CellSpec
+	for _, fam := range e06Families {
+		cells = append(cells,
+			timeCell(fam, n, "push", service.TimingSync, trials, cfg.seed(), 50, 0),
+			timeCell(fam, n, "push", service.TimingAsync, trials, cfg.seed(), 51, 0))
 	}
+	return cells
+}
+
+func e06Reduce(cfg Config, results []*service.CellResult) (*Outcome, error) {
+	cur := &cursor{results: results}
 	tab := stats.NewTable("family", "n", "sync-push q99", "async-push q99", "ratio")
 	maxRatio := 0.0
 	worstFam := ""
-	for _, b := range builders {
-		g, err := b.build()
-		if err != nil {
-			return nil, err
-		}
-		sync, err := harness.MeasureSync(g, 0, core.Push, trials, cfg.seed()+50, cfg.Workers)
-		if err != nil {
-			return nil, err
-		}
-		async, err := harness.MeasureAsync(g, 0, core.Push, trials, cfg.seed()+51, cfg.Workers)
-		if err != nil {
-			return nil, err
-		}
+	for _, fam := range e06Families {
+		sync := cur.next()
+		async := cur.next()
 		sq := stats.Quantile(sync.Times, 0.99)
 		aq := stats.Quantile(async.Times, 0.99)
 		ratio := sq / aq
 		if ratio > maxRatio {
 			maxRatio = ratio
-			worstFam = b.name
+			worstFam = fam
 		}
-		tab.AddRow(b.name, g.NumNodes(), sq, aq, ratio)
+		tab.AddRow(fam, sync.N, sq, aq, ratio)
 	}
 	if err := tab.Render(cfg.out()); err != nil {
 		return nil, err

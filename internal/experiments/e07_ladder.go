@@ -4,13 +4,13 @@ import (
 	"fmt"
 	"math"
 
-	"rumor/internal/core"
-	"rumor/internal/coupling"
 	"rumor/internal/dist"
-	"rumor/internal/graph"
-	"rumor/internal/harness"
+	"rumor/internal/service"
 	"rumor/internal/stats"
 )
+
+// e07Families are the topologies the ladder is checked on.
+var e07Families = []string{"complete", "hypercube", "star"}
 
 // E07CouplingLadder checks the auxiliary-process ladder of the upper
 // bound proof (Section 4):
@@ -21,56 +21,57 @@ import (
 //
 // plus the coupled-run excess statistics: running ppx/ppy/pp-a on shared
 // randomness, max_v (r'_v - 2 r_v) and max_v (t_v - 4 r'_v) are O(log n).
+// The four marginal samples are ordinary time cells (the ppx/ppy cells
+// use the v2 spec's Variant field); the coupled runs are cells of the
+// registered coupling-upper kind.
 func E07CouplingLadder() Experiment {
 	return Experiment{
-		ID:    "E7",
-		Title: "Coupling ladder pp→ppx→ppy→pp-a",
-		Claim: "Lemmas 6, 9, 10: domination chain bridging pp and pp-a.",
-		Run:   runE07,
+		ID:     "E7",
+		Title:  "Coupling ladder pp→ppx→ppy→pp-a",
+		Claim:  "Lemmas 6, 9, 10: domination chain bridging pp and pp-a.",
+		Cells:  e07Cells,
+		Reduce: e07Reduce,
 	}
 }
 
-func runE07(cfg Config) (*Outcome, error) {
+func e07Cells(cfg Config) []service.CellSpec {
 	n := cfg.pick(256, 96)
 	trials := cfg.pick(300, 80)
 	coupledTrials := cfg.pick(40, 10)
-	builders := []struct {
-		name  string
-		build func() (*graph.Graph, error)
-	}{
-		{"complete", func() (*graph.Graph, error) { return graph.Complete(n) }},
-		{"hypercube", func() (*graph.Graph, error) {
-			f, _ := harness.FamilyByName("hypercube")
-			return f.Build(n, cfg.seed())
-		}},
-		{"star", func() (*graph.Graph, error) { return graph.Star(n) }},
+	var cells []service.CellSpec
+	for _, fam := range e07Families {
+		pp := timeCell(fam, n, "push-pull", service.TimingSync, trials, cfg.seed(), 60, 0)
+		ppx := timeCell(fam, n, "push-pull", service.TimingSync, trials, cfg.seed(), 61, 0)
+		ppx.Variant = "ppx"
+		ppy := timeCell(fam, n, "push-pull", service.TimingSync, trials, cfg.seed(), 62, 0)
+		ppy.Variant = "ppy"
+		ppa := timeCell(fam, n, "push-pull", service.TimingAsync, trials, cfg.seed(), 63, 0)
+		coupled := service.CellSpec{
+			Kind:      KindCouplingUpper,
+			Family:    fam,
+			N:         n,
+			Trials:    coupledTrials,
+			GraphSeed: cfg.seed(),
+			TrialSeed: cfg.seed() + 100,
+		}
+		cells = append(cells, pp, ppx, ppy, ppa, coupled)
 	}
+	return cells
+}
+
+func e07Reduce(cfg Config, results []*service.CellResult) (*Outcome, error) {
+	cur := &cursor{results: results}
 	tab := stats.NewTable("family", "ppx≼pp", "q99 ppx", "q99 ppy", "q99 pp-a",
 		"L9 slack", "L10 slack", "coupled max(r'-2r)", "coupled max(t-4r')", "14·ln n")
 	allDominated := true
 	l9OK, l10OK, coupledOK := true, true, true
-	for _, b := range builders {
-		g, err := b.build()
-		if err != nil {
-			return nil, err
-		}
-		logN := math.Log(float64(g.NumNodes()))
-		pp, err := harness.MeasureSync(g, 0, core.PushPull, trials, cfg.seed()+60, cfg.Workers)
-		if err != nil {
-			return nil, err
-		}
-		ppx, err := harness.MeasurePPVariant(g, 0, core.PPX, trials, cfg.seed()+61, cfg.Workers)
-		if err != nil {
-			return nil, err
-		}
-		ppy, err := harness.MeasurePPVariant(g, 0, core.PPY, trials, cfg.seed()+62, cfg.Workers)
-		if err != nil {
-			return nil, err
-		}
-		ppa, err := harness.MeasureAsync(g, 0, core.PushPull, trials, cfg.seed()+63, cfg.Workers)
-		if err != nil {
-			return nil, err
-		}
+	for _, fam := range e07Families {
+		pp := cur.next()
+		ppx := cur.next()
+		ppy := cur.next()
+		ppa := cur.next()
+		coupled := cur.next()
+		logN := math.Log(float64(pp.N))
 		dominated := dist.DominatedEmpirically(ppx.Times, pp.Times, 0.12)
 		if !dominated {
 			allDominated = false
@@ -87,25 +88,12 @@ func runE07(cfg Config) (*Outcome, error) {
 		if l10Slack < 0 {
 			l10OK = false
 		}
-		// Coupled runs.
-		var maxPPYExcess float64 = math.Inf(-1)
-		var maxAsyncExcess float64 = math.Inf(-1)
-		for seed := uint64(0); seed < uint64(coupledTrials); seed++ {
-			res, err := coupling.RunUpper(g, 0, cfg.seed()+100+seed)
-			if err != nil {
-				return nil, err
-			}
-			if e := float64(res.MaxPPYExcess()); e > maxPPYExcess {
-				maxPPYExcess = e
-			}
-			if e := res.MaxAsyncExcess(); e > maxAsyncExcess {
-				maxAsyncExcess = e
-			}
-		}
+		maxPPYExcess := maxOf(coupled.Times)
+		maxAsyncExcess := maxOf(coupled.Series["async_excess"])
 		if maxPPYExcess > 14*logN || maxAsyncExcess > 14*logN {
 			coupledOK = false
 		}
-		tab.AddRow(b.name, dominated, qppx, qppy, qppa, l9Slack, l10Slack,
+		tab.AddRow(fam, dominated, qppx, qppy, qppa, l9Slack, l10Slack,
 			maxPPYExcess, maxAsyncExcess, 14*logN)
 	}
 	if err := tab.Render(cfg.out()); err != nil {

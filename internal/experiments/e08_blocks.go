@@ -4,11 +4,20 @@ import (
 	"fmt"
 	"math"
 
-	"rumor/internal/coupling"
-	"rumor/internal/graph"
-	"rumor/internal/harness"
+	"rumor/internal/service"
 	"rumor/internal/stats"
 )
+
+// e08Families are the block-coupling topologies. The cycle runs at half
+// size (its Θ(n) spreading time makes full-size trials expensive).
+var e08Families = []string{"complete", "hypercube", "star", "cycle"}
+
+func e08Size(fam string, n int) int {
+	if fam == "cycle" {
+		return n / 2
+	}
+	return n
+}
 
 // E08BlockCoupling exercises the lower-bound block decomposition
 // (Section 5) and its invariants:
@@ -19,56 +28,49 @@ import (
 //     execution of the block's contacts agree;
 //   - Lemma 14: E[ρ_τ] = O(E[τ]/√n + √n), with the component bounds
 //     E[ρ_left] ≤ 2 E[τ]/√n and E[ρ_special] ≤ 2 √n.
+//
+// The measurements are cells of the registered coupling-lower kind.
 func E08BlockCoupling() Experiment {
 	return Experiment{
-		ID:    "E8",
-		Title: "Lower-bound block coupling",
-		Claim: "Lemmas 13, 14 + Remark 12: block decomposition mapping pp-a steps to pp rounds.",
-		Run:   runE08,
+		ID:     "E8",
+		Title:  "Lower-bound block coupling",
+		Claim:  "Lemmas 13, 14 + Remark 12: block decomposition mapping pp-a steps to pp rounds.",
+		Cells:  e08Cells,
+		Reduce: e08Reduce,
 	}
 }
 
-func runE08(cfg Config) (*Outcome, error) {
+func e08Cells(cfg Config) []service.CellSpec {
 	n := cfg.pick(256, 100)
 	trials := cfg.pick(20, 6)
-	builders := []struct {
-		name  string
-		build func() (*graph.Graph, error)
-	}{
-		{"complete", func() (*graph.Graph, error) { return graph.Complete(n) }},
-		{"hypercube", func() (*graph.Graph, error) {
-			f, _ := harness.FamilyByName("hypercube")
-			return f.Build(n, cfg.seed())
-		}},
-		{"star", func() (*graph.Graph, error) { return graph.Star(n) }},
-		{"cycle", func() (*graph.Graph, error) { return graph.Cycle(n / 2) }},
+	var cells []service.CellSpec
+	for _, fam := range e08Families {
+		cells = append(cells, service.CellSpec{
+			Kind:      KindCouplingLower,
+			Family:    fam,
+			N:         e08Size(fam, n),
+			Trials:    trials,
+			GraphSeed: cfg.seed(),
+			TrialSeed: cfg.seed() + 200,
+		})
 	}
+	return cells
+}
+
+func e08Reduce(cfg Config, results []*service.CellResult) (*Outcome, error) {
+	cur := &cursor{results: results}
 	tab := stats.NewTable("family", "n", "E[τ]", "E[ρ]", "bound 3τ/√n+4√n+1",
 		"E[ρ_left]", "2τ/√n", "E[ρ_special]", "2√n", "subset", "seq=par")
 	subsetOK, seqParOK, rhoOK, leftOK, specialOK := true, true, true, true, true
-	for _, b := range builders {
-		g, err := b.build()
-		if err != nil {
-			return nil, err
-		}
-		sqrtN := math.Sqrt(float64(g.NumNodes()))
-		var sumTau, sumRho, sumLeft, sumSpecial float64
-		famSubset, famSeqPar := true, true
-		for seed := uint64(0); seed < uint64(trials); seed++ {
-			res, err := coupling.RunLower(g, 0, cfg.seed()+200+seed)
-			if err != nil {
-				return nil, err
-			}
-			sumTau += float64(res.Tau)
-			sumRho += float64(res.Rho)
-			sumLeft += float64(res.RhoLeft)
-			sumSpecial += float64(res.RhoSpecial)
-			famSubset = famSubset && res.SubsetInvariantHeld
-			famSeqPar = famSeqPar && res.SequentialParallelAgreed
-		}
-		ft := float64(trials)
-		meanTau, meanRho := sumTau/ft, sumRho/ft
-		meanLeft, meanSpecial := sumLeft/ft, sumSpecial/ft
+	for _, fam := range e08Families {
+		res := cur.next()
+		sqrtN := math.Sqrt(float64(res.N))
+		meanTau := stats.Mean(res.Times)
+		meanRho := stats.Mean(res.Series["rho"])
+		meanLeft := stats.Mean(res.Series["rho_left"])
+		meanSpecial := stats.Mean(res.Series["rho_special"])
+		famSubset := allUnit(res.Series["subset"])
+		famSeqPar := allUnit(res.Series["seq_par"])
 		bound := 3*meanTau/sqrtN + 4*sqrtN + 1
 		leftBound := 2 * meanTau / sqrtN
 		specialBound := 2 * sqrtN
@@ -83,7 +85,7 @@ func runE08(cfg Config) (*Outcome, error) {
 		}
 		subsetOK = subsetOK && famSubset
 		seqParOK = seqParOK && famSeqPar
-		tab.AddRow(b.name, g.NumNodes(), meanTau, meanRho, bound,
+		tab.AddRow(fam, res.N, meanTau, meanRho, bound,
 			meanLeft, leftBound, meanSpecial, specialBound, famSubset, famSeqPar)
 	}
 	if err := tab.Render(cfg.out()); err != nil {

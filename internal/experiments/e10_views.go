@@ -4,57 +4,67 @@ import (
 	"fmt"
 
 	"rumor/internal/core"
-	"rumor/internal/graph"
-	"rumor/internal/harness"
+	"rumor/internal/service"
 	"rumor/internal/stats"
 )
+
+// e10Graphs are two structurally different topologies (E10 compares
+// process views, not families, so tiny fixed sizes suffice).
+var e10Graphs = []struct {
+	family string
+	n      int
+}{
+	{"hypercube", 64},
+	{"star", 64},
+}
+
+var e10Views = []core.AsyncView{core.GlobalClock, core.PerNodeClocks, core.PerEdgeClocks}
 
 // E10AsyncViews checks the paper's Section 2 equivalence of the three
 // descriptions of pp-a: per-node rate-1 Poisson clocks, per-directed-edge
 // rate-1/deg(v) clocks, and a single global rate-n clock. The spreading
 // time distributions must be identical; we compare all pairs with
-// two-sample KS tests on two structurally different graphs.
+// two-sample KS tests on two structurally different graphs. Each view is
+// one async cell with the v2 spec's View field set.
 func E10AsyncViews() Experiment {
 	return Experiment{
-		ID:    "E10",
-		Title: "Equivalent async process views",
-		Claim: "§2: per-node, per-edge, and global-clock views of pp-a are the same process.",
-		Run:   runE10,
+		ID:     "E10",
+		Title:  "Equivalent async process views",
+		Claim:  "§2: per-node, per-edge, and global-clock views of pp-a are the same process.",
+		Cells:  e10Cells,
+		Reduce: e10Reduce,
 	}
 }
 
-func runE10(cfg Config) (*Outcome, error) {
+func e10Cells(cfg Config) []service.CellSpec {
 	trials := cfg.pick(300, 80)
-	builders := []struct {
-		name  string
-		build func() (*graph.Graph, error)
-	}{
-		{"hypercube", func() (*graph.Graph, error) { return graph.Hypercube(6) }},
-		{"star", func() (*graph.Graph, error) { return graph.Star(64) }},
+	var cells []service.CellSpec
+	for _, g := range e10Graphs {
+		for i, view := range e10Views {
+			c := timeCell(g.family, g.n, "push-pull", service.TimingAsync, trials, cfg.seed(), 80+uint64(i), 0)
+			c.View = view.String()
+			cells = append(cells, c)
+		}
 	}
-	views := []core.AsyncView{core.GlobalClock, core.PerNodeClocks, core.PerEdgeClocks}
+	return cells
+}
+
+func e10Reduce(cfg Config, results []*service.CellResult) (*Outcome, error) {
+	cur := &cursor{results: results}
 	tab := stats.NewTable("graph", "views", "KS stat", "KS p")
 	minP := 1.0
-	for _, b := range builders {
-		g, err := b.build()
-		if err != nil {
-			return nil, err
+	for _, g := range e10Graphs {
+		samples := make([][]float64, len(e10Views))
+		for i := range e10Views {
+			samples[i] = cur.next().Times
 		}
-		samples := make(map[core.AsyncView][]float64, len(views))
-		for i, view := range views {
-			m, err := harness.MeasureAsyncView(g, 0, core.PushPull, view, trials, cfg.seed()+80+uint64(i), cfg.Workers)
-			if err != nil {
-				return nil, err
-			}
-			samples[view] = m.Times
-		}
-		for i := 0; i < len(views); i++ {
-			for j := i + 1; j < len(views); j++ {
-				ks := stats.KolmogorovSmirnov(samples[views[i]], samples[views[j]])
+		for i := 0; i < len(e10Views); i++ {
+			for j := i + 1; j < len(e10Views); j++ {
+				ks := stats.KolmogorovSmirnov(samples[i], samples[j])
 				if ks.PValue < minP {
 					minP = ks.PValue
 				}
-				tab.AddRow(b.name, fmt.Sprintf("%v vs %v", views[i], views[j]), ks.Statistic, ks.PValue)
+				tab.AddRow(g.family, fmt.Sprintf("%v vs %v", e10Views[i], e10Views[j]), ks.Statistic, ks.PValue)
 			}
 		}
 	}

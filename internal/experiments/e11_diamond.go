@@ -4,9 +4,7 @@ import (
 	"fmt"
 	"math"
 
-	"rumor/internal/core"
-	"rumor/internal/graph"
-	"rumor/internal/harness"
+	"rumor/internal/service"
 	"rumor/internal/stats"
 )
 
@@ -20,40 +18,46 @@ import (
 // m = k² parallel length-2 paths, n ≈ k³. Synchronous push-pull pays ≥ 2
 // rounds per diamond (hop distance 2k = 2n^{1/3}); asynchronous crossing
 // of one diamond takes Θ(1/√m) = Θ(1/k) expected time, so the whole chain
-// takes Θ(1) + O(log n) time.
+// takes Θ(1) + O(log n) time. Cells target the "diamond" family at
+// n = k³, which DiamondChainForSize rounds back to exactly (k, k²).
 func E11DiamondChain() Experiment {
 	return Experiment{
-		ID:    "E11",
-		Title: "Diamond chain: polylog async vs n^(1/3) sync",
-		Claim: "§1 [1]: a graph with async polylog vs sync Θ(n^{1/3}); Thm 2 caps the gap at √n·polylog.",
-		Run:   runE11,
+		ID:     "E11",
+		Title:  "Diamond chain: polylog async vs n^(1/3) sync",
+		Claim:  "§1 [1]: a graph with async polylog vs sync Θ(n^{1/3}); Thm 2 caps the gap at √n·polylog.",
+		Cells:  e11Cells,
+		Reduce: e11Reduce,
 	}
 }
 
-func runE11(cfg Config) (*Outcome, error) {
-	ks := []int{6, 8, 11, 16}
-	trials := cfg.pick(80, 25)
+func e11Ks(cfg Config) []int {
 	if cfg.Quick {
-		ks = []int{5, 7, 9}
+		return []int{5, 7, 9}
 	}
+	return []int{6, 8, 11, 16}
+}
+
+func e11Cells(cfg Config) []service.CellSpec {
+	trials := cfg.pick(80, 25)
+	var cells []service.CellSpec
+	for _, k := range e11Ks(cfg) {
+		n := k * k * k
+		cells = append(cells,
+			timeCell("diamond", n, "push-pull", service.TimingSync, trials, cfg.seed(), 90, 0),
+			timeCell("diamond", n, "push-pull", service.TimingAsync, trials, cfg.seed(), 91, 0))
+	}
+	return cells
+}
+
+func e11Reduce(cfg Config, results []*service.CellResult) (*Outcome, error) {
+	cur := &cursor{results: results}
 	tab := stats.NewTable("k", "m=k²", "n", "E[sync] rounds", "E[async] time", "sync/async", "√n", "2k (diam)")
 	var ns, syncMeans, asyncMeans []float64
 	gapBelowSqrtN := true
-	for _, k := range ks {
-		m := k * k
-		g, err := graph.DiamondChain(k, m)
-		if err != nil {
-			return nil, err
-		}
-		n := g.NumNodes()
-		sync, err := harness.MeasureSync(g, 0, core.PushPull, trials, cfg.seed()+90, cfg.Workers)
-		if err != nil {
-			return nil, err
-		}
-		async, err := harness.MeasureAsync(g, 0, core.PushPull, trials, cfg.seed()+91, cfg.Workers)
-		if err != nil {
-			return nil, err
-		}
+	for _, k := range e11Ks(cfg) {
+		sync := cur.next()
+		async := cur.next()
+		n := sync.N
 		sm := stats.Mean(sync.Times)
 		am := stats.Mean(async.Times)
 		if sm/am > math.Sqrt(float64(n))*math.Log(float64(n)) {
@@ -62,7 +66,7 @@ func runE11(cfg Config) (*Outcome, error) {
 		ns = append(ns, float64(n))
 		syncMeans = append(syncMeans, sm)
 		asyncMeans = append(asyncMeans, am)
-		tab.AddRow(k, m, n, sm, am, sm/am, math.Sqrt(float64(n)), 2*k)
+		tab.AddRow(k, k*k, n, sm, am, sm/am, math.Sqrt(float64(n)), 2*k)
 	}
 	if err := tab.Render(cfg.out()); err != nil {
 		return nil, err

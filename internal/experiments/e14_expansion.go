@@ -4,12 +4,13 @@ import (
 	"fmt"
 	"math"
 
-	"rumor/internal/core"
-	"rumor/internal/harness"
-	"rumor/internal/spectral"
+	"rumor/internal/service"
 	"rumor/internal/stats"
-	"rumor/internal/xrand"
 )
+
+// e14Families are the families where the spectral machinery applies
+// cleanly (connected, no isolated vertices after build).
+var e14Families = []string{"complete", "hypercube", "torus", "cycle", "random-regular", "gnp", "star", "binary-tree"}
 
 // E14ExpansionBounds checks the paper's stated consequence of Theorem 1:
 // the known conductance upper bounds for synchronous push-pull
@@ -18,51 +19,57 @@ import (
 // spectral gap (Cheeger: Φ ≥ gap) and verify
 // q99(pp-a) ≤ C · log(n) / gap with a modest constant across families —
 // including low-expansion topologies where the bound is loose and
-// expanders where it is tight.
+// expanders where it is tight. The gap estimate is a cell of the
+// registered spectral-gap kind; the async sample an ordinary time cell
+// on the same graph instance (shared through the graph tier).
 func E14ExpansionBounds() Experiment {
 	return Experiment{
-		ID:    "E14",
-		Title: "Conductance bounds carry over to async",
-		Claim: "Thm 1 + [17]: T_{1/n}(pp-a) = O(log n / Φ); measured via the spectral proxy Φ ≥ gap.",
-		Run:   runE14,
+		ID:     "E14",
+		Title:  "Conductance bounds carry over to async",
+		Claim:  "Thm 1 + [17]: T_{1/n}(pp-a) = O(log n / Φ); measured via the spectral proxy Φ ≥ gap.",
+		Cells:  e14Cells,
+		Reduce: e14Reduce,
 	}
 }
 
-func runE14(cfg Config) (*Outcome, error) {
+func e14Cells(cfg Config) []service.CellSpec {
 	n := cfg.pick(1024, 256)
 	trials := cfg.pick(150, 40)
-	// Families where the spectral machinery applies cleanly (connected,
-	// no isolated vertices after build).
-	names := []string{"complete", "hypercube", "torus", "cycle", "random-regular", "gnp", "star", "binary-tree"}
+	var cells []service.CellSpec
+	for _, fam := range e14Families {
+		cells = append(cells,
+			service.CellSpec{
+				Kind:      KindSpectralGap,
+				Family:    fam,
+				N:         n,
+				Trials:    1,
+				GraphSeed: cfg.seed(),
+				TrialSeed: cfg.seed() + 400,
+				Params:    map[string]float64{"iters": 5000},
+			},
+			timeCell(fam, n, "push-pull", service.TimingAsync, trials, cfg.seed(), 401, 0))
+	}
+	return cells
+}
+
+func e14Reduce(cfg Config, results []*service.CellResult) (*Outcome, error) {
+	cur := &cursor{results: results}
 	tab := stats.NewTable("family", "n", "gap", "log n / gap", "async q99", "ratio q99·gap/log n")
 	maxRatio := 0.0
 	worstFam := ""
-	for _, name := range names {
-		fam, err := harness.FamilyByName(name)
-		if err != nil {
-			return nil, err
-		}
-		g, err := fam.Build(n, cfg.seed())
-		if err != nil {
-			return nil, err
-		}
-		gap, err := spectral.SpectralGapLazy(g, 5000, xrand.New(cfg.seed()+400))
-		if err != nil {
-			return nil, err
-		}
-		async, err := harness.MeasureAsync(g, 0, core.PushPull, trials, cfg.seed()+401, cfg.Workers)
-		if err != nil {
-			return nil, err
-		}
+	for _, fam := range e14Families {
+		gapRes := cur.next()
+		async := cur.next()
+		gap := gapRes.Times[0]
 		aq := stats.Quantile(async.Times, 0.99)
-		logN := math.Log(float64(g.NumNodes()))
+		logN := math.Log(float64(async.N))
 		bound := logN / gap
 		ratio := aq / bound
 		if ratio > maxRatio {
 			maxRatio = ratio
-			worstFam = name
+			worstFam = fam
 		}
-		tab.AddRow(name, g.NumNodes(), gap, bound, aq, ratio)
+		tab.AddRow(fam, async.N, gap, bound, aq, ratio)
 	}
 	if err := tab.Render(cfg.out()); err != nil {
 		return nil, err

@@ -3,11 +3,11 @@ package experiments
 import (
 	"fmt"
 
-	"rumor/internal/core"
-	"rumor/internal/harness"
+	"rumor/internal/service"
 	"rumor/internal/stats"
-	"rumor/internal/xrand"
 )
+
+var e15Families = []string{"complete", "hypercube", "star", "gnp", "pref-attach", "torus"}
 
 // E15Quasirandom compares the quasirandom push-pull protocol (the
 // paper's reference [11]: Doerr, Friedrich, Künnemann, Sauerwald —
@@ -17,50 +17,40 @@ import (
 // within a small constant (and often slightly improves it); we check
 // that the q99 ratio stays in a tight band across families. This is a
 // flagged extension (DESIGN.md §6), not a claim of the reproduced paper.
+// The quasirandom sample is a time cell with the v2 spec's Quasirandom
+// flag.
 func E15Quasirandom() Experiment {
 	return Experiment{
-		ID:    "E15",
-		Title: "Quasirandom push-pull (extension, ref [11])",
-		Claim: "[11]: one random offset per node suffices — quasirandom ≈ random push-pull.",
-		Run:   runE15,
+		ID:     "E15",
+		Title:  "Quasirandom push-pull (extension, ref [11])",
+		Claim:  "[11]: one random offset per node suffices — quasirandom ≈ random push-pull.",
+		Cells:  e15Cells,
+		Reduce: e15Reduce,
 	}
 }
 
-func runE15(cfg Config) (*Outcome, error) {
+func e15Cells(cfg Config) []service.CellSpec {
 	n := cfg.pick(1024, 256)
 	trials := cfg.pick(150, 40)
-	names := []string{"complete", "hypercube", "star", "gnp", "pref-attach", "torus"}
+	var cells []service.CellSpec
+	for _, fam := range e15Families {
+		random := timeCell(fam, n, "push-pull", service.TimingSync, trials, cfg.seed(), 500, 0)
+		qr := timeCell(fam, n, "push-pull", service.TimingSync, trials, cfg.seed(), 501, 0)
+		qr.Quasirandom = true
+		cells = append(cells, random, qr)
+	}
+	return cells
+}
+
+func e15Reduce(cfg Config, results []*service.CellResult) (*Outcome, error) {
+	cur := &cursor{results: results}
 	tab := stats.NewTable("family", "n", "random q99", "quasirandom q99", "ratio qr/rand")
 	minRatio, maxRatio := 1e18, 0.0
-	for _, name := range names {
-		fam, err := harness.FamilyByName(name)
-		if err != nil {
-			return nil, err
-		}
-		g, err := fam.Build(n, cfg.seed())
-		if err != nil {
-			return nil, err
-		}
-		random, err := harness.MeasureSync(g, 0, core.PushPull, trials, cfg.seed()+500, cfg.Workers)
-		if err != nil {
-			return nil, err
-		}
-		r := harness.Runner{Trials: trials, Seed: cfg.seed() + 501, Workers: cfg.Workers}
-		qrTimes, err := r.Run(func(_ int, rng *xrand.RNG) (float64, error) {
-			res, err := core.RunQuasirandomSync(g, 0, core.SyncConfig{Protocol: core.PushPull}, rng)
-			if err != nil {
-				return 0, err
-			}
-			if !res.Complete {
-				return 0, fmt.Errorf("quasirandom spreading incomplete on %v", g)
-			}
-			return float64(res.Rounds), nil
-		})
-		if err != nil {
-			return nil, err
-		}
+	for _, fam := range e15Families {
+		random := cur.next()
+		qr := cur.next()
 		rq := stats.Quantile(random.Times, 0.99)
-		qq := stats.Quantile(qrTimes, 0.99)
+		qq := stats.Quantile(qr.Times, 0.99)
 		ratio := qq / rq
 		if ratio < minRatio {
 			minRatio = ratio
@@ -68,7 +58,7 @@ func runE15(cfg Config) (*Outcome, error) {
 		if ratio > maxRatio {
 			maxRatio = ratio
 		}
-		tab.AddRow(name, g.NumNodes(), rq, qq, ratio)
+		tab.AddRow(fam, random.N, rq, qq, ratio)
 	}
 	if err := tab.Render(cfg.out()); err != nil {
 		return nil, err
@@ -84,6 +74,6 @@ func runE15(cfg Config) (*Outcome, error) {
 	}
 	return &Outcome{
 		ID: "E15", Title: "Quasirandom push-pull (extension, ref [11])", Verdict: verdict,
-		Summary: fmt.Sprintf("quasirandom/random q99 ratios in [%.2f, %.2f] across %d families", minRatio, maxRatio, len(names)),
+		Summary: fmt.Sprintf("quasirandom/random q99 ratios in [%.2f, %.2f] across %d families", minRatio, maxRatio, len(e15Families)),
 	}, nil
 }

@@ -4,14 +4,27 @@
 // a set of theorems, corollaries, lemmas, and worked examples, each of
 // which maps here to one experiment (E1–E15) that prints the measured
 // analogue next to the paper's prediction and issues a verdict.
+//
+// Every experiment is a grid of service cells plus a pure reducer: the
+// Cells function declares what to measure (as service.CellSpec values,
+// including the experiment-specific kinds registered in kinds.go) and
+// the Reduce function folds the cell results into tables and a verdict.
+// All parallelism, deduplication, and caching are delegated to the
+// shared cell executor — experiments own no goroutines. The same grids
+// run locally (cmd/experiments), under the rumord scheduler
+// (POST /v1/experiments/{id}), or in tests, and produce byte-identical
+// results in each case.
 package experiments
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
 
+	"rumor/internal/service"
 	"rumor/internal/stats"
 )
 
@@ -44,16 +57,45 @@ func (v Verdict) String() string {
 	}
 }
 
+// MarshalJSON renders the verdict as its string name.
+func (v Verdict) MarshalJSON() ([]byte, error) { return json.Marshal(v.String()) }
+
+// UnmarshalJSON parses a verdict name.
+func (v *Verdict) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	switch s {
+	case "SUPPORTED":
+		*v = Supported
+	case "BORDERLINE":
+		*v = Borderline
+	case "FAILED":
+		*v = Failed
+	default:
+		return fmt.Errorf("experiments: unknown verdict %q", s)
+	}
+	return nil
+}
+
 // Config controls experiment execution.
 type Config struct {
 	// Quick shrinks sizes and trial counts for smoke runs.
 	Quick bool
 	// Seed is the root seed (default 20160725, the PODC'16 opening day).
 	Seed uint64
-	// Workers caps parallelism; 0 = GOMAXPROCS.
+	// Workers caps cell-level parallelism of the default local runner;
+	// 0 = GOMAXPROCS. This is the suite's single parallelism knob: when
+	// Runner is set (e.g. the rumord scheduler), that runner's own
+	// worker pool governs instead and Workers is ignored.
 	Workers int
 	// Out receives human-readable tables; nil discards them.
 	Out io.Writer
+	// Runner executes the experiment's cells; nil selects an in-process
+	// executor (NewLocalRunner) with Workers cells in flight and the
+	// graph tier enabled.
+	Runner service.CellRunner
 }
 
 func (c Config) out() io.Writer {
@@ -78,18 +120,43 @@ func (c Config) pick(full, quick int) int {
 	return full
 }
 
-// Outcome reports one experiment run.
-type Outcome struct {
-	ID      string
-	Title   string
-	Verdict Verdict
-	// Summary is a one-line paper-vs-measured digest.
-	Summary string
-	// Details holds the rendered tables (also written to Config.Out).
-	Details string
+func (c Config) runner() service.CellRunner {
+	if c.Runner != nil {
+		return c.Runner
+	}
+	return NewLocalRunner(c.Workers, false)
 }
 
-// Experiment is a runnable reproduction of one paper claim.
+// NewLocalRunner returns an in-process cell runner — the same executor
+// the rumord workers use — with workers cells in flight (0 =
+// GOMAXPROCS) and the constructed-graph tier enabled, so experiments
+// sharing a graph instance build it once. withResults additionally
+// enables the completed-cell LRU: repeated cells (within a suite run or
+// across runs on one runner) are then served from cache.
+func NewLocalRunner(workers int, withResults bool) *service.Executor {
+	e := &service.Executor{
+		CellWorkers: workers,
+		Graphs:      service.NewGraphCache(0),
+	}
+	if withResults {
+		e.Results = service.NewResultCache(0)
+	}
+	return e
+}
+
+// Outcome reports one experiment run.
+type Outcome struct {
+	ID      string  `json:"id"`
+	Title   string  `json:"title"`
+	Verdict Verdict `json:"verdict"`
+	// Summary is a one-line paper-vs-measured digest.
+	Summary string `json:"summary"`
+	// Details holds the rendered tables (also written to Config.Out).
+	Details string `json:"details,omitempty"`
+}
+
+// Experiment is a runnable reproduction of one paper claim, declared as
+// a cell grid plus a reducer.
 type Experiment struct {
 	// ID is the experiment identifier ("E1".."E15").
 	ID string
@@ -97,8 +164,24 @@ type Experiment struct {
 	Title string
 	// Claim quotes the paper statement being checked.
 	Claim string
-	// Run executes the experiment.
-	Run func(cfg Config) (*Outcome, error)
+	// Cells returns the experiment's measurement grid for cfg. It must
+	// be deterministic in cfg (same cfg, same cells) and cheap: no
+	// simulation happens here.
+	Cells func(cfg Config) []service.CellSpec
+	// Reduce folds the cell results (same order as Cells) into an
+	// outcome, writing tables to cfg.Out. It is pure: tables and
+	// verdict are functions of the results alone.
+	Reduce func(cfg Config, results []*service.CellResult) (*Outcome, error)
+}
+
+// Run executes the experiment's cells on cfg's runner and reduces them.
+func (e Experiment) Run(cfg Config) (*Outcome, error) {
+	cells := e.Cells(cfg)
+	results, err := cfg.runner().RunCells(context.Background(), cells)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", e.ID, err)
+	}
+	return e.Reduce(cfg, results)
 }
 
 // All returns every experiment in order.
@@ -134,8 +217,15 @@ func ByID(id string) (Experiment, error) {
 
 // RunAll executes every experiment and returns outcomes in order,
 // followed by a rendered summary table on cfg.Out. Each outcome's
-// Details field captures that experiment's rendered tables.
+// Details field captures that experiment's rendered tables. All
+// experiments share one runner (cfg.Runner, or a fresh local runner),
+// so graphs repeated across experiments are built once and — with a
+// result-caching runner — cells repeated across experiments (e.g. the
+// E2/E3 shared grid) are computed once.
 func RunAll(cfg Config) ([]*Outcome, error) {
+	if cfg.Runner == nil {
+		cfg.Runner = NewLocalRunner(cfg.Workers, false)
+	}
 	var outcomes []*Outcome
 	for _, e := range All() {
 		fmt.Fprintf(cfg.out(), "\n=== %s: %s ===\n%s\n\n", e.ID, e.Title, e.Claim)
@@ -180,4 +270,34 @@ func sortedKeys[V any](m map[string]V) []string {
 	}
 	sort.Strings(keys)
 	return keys
+}
+
+// cursor walks cell results in canonical order, so reducers can consume
+// them with the same loop structure that declared the cells.
+type cursor struct {
+	results []*service.CellResult
+	i       int
+}
+
+func (c *cursor) next() *service.CellResult {
+	r := c.results[c.i]
+	c.i++
+	return r
+}
+
+// timeCell builds a spreading-time cell (the default kind) with the
+// experiment package's conventions: the graph instance derives from the
+// root seed, the trial stream from root+offset (so distinct
+// measurements on one graph get independent randomness).
+func timeCell(family string, n int, protocol, timing string, trials int, root, offset uint64, source int) service.CellSpec {
+	return service.CellSpec{
+		Family:    family,
+		N:         n,
+		Protocol:  protocol,
+		Timing:    timing,
+		Trials:    trials,
+		GraphSeed: root,
+		TrialSeed: root + offset,
+		Source:    source,
+	}
 }

@@ -12,8 +12,11 @@ func TestRegistryComplete(t *testing.T) {
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
-		if e.ID == "" || e.Title == "" || e.Claim == "" || e.Run == nil {
+		if e.ID == "" || e.Title == "" || e.Claim == "" || e.Cells == nil || e.Reduce == nil {
 			t.Fatalf("experiment %+v incomplete", e.ID)
+		}
+		if len(e.Cells(Config{Quick: true})) == 0 {
+			t.Fatalf("experiment %s declares no cells", e.ID)
 		}
 		if seen[e.ID] {
 			t.Fatalf("duplicate experiment ID %s", e.ID)

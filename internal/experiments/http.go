@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"rumor/internal/service"
+)
+
+// RegisterHTTP mounts the experiment endpoints on the service API:
+//
+//	GET  /v1/experiments       list the E1–E15 registry with cell counts
+//	POST /v1/experiments/{id}  run one experiment through the scheduler,
+//	                           streaming its cell results as NDJSON in
+//	                           canonical order and ending with the
+//	                           outcome row {"id","title","verdict",...}
+//
+// The streamed bytes are a pure function of (experiment, quick, seed):
+// identical across runs, worker counts, and cache states — and the
+// outcome equals what cmd/experiments prints for the same seed, because
+// both ride the same cells and reducer.
+func RegisterHTTP(srv *service.Server, sched *service.Scheduler) {
+	srv.HandleFunc("GET /v1/experiments", listHandler)
+	srv.HandleFunc("POST /v1/experiments/{id}", runHandler(sched))
+}
+
+// RunRequest is the POST /v1/experiments/{id} body. An empty body
+// selects the defaults (full mode, default seed, priority 0).
+type RunRequest struct {
+	// Quick shrinks sizes and trial counts (the -quick CLI flag).
+	Quick bool `json:"quick"`
+	// Seed is the root seed; 0 selects the suite default.
+	Seed uint64 `json:"seed"`
+	// Priority orders the experiment's job in the scheduler queue.
+	Priority int `json:"priority"`
+}
+
+// ExperimentInfo is one row of the GET /v1/experiments listing.
+type ExperimentInfo struct {
+	ID         string `json:"id"`
+	Title      string `json:"title"`
+	Claim      string `json:"claim"`
+	CellsQuick int    `json:"cells_quick"`
+	CellsFull  int    `json:"cells_full"`
+}
+
+type httpError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func listHandler(w http.ResponseWriter, _ *http.Request) {
+	var infos []ExperimentInfo
+	for _, e := range All() {
+		infos = append(infos, ExperimentInfo{
+			ID:         e.ID,
+			Title:      e.Title,
+			Claim:      e.Claim,
+			CellsQuick: len(e.Cells(Config{Quick: true})),
+			CellsFull:  len(e.Cells(Config{})),
+		})
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
+func runHandler(sched *service.Scheduler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		e, err := ByID(r.PathValue("id"))
+		if err != nil {
+			writeJSON(w, http.StatusNotFound, httpError{Error: err.Error()})
+			return
+		}
+		var req RunRequest
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+			writeJSON(w, http.StatusBadRequest, httpError{Error: fmt.Sprintf("decoding run request: %v", err)})
+			return
+		}
+		cfg := Config{Quick: req.Quick, Seed: req.Seed}
+		cells := e.Cells(cfg)
+		job, err := sched.SubmitCells(cells, req.Priority)
+		switch {
+		case errors.Is(err, service.ErrQueueFull):
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests, httpError{Error: err.Error()})
+			return
+		case errors.Is(err, service.ErrShuttingDown):
+			writeJSON(w, http.StatusServiceUnavailable, httpError{Error: err.Error()})
+			return
+		case err != nil:
+			writeJSON(w, http.StatusBadRequest, httpError{Error: err.Error()})
+			return
+		}
+
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		flusher, _ := w.(http.Flusher)
+		enc := json.NewEncoder(w)
+		enc.SetEscapeHTML(false)
+		flush := func() {
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		fail := func(err error) {
+			job.Cancel()
+			_ = enc.Encode(httpError{Error: err.Error()})
+			flush()
+		}
+		results := make([]*service.CellResult, len(cells))
+		for i := range cells {
+			res, err := job.WaitCell(r.Context(), i)
+			if err != nil {
+				fail(err)
+				return
+			}
+			results[i] = res
+			if err := enc.Encode(res); err != nil {
+				job.Cancel()
+				return // client went away
+			}
+			flush()
+		}
+
+		// Reduce with the tables captured into the outcome's Details, so
+		// the stream's last row carries everything cmd/experiments prints.
+		var details strings.Builder
+		redCfg := cfg
+		redCfg.Out = &details
+		outcome, err := e.Reduce(redCfg, results)
+		if err != nil {
+			fail(err)
+			return
+		}
+		outcome.Details = details.String()
+		_ = enc.Encode(outcome)
+		flush()
+	}
+}

@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"rumor/internal/service"
+)
+
+func newTestServer(t *testing.T, workers int, withCaches bool) (*httptest.Server, *service.Scheduler) {
+	t.Helper()
+	cfg := service.SchedulerConfig{Workers: workers}
+	if withCaches {
+		cfg.Results = service.NewResultCache(0)
+		cfg.Graphs = service.NewGraphCache(0)
+	}
+	sched := service.NewScheduler(cfg)
+	t.Cleanup(func() { sched.Shutdown(context.Background()) })
+	api := service.NewServer(sched)
+	RegisterHTTP(api, sched)
+	ts := httptest.NewServer(api)
+	t.Cleanup(ts.Close)
+	return ts, sched
+}
+
+func postExperiment(t *testing.T, ts *httptest.Server, id, body string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/experiments/"+id, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(data)
+}
+
+func TestExperimentListEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t, 2, false)
+	resp, err := http.Get(ts.URL + "/v1/experiments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var infos []ExperimentInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 15 {
+		t.Fatalf("listed %d experiments, want 15", len(infos))
+	}
+	for _, info := range infos {
+		if info.ID == "" || info.Title == "" || info.Claim == "" || info.CellsQuick == 0 || info.CellsFull == 0 {
+			t.Errorf("incomplete listing row: %+v", info)
+		}
+	}
+}
+
+func TestExperimentRunEndpointErrors(t *testing.T) {
+	ts, _ := newTestServer(t, 2, false)
+	if code, _ := postExperiment(t, ts, "e99", `{"quick":true}`); code != http.StatusNotFound {
+		t.Errorf("unknown experiment: status %d, want 404", code)
+	}
+	if code, _ := postExperiment(t, ts, "e12", `{"quick": "yes"}`); code != http.StatusBadRequest {
+		t.Errorf("malformed body: status %d, want 400", code)
+	}
+}
+
+// TestAllExperimentsOverHTTPMatchCLI: every experiment E1–E15 served
+// over POST /v1/experiments/{id} streams a cell set and ends with an
+// outcome equal to what the in-process path (cmd/experiments) computes
+// for the same seed. The HTTP scheduler and the local comparison runner
+// share one result cache, so the suite is computed once and replayed
+// from cache for the comparison — which itself re-verifies that cache
+// hits are exact.
+func TestAllExperimentsOverHTTPMatchCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick suite over HTTP")
+	}
+	results := service.NewResultCache(0)
+	graphs := service.NewGraphCache(0)
+	sched := service.NewScheduler(service.SchedulerConfig{Workers: 4, Results: results, Graphs: graphs})
+	defer sched.Shutdown(context.Background())
+	api := service.NewServer(sched)
+	RegisterHTTP(api, sched)
+	ts := httptest.NewServer(api)
+	defer ts.Close()
+	local := &service.Executor{Results: results, Graphs: graphs}
+
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			code, body := postExperiment(t, ts, strings.ToLower(e.ID), `{"quick": true, "seed": 1}`)
+			if code != http.StatusOK {
+				t.Fatalf("status %d\n%s", code, body)
+			}
+			lines := strings.Split(strings.TrimSpace(body), "\n")
+			cfg := Config{Quick: true, Seed: 1}
+			if want := len(e.Cells(cfg)); len(lines) != want+1 {
+				t.Fatalf("streamed %d rows, want %d cells + 1 outcome", len(lines), want)
+			}
+			var streamed Outcome
+			if err := json.Unmarshal([]byte(lines[len(lines)-1]), &streamed); err != nil {
+				t.Fatalf("final row: %v", err)
+			}
+			var details strings.Builder
+			cliCfg := cfg
+			cliCfg.Out = &details
+			cliCfg.Runner = local
+			cli, err := e.Run(cliCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cli.Details = details.String()
+			if streamed.Verdict != cli.Verdict || streamed.Summary != cli.Summary || streamed.Details != cli.Details {
+				t.Errorf("HTTP outcome differs from CLI outcome:\n%+v\nvs\n%+v", streamed, cli)
+			}
+		})
+	}
+	if results.Stats().Hits == 0 {
+		t.Error("CLI replay produced no cache hits")
+	}
+}
+
+// TestExperimentStreamDeterministic: the NDJSON stream (cells + final
+// outcome row) is byte-identical across worker counts and cache states,
+// and its final row matches the outcome the in-process path computes.
+func TestExperimentStreamDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs experiment cells repeatedly")
+	}
+	const body = `{"quick": true, "seed": 1}`
+	cachedTS, sched := newTestServer(t, 1, true)
+	code, cold := postExperiment(t, cachedTS, "e12", body)
+	if code != http.StatusOK {
+		t.Fatalf("cold run: status %d\n%s", code, cold)
+	}
+	_, warm := postExperiment(t, cachedTS, "e12", body)
+	if warm != cold {
+		t.Error("warm-cache stream differs from cold stream")
+	}
+	if sched.Metrics().CellsCached == 0 {
+		t.Error("warm run hit no cached cells")
+	}
+	wideTS, _ := newTestServer(t, 4, false)
+	_, wide := postExperiment(t, wideTS, "e12", body)
+	if wide != cold {
+		t.Error("stream differs across schedulers with different worker counts")
+	}
+
+	lines := strings.Split(strings.TrimSpace(cold), "\n")
+	var streamed Outcome
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &streamed); err != nil {
+		t.Fatalf("final stream row is not an outcome: %v\n%s", err, lines[len(lines)-1])
+	}
+	e, err := ByID("e12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var details strings.Builder
+	local, err := e.Run(Config{Quick: true, Seed: 1, Out: &details})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local.Details = details.String()
+	if streamed.Verdict != local.Verdict || streamed.Summary != local.Summary || streamed.Details != local.Details {
+		t.Errorf("streamed outcome differs from local run:\n%+v\nvs\n%+v", streamed, local)
+	}
+	// Every preceding row must be a valid cell result.
+	for i, line := range lines[:len(lines)-1] {
+		var cell service.CellResult
+		if err := json.Unmarshal([]byte(line), &cell); err != nil {
+			t.Fatalf("row %d is not a cell result: %v", i, err)
+		}
+		if cell.Index != i || cell.Key == "" {
+			t.Errorf("row %d: index %d key %q", i, cell.Index, cell.Key)
+		}
+	}
+}

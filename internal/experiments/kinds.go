@@ -1,0 +1,419 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"rumor/internal/core"
+	"rumor/internal/coupling"
+	"rumor/internal/dist"
+	"rumor/internal/graph"
+	"rumor/internal/harness"
+	"rumor/internal/service"
+	"rumor/internal/spectral"
+	"rumor/internal/xrand"
+)
+
+// Experiment-specific cell kinds. Registering them with the service
+// registry lets the coupling ladder, the lower-bound block coupling,
+// the Lemma 8 sampler, the spectral-gap estimator, and the engine
+// work-count measurement ride the shared executor: they are scheduled,
+// deduplicated, cached, and streamed exactly like spreading-time cells.
+// Importing this package (as cmd/experiments and cmd/rumord do) makes
+// the kinds available to any runner.
+const (
+	// KindCouplingUpper runs the upper-bound coupling (Lemmas 9–10):
+	// ppx, ppy, and pp-a on shared randomness. Times[t] is the trial's
+	// max_v(r'_v - 2 r_v); Series["async_excess"][t] its
+	// max_v(t_v - 4 r'_v).
+	KindCouplingUpper = "coupling-upper"
+	// KindCouplingLower runs the lower-bound block coupling (Lemmas
+	// 13–14, Remark 12). Times[t] is the trial's step count τ; Series
+	// carry the ρ decomposition and the exact invariants (1 = held).
+	KindCouplingLower = "coupling-lower"
+	// KindLemma8 rejection-samples the conditional law of Lemma 8
+	// (graphless). Times are the accepted conditional samples,
+	// Series["reference"] fresh Exp(kλ) samples, Values["attempts"]
+	// the number of raw draws.
+	KindLemma8 = "lemma8"
+	// KindSpectralGap estimates the lazy-walk spectral gap by power
+	// iteration (Params["iters"] iterations, default 5000). Times[t]
+	// is the per-trial gap estimate.
+	KindSpectralGap = "spectral-gap"
+	// KindEngineSteps counts the exact work units of one engine
+	// configuration: clock ticks for async cells (per view), rounds
+	// for sync cells. Times[t] is the trial's work-unit count.
+	KindEngineSteps = "engine-steps"
+)
+
+func init() {
+	service.MustRegisterKind(service.CellKind{
+		Name:       KindCouplingUpper,
+		NeedsGraph: true,
+		Validate:   validateBareGraphCell,
+		Run:        runCouplingUpper,
+	})
+	service.MustRegisterKind(service.CellKind{
+		Name:       KindCouplingLower,
+		NeedsGraph: true,
+		Validate:   validateBareGraphCell,
+		Run:        runCouplingLower,
+	})
+	service.MustRegisterKind(service.CellKind{
+		Name:     KindLemma8,
+		Validate: validateLemma8,
+		Run:      runLemma8,
+	})
+	service.MustRegisterKind(service.CellKind{
+		Name:       KindSpectralGap,
+		NeedsGraph: true,
+		Validate:   validateSpectralGap,
+		Run:        runSpectralGap,
+	})
+	service.MustRegisterKind(service.CellKind{
+		Name:       KindEngineSteps,
+		NeedsGraph: true,
+		Validate:   validateEngineSteps,
+		Run:        runEngineSteps,
+	})
+}
+
+// validateBareGraphCell rejects scenario fields the coupling engines do
+// not model (they implement the paper's lossless single-source
+// processes only).
+func validateBareGraphCell(c service.CellSpec) error {
+	if c.Protocol != "" || c.Timing != "" || c.View != "" || c.Variant != "" || c.Quasirandom {
+		return fmt.Errorf("coupling cells fix their own processes; protocol/timing/view/variant must be empty")
+	}
+	if c.LossProb != 0 || len(c.ExtraSources) > 0 || len(c.Crashes) > 0 {
+		return fmt.Errorf("coupling cells do not support loss, multi-source, or crashes")
+	}
+	if len(c.Params) > 0 {
+		return fmt.Errorf("coupling cells take no params")
+	}
+	return nil
+}
+
+func validateEngineSteps(c service.CellSpec) error {
+	if c.Timing != service.TimingSync && c.Timing != service.TimingAsync {
+		return fmt.Errorf("unknown timing %q (want sync or async)", c.Timing)
+	}
+	if _, err := service.ParseProtocol(c.Protocol); err != nil {
+		return err
+	}
+	if _, err := service.ParseView(c.View); err != nil {
+		return err
+	}
+	if c.View != "" && c.Timing != service.TimingAsync {
+		return fmt.Errorf("view %q requires async timing", c.View)
+	}
+	if c.Variant != "" || c.Quasirandom || c.LossProb != 0 ||
+		len(c.ExtraSources) > 0 || len(c.Crashes) > 0 || len(c.Params) > 0 {
+		return fmt.Errorf("engine-steps cells measure the plain engines only")
+	}
+	return nil
+}
+
+// clampSource mirrors the time kind's source handling.
+func clampSource(cell service.CellSpec, g *graph.Graph) graph.NodeID {
+	src := graph.NodeID(cell.Source)
+	if int(src) >= g.NumNodes() {
+		return 0
+	}
+	return src
+}
+
+func runCouplingUpper(ctx context.Context, cell service.CellSpec, g *graph.Graph, trialWorkers int) (*service.KindResult, error) {
+	src := clampSource(cell, g)
+	async := make([]float64, cell.Trials)
+	r := harness.Runner{Trials: cell.Trials, Seed: cell.TrialSeed, Workers: trialWorkers}
+	times, err := r.Run(func(t int, rng *xrand.RNG) (float64, error) {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		res, err := coupling.RunUpper(g, src, rng.Uint64())
+		if err != nil {
+			return 0, err
+		}
+		async[t] = res.MaxAsyncExcess()
+		return float64(res.MaxPPYExcess()), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &service.KindResult{
+		Times:  times,
+		Series: map[string][]float64{"async_excess": async},
+	}, nil
+}
+
+func runCouplingLower(ctx context.Context, cell service.CellSpec, g *graph.Graph, trialWorkers int) (*service.KindResult, error) {
+	src := clampSource(cell, g)
+	series := map[string][]float64{
+		"rho":         make([]float64, cell.Trials),
+		"rho_left":    make([]float64, cell.Trials),
+		"rho_special": make([]float64, cell.Trials),
+		"subset":      make([]float64, cell.Trials),
+		"seq_par":     make([]float64, cell.Trials),
+	}
+	r := harness.Runner{Trials: cell.Trials, Seed: cell.TrialSeed, Workers: trialWorkers}
+	times, err := r.Run(func(t int, rng *xrand.RNG) (float64, error) {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		res, err := coupling.RunLower(g, src, rng.Uint64())
+		if err != nil {
+			return 0, err
+		}
+		series["rho"][t] = float64(res.Rho)
+		series["rho_left"][t] = float64(res.RhoLeft)
+		series["rho_special"][t] = float64(res.RhoSpecial)
+		series["subset"][t] = boolUnit(res.SubsetInvariantHeld)
+		series["seq_par"][t] = boolUnit(res.SequentialParallelAgreed)
+		return float64(res.Tau), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &service.KindResult{Times: times, Series: series}, nil
+}
+
+func boolUnit(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// param reads a cell parameter with a default.
+func param(cell service.CellSpec, key string, def float64) float64 {
+	if v, ok := cell.Params[key]; ok {
+		return v
+	}
+	return def
+}
+
+// lemma8MaxK bounds the variable count: the alpha vector is allocated
+// per spec (a cell is one API request away, so unbounded k would let a
+// single request allocate arbitrarily).
+const lemma8MaxK = 64
+
+// validateLemma8 bounds the sampler's parameter space; everything else
+// about the cell comes from the generic spec checks.
+func validateLemma8(c service.CellSpec) error {
+	k := int(param(c, "k", 6))
+	if k < 1 || k > lemma8MaxK {
+		return fmt.Errorf("param k = %v (want [1, %d])", param(c, "k", 6), lemma8MaxK)
+	}
+	lambda := param(c, "lambda", 0.7)
+	if !(lambda > 0) || lambda > 1e6 {
+		return fmt.Errorf("param lambda = %v (want (0, 1e6])", lambda)
+	}
+	target := int(param(c, "target", 4))
+	if target < 0 || target >= k {
+		return fmt.Errorf("param target = %v (want [0, k))", param(c, "target", 4))
+	}
+	for key, v := range c.Params {
+		switch {
+		case key == "k" || key == "lambda" || key == "target":
+		case strings.HasPrefix(key, "alpha"):
+			idx, err := strconv.Atoi(strings.TrimPrefix(key, "alpha"))
+			if err != nil || idx < 0 || idx >= k {
+				return fmt.Errorf("param %q does not index a variable in [0, k)", key)
+			}
+			if v < 0 {
+				return fmt.Errorf("param %q = %v (want >= 0)", key, v)
+			}
+		default:
+			return fmt.Errorf("unknown param %q (want k, lambda, target, alphaN)", key)
+		}
+	}
+	return nil
+}
+
+// spectralGapMaxIters caps one cell's power-iteration work: the
+// iteration itself is not context-interruptible, so an unbounded count
+// would pin a scheduler worker with no way to cancel.
+const spectralGapMaxIters = 1_000_000
+
+func validateSpectralGap(c service.CellSpec) error {
+	iters := param(c, "iters", 5000)
+	if iters != math.Trunc(iters) || iters < 1 || iters > spectralGapMaxIters {
+		return fmt.Errorf("param iters = %v (want an integer in [1, %d])", iters, spectralGapMaxIters)
+	}
+	for key := range c.Params {
+		if key != "iters" {
+			return fmt.Errorf("unknown param %q (want iters)", key)
+		}
+	}
+	return nil
+}
+
+// lemma8MaxAttempts caps the rejection sampler so a mis-parameterized
+// cell fails instead of spinning.
+const lemma8MaxAttempts = 100_000_000
+
+func runLemma8(ctx context.Context, cell service.CellSpec, _ *graph.Graph, _ int) (*service.KindResult, error) {
+	k := int(param(cell, "k", 6))
+	lambda := param(cell, "lambda", 0.7)
+	targetJ := int(param(cell, "target", 4))
+	if k < 1 || lambda <= 0 || targetJ < 0 || targetJ >= k {
+		return nil, fmt.Errorf("experiments: lemma8 cell with k=%d lambda=%v target=%d", k, lambda, targetJ)
+	}
+	alphas := make([]float64, k)
+	for i := range alphas {
+		alphas[i] = param(cell, fmt.Sprintf("alpha%d", i), 0)
+	}
+
+	// The sampler is inherently sequential (one rejection stream), so
+	// trial parallelism does not apply; determinism comes from the
+	// single TrialSeed-rooted stream.
+	rng := xrand.New(cell.TrialSeed)
+	conditional := make([]float64, 0, cell.Trials)
+	zs := make([]float64, k)
+	attempts := 0
+	for len(conditional) < cell.Trials {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		attempts++
+		if attempts > lemma8MaxAttempts {
+			return nil, fmt.Errorf("experiments: Lemma 8 rejection sampling too slow (%d accepted after %d draws)",
+				len(conditional), attempts)
+		}
+		ok := true
+		argmin := 0
+		for i := 0; i < k; i++ {
+			zs[i] = rng.Exp(lambda)
+			if zs[i] <= alphas[i] {
+				ok = false
+				break
+			}
+			if zs[i] < zs[argmin] {
+				argmin = i
+			}
+		}
+		if !ok || argmin != targetJ {
+			continue
+		}
+		z := zs[0] - alphas[0]
+		for i := 1; i < k; i++ {
+			if v := zs[i] - alphas[i]; v < z {
+				z = v
+			}
+		}
+		conditional = append(conditional, z)
+	}
+
+	// Reference sample from Exp(kλ), drawn from the same stream (after
+	// the conditional draws, so it is reproducible but independent).
+	ref := make([]float64, cell.Trials)
+	exp, err := dist.NewExp(float64(k) * lambda)
+	if err != nil {
+		return nil, err
+	}
+	for i := range ref {
+		ref[i] = exp.Sample(rng)
+	}
+	return &service.KindResult{
+		Times:  conditional,
+		Series: map[string][]float64{"reference": ref},
+		Values: map[string]float64{"attempts": float64(attempts)},
+	}, nil
+}
+
+func runSpectralGap(ctx context.Context, cell service.CellSpec, g *graph.Graph, trialWorkers int) (*service.KindResult, error) {
+	iters := int(param(cell, "iters", 5000))
+	if iters < 1 {
+		return nil, fmt.Errorf("experiments: spectral-gap cell with iters=%d", iters)
+	}
+	r := harness.Runner{Trials: cell.Trials, Seed: cell.TrialSeed, Workers: trialWorkers}
+	times, err := r.Run(func(_ int, rng *xrand.RNG) (float64, error) {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		return spectral.SpectralGapLazy(g, iters, rng)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &service.KindResult{Times: times}, nil
+}
+
+func runEngineSteps(ctx context.Context, cell service.CellSpec, g *graph.Graph, trialWorkers int) (*service.KindResult, error) {
+	proto, err := service.ParseProtocol(cell.Protocol)
+	if err != nil {
+		return nil, err
+	}
+	src := clampSource(cell, g)
+	r := harness.Runner{Trials: cell.Trials, Seed: cell.TrialSeed, Workers: trialWorkers}
+	var times []float64
+	switch cell.Timing {
+	case service.TimingSync:
+		times, err = r.Run(func(_ int, rng *xrand.RNG) (float64, error) {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+			res, err := core.RunSync(g, src, core.SyncConfig{Protocol: proto}, rng)
+			if err != nil {
+				return 0, err
+			}
+			return float64(res.Rounds), nil
+		})
+	case service.TimingAsync:
+		view, verr := service.ParseView(cell.View)
+		if verr != nil {
+			return nil, verr
+		}
+		times, err = r.Run(func(_ int, rng *xrand.RNG) (float64, error) {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+			res, err := core.RunAsync(g, src, core.AsyncConfig{Protocol: proto, View: view}, rng)
+			if err != nil {
+				return 0, err
+			}
+			return float64(res.Steps), nil
+		})
+	default:
+		return nil, fmt.Errorf("unknown timing %q", cell.Timing)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &service.KindResult{Times: times}, nil
+}
+
+// sum folds a series.
+func sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// maxOf returns the maximum of a non-empty series (negative infinity
+// for an empty one).
+func maxOf(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// allUnit reports whether every entry of a 0/1 series is 1.
+func allUnit(xs []float64) bool {
+	for _, x := range xs {
+		if x != 1 {
+			return false
+		}
+	}
+	return true
+}

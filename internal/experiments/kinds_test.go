@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"testing"
+
+	"rumor/internal/service"
+)
+
+// The experiment kinds are one API request away (POST /v1/jobs with an
+// explicit cell list), so their parameter spaces must be bounded at
+// validation time: an absurd k would allocate per-spec, an absurd
+// iters would pin a scheduler worker on a non-cancellable iteration.
+func TestKindParamValidation(t *testing.T) {
+	bad := []struct {
+		name string
+		spec service.CellSpec
+	}{
+		{"lemma8 huge k", service.CellSpec{Kind: KindLemma8, Trials: 1, Params: map[string]float64{"k": 1e18}}},
+		{"lemma8 k = 0", service.CellSpec{Kind: KindLemma8, Trials: 1, Params: map[string]float64{"k": 0}}},
+		{"lemma8 target out of range", service.CellSpec{Kind: KindLemma8, Trials: 1,
+			Params: map[string]float64{"k": 3, "target": 3}}},
+		{"lemma8 negative lambda", service.CellSpec{Kind: KindLemma8, Trials: 1,
+			Params: map[string]float64{"lambda": -1, "target": 0}}},
+		{"lemma8 alpha beyond k", service.CellSpec{Kind: KindLemma8, Trials: 1,
+			Params: map[string]float64{"k": 2, "target": 0, "alpha5": 1}}},
+		{"lemma8 negative alpha", service.CellSpec{Kind: KindLemma8, Trials: 1,
+			Params: map[string]float64{"k": 2, "target": 0, "alpha1": -1}}},
+		{"lemma8 unknown param", service.CellSpec{Kind: KindLemma8, Trials: 1,
+			Params: map[string]float64{"beta": 1}}},
+		{"spectral-gap huge iters", service.CellSpec{Kind: KindSpectralGap, Family: "complete", N: 16,
+			Trials: 1, Params: map[string]float64{"iters": 1e15}}},
+		{"spectral-gap fractional iters", service.CellSpec{Kind: KindSpectralGap, Family: "complete", N: 16,
+			Trials: 1, Params: map[string]float64{"iters": 10.5}}},
+		{"spectral-gap unknown param", service.CellSpec{Kind: KindSpectralGap, Family: "complete", N: 16,
+			Trials: 1, Params: map[string]float64{"steps": 10}}},
+		{"coupling with protocol", service.CellSpec{Kind: KindCouplingUpper, Family: "complete", N: 16,
+			Protocol: "push", Trials: 1}},
+		{"coupling with loss", service.CellSpec{Kind: KindCouplingLower, Family: "complete", N: 16,
+			LossProb: 0.5, Trials: 1}},
+		{"engine-steps with variant", service.CellSpec{Kind: KindEngineSteps, Family: "complete", N: 16,
+			Protocol: "push-pull", Timing: "sync", Variant: "ppx", Trials: 1}},
+	}
+	for _, tc := range bad {
+		if err := tc.spec.Validate(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+
+	good := []service.CellSpec{
+		{Kind: KindLemma8, Trials: 1, Params: map[string]float64{"k": 3, "lambda": 1, "target": 2, "alpha1": 2}},
+		{Kind: KindSpectralGap, Family: "complete", N: 16, Trials: 1, Params: map[string]float64{"iters": 100}},
+		{Kind: KindCouplingUpper, Family: "complete", N: 16, Trials: 1},
+		{Kind: KindEngineSteps, Family: "complete", N: 16, Protocol: "push-pull",
+			Timing: "async", View: "per-node-clocks", Trials: 1},
+	}
+	for i, spec := range good {
+		if err := spec.Validate(); err != nil {
+			t.Errorf("good kind spec %d rejected: %v", i, err)
+		}
+	}
+}

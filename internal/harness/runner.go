@@ -2,6 +2,12 @@
 // deterministic per-trial seeding, provides the registry of graph
 // families used across experiments, and offers measurement helpers that
 // collect spreading-time samples for every process the paper studies.
+//
+// The harness sits below the service layer: internal/service's cell
+// kinds use Runner for per-trial seeding and (bounded) trial
+// parallelism, while cells themselves are the unit of parallelism in
+// the scheduler and the executor. The Measure* helpers remain the
+// direct, cache-free path used by the public facade and the examples.
 package harness
 
 import (

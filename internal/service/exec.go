@@ -3,33 +3,43 @@ package service
 import (
 	"context"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
-	"rumor/internal/core"
 	"rumor/internal/graph"
-	"rumor/internal/harness"
 	"rumor/internal/stats"
-	"rumor/internal/xrand"
 )
 
-// coverageFracs are the coverage milestones reported for every cell.
-var coverageFracs = []float64{0.5, 0.9, 1.0}
-
-var coverageNames = []string{"q50", "q90", "q100"}
+// CellRunner executes a batch of cells and returns their results in
+// input order. Both the in-process Executor and the daemon's Scheduler
+// implement it, so callers (the CLI, the experiment suite, tests) can
+// run the same cell grid locally or through the job queue without
+// changing anything else.
+type CellRunner interface {
+	RunCells(ctx context.Context, cells []CellSpec) ([]*CellResult, error)
+}
 
 // Executor runs single cells through the two-tier cache: result hits
 // return immediately, graph hits skip adjacency construction, and
-// misses run the trials through harness.Runner. Both the rumord
-// scheduler workers and the rumorsim CLI use this one path, so a result
-// computed by either is byte-identical (and cache-shareable) with the
-// other.
+// misses run the cell's kind. The rumord scheduler workers, the
+// rumorsim CLI, and the experiment suite all use this one path, so a
+// result computed by any of them is byte-identical (and cache-shareable)
+// with the others.
 type Executor struct {
 	// Results is the completed-cell LRU; nil disables result caching.
 	Results *ResultCache
 	// Graphs is the constructed-graph LRU; nil disables graph sharing.
 	Graphs *GraphCache
 	// TrialWorkers bounds the per-cell trial parallelism; 0 means 1
-	// (cells themselves are the unit of parallelism in the scheduler).
+	// (cells themselves are the unit of parallelism in the scheduler
+	// and in RunCells).
 	TrialWorkers int
+	// CellWorkers bounds how many cells RunCells executes concurrently;
+	// 0 means GOMAXPROCS. This is the single parallelism knob for
+	// local batch runs — the scheduler's worker pool is its equivalent
+	// for daemon runs.
+	CellWorkers int
 }
 
 // Run executes one cell (or serves it from cache) and returns its
@@ -52,22 +62,44 @@ func (e *Executor) Run(ctx context.Context, index int, cell CellSpec) (*CellResu
 		return nil, false, err
 	}
 
-	var g *graph.Graph
-	var err error
-	if e.Graphs != nil {
-		g, err = e.Graphs.Get(cell)
-	} else {
-		g, err = BuildGraph(cell)
-	}
-	if err != nil {
-		return nil, false, fmt.Errorf("service: building %s(%d): %w", cell.Family, cell.N, err)
-	}
-
-	res, err := e.runCell(ctx, cell, g)
+	kind, err := KindByName(cell.kind())
 	if err != nil {
 		return nil, false, err
 	}
-	res.Key = key
+	var g *graph.Graph
+	if kind.NeedsGraph {
+		if e.Graphs != nil {
+			g, err = e.Graphs.Get(cell)
+		} else {
+			g, err = BuildGraph(cell)
+		}
+		if err != nil {
+			return nil, false, fmt.Errorf("service: building %s(%d): %w", cell.Family, cell.N, err)
+		}
+	}
+
+	workers := e.TrialWorkers
+	if workers <= 0 {
+		workers = 1
+	}
+	kr, err := kind.Run(ctx, cell, g, workers)
+	if err != nil {
+		return nil, false, err
+	}
+	res := &CellResult{
+		Cell:     cell,
+		Key:      key,
+		Times:    kr.Times,
+		Summary:  stats.Summarize(kr.Times),
+		Coverage: kr.Coverage,
+		Series:   kr.Series,
+		Values:   kr.Values,
+	}
+	if g != nil {
+		res.Graph = g.Name()
+		res.N = g.NumNodes()
+		res.M = g.NumEdges()
+	}
 	if e.Results != nil {
 		e.Results.Put(key, res)
 	}
@@ -76,81 +108,50 @@ func (e *Executor) Run(ctx context.Context, index int, cell CellSpec) (*CellResu
 	return &out, false, nil
 }
 
-// runCell runs the cell's trials on the built graph. Per-trial seeding
-// comes from harness.Runner, so the sample is identical for any worker
-// count; coverage milestones are extracted per trial with the batch
-// helpers (one sort per trial) and averaged.
-func (e *Executor) runCell(ctx context.Context, cell CellSpec, g *graph.Graph) (*CellResult, error) {
-	proto, err := ParseProtocol(cell.Protocol)
-	if err != nil {
-		return nil, err
-	}
-	src := graph.NodeID(cell.Source)
-	if int(src) >= g.NumNodes() {
-		src = 0
-	}
-	workers := e.TrialWorkers
+// RunCells executes the cells on a bounded worker pool (CellWorkers)
+// and returns results indexed like the input. Results are a pure
+// function of the specs: worker count and cache state change only
+// speed. The first error by cell index aborts the batch (in-flight
+// cells finish; cells not yet started are skipped).
+func (e *Executor) RunCells(ctx context.Context, cells []CellSpec) ([]*CellResult, error) {
+	workers := e.CellWorkers
 	if workers <= 0 {
-		workers = 1
+		workers = runtime.GOMAXPROCS(0)
 	}
-	r := harness.Runner{Trials: cell.Trials, Seed: cell.TrialSeed, Workers: workers}
-	coverage := make([][]float64, len(coverageFracs))
-	for i := range coverage {
-		coverage[i] = make([]float64, cell.Trials)
+	if workers > len(cells) {
+		workers = len(cells)
 	}
-	var times []float64
-	switch cell.Timing {
-	case TimingSync:
-		times, err = r.Run(func(t int, rng *xrand.RNG) (float64, error) {
-			if err := ctx.Err(); err != nil {
-				return 0, err
+	results := make([]*CellResult, len(cells))
+	errs := make([]error, len(cells))
+	var next int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(cells) || failed.Load() || ctx.Err() != nil {
+					return
+				}
+				res, _, err := e.Run(ctx, i, cells[i])
+				results[i] = res
+				errs[i] = err
+				if err != nil {
+					failed.Store(true)
+				}
 			}
-			res, err := core.RunSync(g, src, core.SyncConfig{Protocol: proto}, rng)
-			if err != nil {
-				return 0, err
-			}
-			if !res.Complete {
-				return 0, fmt.Errorf("service: graph %v is disconnected; spreading time undefined", g)
-			}
-			for i, v := range res.CoverageRounds(coverageFracs) {
-				coverage[i][t] = float64(v)
-			}
-			return float64(res.Rounds), nil
-		})
-	case TimingAsync:
-		times, err = r.Run(func(t int, rng *xrand.RNG) (float64, error) {
-			if err := ctx.Err(); err != nil {
-				return 0, err
-			}
-			res, err := core.RunAsync(g, src, core.AsyncConfig{Protocol: proto}, rng)
-			if err != nil {
-				return 0, err
-			}
-			if !res.Complete {
-				return 0, fmt.Errorf("service: graph %v is disconnected; spreading time undefined", g)
-			}
-			for i, v := range res.CoverageTimes(coverageFracs) {
-				coverage[i][t] = v
-			}
-			return res.Time, nil
-		})
-	default:
-		return nil, fmt.Errorf("%w: unknown timing %q", ErrBadSpec, cell.Timing)
+		}()
 	}
-	if err != nil {
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	cov := make(map[string]float64, len(coverageFracs))
-	for i, name := range coverageNames {
-		cov[name] = stats.Mean(coverage[i])
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("service: cell %d (%s): %w", i, cells[i].Key(), err)
+		}
 	}
-	return &CellResult{
-		Cell:     cell,
-		Graph:    g.Name(),
-		N:        g.NumNodes(),
-		M:        g.NumEdges(),
-		Times:    times,
-		Summary:  stats.Summarize(times),
-		Coverage: cov,
-	}, nil
+	return results, nil
 }

@@ -40,6 +40,18 @@ func NewServer(sched *Scheduler) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
+// HandleFunc mounts an additional route on the server's mux. It exists
+// so packages layered above the service (e.g. the experiment suite's
+// /v1/experiments endpoints) can extend the API without this package
+// importing them.
+func (s *Server) HandleFunc(pattern string, h func(http.ResponseWriter, *http.Request)) {
+	s.mux.HandleFunc(pattern, h)
+}
+
+// Scheduler returns the scheduler the server fronts (for mounted
+// handlers that submit jobs themselves).
+func (s *Server) Scheduler() *Scheduler { return s.sched }
+
 // httpError is the JSON error envelope.
 type httpError struct {
 	Error string `json:"error"`

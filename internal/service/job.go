@@ -5,6 +5,11 @@
 // a bounded worker pool, cached by hash (determinism makes cache hits
 // exact), and streamed back to clients as NDJSON while the job runs.
 //
+// The cell model is the repository's single execution spine: the rumord
+// daemon, the rumorsim CLI, and the E1–E15 experiment suite all express
+// their measurements as cells and run them through the same executor, so
+// any result computed anywhere is cache-shareable everywhere.
+//
 // Everything here preserves the repository invariant that results are a
 // pure function of the spec: scheduling order, worker count, and cache
 // state never change what a job returns — only how fast.
@@ -16,6 +21,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
+	"strconv"
 	"strings"
 
 	"rumor/internal/core"
@@ -34,18 +41,52 @@ var (
 	ErrBadSpec = errors.New("service: invalid job spec")
 )
 
+// CrashSpec schedules a fail-stop crash: from Time on (round number for
+// synchronous cells, continuous time for asynchronous ones) the node
+// neither initiates nor answers contacts.
+type CrashSpec struct {
+	Node int     `json:"node"`
+	Time float64 `json:"time"`
+}
+
 // CellSpec is one simulation measurement: a graph instance (family,
-// size, graph seed), a process (protocol, timing), and a sample size
-// (trials, trial seed). It is the unit of scheduling and caching.
+// size, graph seed), a process (protocol, timing, and optional scenario
+// modifiers), and a sample size (trials, trial seed). It is the unit of
+// scheduling and caching.
+//
+// The spec covers the full scenario space of internal/core: the three
+// equivalent asynchronous views, the paper's auxiliary ppx/ppy
+// processes, the quasirandom protocol, lossy channels, multi-source
+// starts, crash injection, and partial-coverage milestones. Kind selects
+// the measurement itself from the cell-kind registry (see RegisterKind);
+// the default kind, "time", samples spreading times.
 type CellSpec struct {
+	// Kind names the registered measurement; "" means KindTime.
+	Kind string `json:"kind,omitempty"`
 	// Family is a standard graph family name (harness.FamilyNames).
-	Family string `json:"family"`
+	// Kinds that run without a graph require it to be empty.
+	Family string `json:"family,omitempty"`
 	// N is the target node count; the family may round it.
-	N int `json:"n"`
+	N int `json:"n,omitempty"`
 	// Protocol is "push", "pull", or "push-pull".
-	Protocol string `json:"protocol"`
+	Protocol string `json:"protocol,omitempty"`
 	// Timing is "sync" or "async".
-	Timing string `json:"timing"`
+	Timing string `json:"timing,omitempty"`
+	// View selects the asynchronous process implementation for async
+	// cells: "global-clock" (default), "per-node-clocks", or
+	// "per-edge-clocks". The three views are provably the same process;
+	// they are distinct measurements (and cache keys) because they
+	// consume randomness differently.
+	View string `json:"view,omitempty"`
+	// Variant selects one of the paper's auxiliary synchronous
+	// processes, "ppx" or "ppy" (sync push-pull only).
+	Variant string `json:"variant,omitempty"`
+	// Quasirandom selects the quasirandom protocol (sync only).
+	Quasirandom bool `json:"quasirandom,omitempty"`
+	// LossProb is the per-contact probability that the transmission is
+	// lost (the engine's TransmitProb is 1 - LossProb). 0 is the
+	// paper's lossless model; values in [0, 1) are valid.
+	LossProb float64 `json:"loss_prob,omitempty"`
 	// Trials is the number of independent trials (>= 1).
 	Trials int `json:"trials"`
 	// GraphSeed drives graph construction. Cells sharing
@@ -57,15 +98,121 @@ type CellSpec struct {
 	TrialSeed uint64 `json:"trial_seed"`
 	// Source is the rumor source node (clamped to 0 if out of range).
 	Source int `json:"source"`
+	// ExtraSources are additional nodes informed at time 0
+	// (multi-source extension). Unlike Source they are not clamped: an
+	// entry outside the built graph fails the cell.
+	ExtraSources []int `json:"extra_sources,omitempty"`
+	// Crashes is an optional fail-stop schedule (extension).
+	Crashes []CrashSpec `json:"crashes,omitempty"`
+	// CoverageFracs are the partial-coverage milestones reported in the
+	// result's Coverage map; nil selects the default 0.5, 0.9, 1.0 for
+	// the time kind. Fractions are in (0, 1].
+	CoverageFracs []float64 `json:"coverage_fracs,omitempty"`
+	// Params carries kind-specific numeric parameters (e.g. the
+	// spectral-gap kind's power-iteration count). The time kind accepts
+	// none. Keys participate in the cache key in sorted order.
+	Params map[string]float64 `json:"params,omitempty"`
 }
 
+// kind returns the effective kind name.
+func (c CellSpec) kind() string {
+	if c.Kind == "" {
+		return KindTime
+	}
+	return c.Kind
+}
+
+// effectiveView returns the async view the cell runs under (the default
+// view made explicit, so "" and "global-clock" hash identically).
+func (c CellSpec) effectiveView() string {
+	if c.Timing == TimingAsync && c.View == "" {
+		return core.GlobalClock.String()
+	}
+	return c.View
+}
+
+// effectiveCoverage returns the coverage milestones the cell reports.
+func (c CellSpec) effectiveCoverage() []float64 {
+	if len(c.CoverageFracs) == 0 && c.kind() == KindTime {
+		return []float64{0.5, 0.9, 1.0}
+	}
+	return c.CoverageFracs
+}
+
+// fmtFloat renders a float64 canonically (shortest exact form).
+func fmtFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
 // Key returns the canonical cache key of the cell: a SHA-256 hash of an
-// unambiguous rendering of every field. Two cells share a key iff they
-// are the same measurement, and determinism guarantees equal results.
+// unambiguous rendering of every field, normalized so that equivalent
+// specs hash identically: defaults are made explicit (kind, async view,
+// coverage milestones), extra sources are sorted and deduplicated, crash
+// schedules are sorted, and params are rendered in sorted key order.
+// Two cells share a key iff they are the same measurement, and
+// determinism guarantees equal results.
+//
+// The rendering is versioned ("v2|..."); any change to the canonical
+// form must bump the version so stale persisted caches can never alias.
+// The golden-key tests pin the current form.
 func (c CellSpec) Key() string {
-	canonical := fmt.Sprintf("v1|family=%s|n=%d|protocol=%s|timing=%s|trials=%d|gseed=%d|tseed=%d|source=%d",
-		c.Family, c.N, c.Protocol, c.Timing, c.Trials, c.GraphSeed, c.TrialSeed, c.Source)
-	sum := sha256.Sum256([]byte(canonical))
+	var b strings.Builder
+	b.WriteString("v2|kind=")
+	b.WriteString(c.kind())
+	fmt.Fprintf(&b, "|family=%s|n=%d|protocol=%s|timing=%s|view=%s|variant=%s",
+		c.Family, c.N, c.Protocol, c.Timing, c.effectiveView(), c.Variant)
+	fmt.Fprintf(&b, "|qr=%t|loss=%s", c.Quasirandom, fmtFloat(c.LossProb))
+	fmt.Fprintf(&b, "|trials=%d|gseed=%d|tseed=%d|source=%d",
+		c.Trials, c.GraphSeed, c.TrialSeed, c.Source)
+
+	b.WriteString("|extra=")
+	extras := append([]int(nil), c.ExtraSources...)
+	sort.Ints(extras)
+	for i, v := range extras {
+		if i > 0 && v == extras[i-1] {
+			continue // duplicates do not change the process
+		}
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(v))
+	}
+
+	b.WriteString("|crash=")
+	crashes := append([]CrashSpec(nil), c.Crashes...)
+	sort.Slice(crashes, func(i, j int) bool {
+		if crashes[i].Time != crashes[j].Time {
+			return crashes[i].Time < crashes[j].Time
+		}
+		return crashes[i].Node < crashes[j].Node
+	})
+	for i, cr := range crashes {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		fmt.Fprintf(&b, "%d@%s", cr.Node, fmtFloat(cr.Time))
+	}
+
+	b.WriteString("|cov=")
+	for i, f := range c.effectiveCoverage() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(fmtFloat(f))
+	}
+
+	b.WriteString("|params=")
+	keys := make([]string, 0, len(c.Params))
+	for k := range c.Params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%s", k, fmtFloat(c.Params[k]))
+	}
+
+	sum := sha256.Sum256([]byte(b.String()))
 	return hex.EncodeToString(sum[:16])
 }
 
@@ -75,25 +222,70 @@ func (c CellSpec) GraphKey() string {
 	return fmt.Sprintf("%s|%d|%d", c.Family, c.N, c.GraphSeed)
 }
 
-// Validate checks the cell against the family registry and protocol set.
+// Validate checks the cell against the kind registry, the family
+// registry, and the kind's own scenario constraints.
 func (c CellSpec) Validate() error {
-	if _, err := harness.FamilyByName(c.Family); err != nil {
-		return fmt.Errorf("%w: unknown family %q", ErrBadSpec, c.Family)
-	}
-	if _, err := ParseProtocol(c.Protocol); err != nil {
+	kind, err := KindByName(c.kind())
+	if err != nil {
 		return fmt.Errorf("%w: %v", ErrBadSpec, err)
 	}
-	if c.Timing != TimingSync && c.Timing != TimingAsync {
-		return fmt.Errorf("%w: unknown timing %q (want sync or async)", ErrBadSpec, c.Timing)
-	}
-	if c.N < 1 {
-		return fmt.Errorf("%w: n = %d", ErrBadSpec, c.N)
+	if kind.NeedsGraph {
+		if _, err := harness.FamilyByName(c.Family); err != nil {
+			return fmt.Errorf("%w: unknown family %q", ErrBadSpec, c.Family)
+		}
+		if c.N < 1 {
+			return fmt.Errorf("%w: n = %d", ErrBadSpec, c.N)
+		}
+	} else {
+		if c.Family != "" || c.N != 0 {
+			return fmt.Errorf("%w: kind %q runs without a graph; family/n must be empty", ErrBadSpec, c.kind())
+		}
 	}
 	if c.Trials < 1 {
 		return fmt.Errorf("%w: trials = %d", ErrBadSpec, c.Trials)
 	}
 	if c.Source < 0 {
 		return fmt.Errorf("%w: source = %d", ErrBadSpec, c.Source)
+	}
+	if c.LossProb < 0 || c.LossProb >= 1 || math.IsNaN(c.LossProb) {
+		return fmt.Errorf("%w: loss_prob = %v (want [0, 1))", ErrBadSpec, c.LossProb)
+	}
+	for _, s := range c.ExtraSources {
+		if s < 0 {
+			return fmt.Errorf("%w: extra source = %d", ErrBadSpec, s)
+		}
+	}
+	for _, cr := range c.Crashes {
+		if cr.Node < 0 {
+			return fmt.Errorf("%w: crash node = %d", ErrBadSpec, cr.Node)
+		}
+		if cr.Time < 0 || math.IsNaN(cr.Time) || math.IsInf(cr.Time, 0) {
+			return fmt.Errorf("%w: crash time = %v", ErrBadSpec, cr.Time)
+		}
+	}
+	for _, f := range c.CoverageFracs {
+		if !(f > 0 && f <= 1) {
+			return fmt.Errorf("%w: coverage fraction = %v (want (0, 1])", ErrBadSpec, f)
+		}
+	}
+	for k, v := range c.Params {
+		if k == "" {
+			return fmt.Errorf("%w: empty param key", ErrBadSpec)
+		}
+		// The canonical key renders params as "k=v,k=v|...": a separator
+		// inside a key would let two distinct specs render (and hash)
+		// identically, aliasing cache entries.
+		if strings.ContainsAny(k, "=,|") {
+			return fmt.Errorf("%w: param key %q contains a reserved separator", ErrBadSpec, k)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: param %q = %v", ErrBadSpec, k, v)
+		}
+	}
+	if kind.Validate != nil {
+		if err := kind.Validate(c); err != nil {
+			return fmt.Errorf("%w: kind %q: %v", ErrBadSpec, c.kind(), err)
+		}
 	}
 	return nil
 }
@@ -112,26 +304,77 @@ func ParseProtocol(name string) (core.Protocol, error) {
 	}
 }
 
-// JobSpec is a batch of cells given as a grid: the cross product of
-// families × sizes × protocols × timings, each cell run for Trials
-// trials under a seed derived deterministically from Seed and the cell's
-// grid coordinates.
+// ParseView maps the wire async-view name to core.AsyncView; "" selects
+// the (fast) global clock.
+func ParseView(name string) (core.AsyncView, error) {
+	switch strings.ToLower(name) {
+	case "", "global-clock":
+		return core.GlobalClock, nil
+	case "per-node-clocks":
+		return core.PerNodeClocks, nil
+	case "per-edge-clocks":
+		return core.PerEdgeClocks, nil
+	default:
+		return 0, fmt.Errorf("unknown async view %q (want global-clock, per-node-clocks, per-edge-clocks)", name)
+	}
+}
+
+// ParseVariant maps the wire variant name to core.PPVariant; "" (no
+// auxiliary variant) returns 0.
+func ParseVariant(name string) (core.PPVariant, error) {
+	switch strings.ToLower(name) {
+	case "":
+		return 0, nil
+	case "ppx":
+		return core.PPX, nil
+	case "ppy":
+		return core.PPY, nil
+	default:
+		return 0, fmt.Errorf("unknown pp variant %q (want ppx or ppy)", name)
+	}
+}
+
+// JobSpec is a batch of cells, given either as a grid — the cross
+// product of families × sizes × protocols × timings, each cell run for
+// Trials trials under a seed derived deterministically from Seed and the
+// cell's grid coordinates — or as an explicit cell list (CellList),
+// which opens the full v2 scenario space (views, variants, loss,
+// crashes, multi-source, custom kinds) to the jobs API. The two forms
+// are mutually exclusive.
 type JobSpec struct {
-	Families  []string `json:"families"`
-	Sizes     []int    `json:"sizes"`
-	Protocols []string `json:"protocols"`
-	Timings   []string `json:"timings"`
-	Trials    int      `json:"trials"`
-	Seed      uint64   `json:"seed"`
-	Source    int      `json:"source"`
+	Families  []string `json:"families,omitempty"`
+	Sizes     []int    `json:"sizes,omitempty"`
+	Protocols []string `json:"protocols,omitempty"`
+	Timings   []string `json:"timings,omitempty"`
+	Trials    int      `json:"trials,omitempty"`
+	Seed      uint64   `json:"seed,omitempty"`
+	Source    int      `json:"source,omitempty"`
+	// CellList, when non-empty, is the job's explicit cell sequence;
+	// the grid axes above must then be empty.
+	CellList []CellSpec `json:"cells,omitempty"`
 	// Priority orders jobs in the scheduler queue: higher runs first.
 	// Jobs of equal priority run in submission order.
 	Priority int `json:"priority,omitempty"`
 }
 
+// explicit reports whether the job is given as an explicit cell list.
+func (s JobSpec) explicit() bool { return len(s.CellList) > 0 }
+
 // Validate checks the grid components (each axis value once, not the
-// expanded cross product — a 4096-cell job validates in O(axes)).
+// expanded cross product — a 4096-cell job validates in O(axes)) or, for
+// an explicit job, every listed cell.
 func (s JobSpec) Validate() error {
+	if s.explicit() {
+		if len(s.Families) > 0 || len(s.Sizes) > 0 || len(s.Protocols) > 0 || len(s.Timings) > 0 {
+			return fmt.Errorf("%w: cells and grid axes are mutually exclusive", ErrBadSpec)
+		}
+		for i, c := range s.CellList {
+			if err := c.Validate(); err != nil {
+				return fmt.Errorf("cell %d: %w", i, err)
+			}
+		}
+		return nil
+	}
 	if len(s.Families) == 0 {
 		return fmt.Errorf("%w: no families", ErrBadSpec)
 	}
@@ -173,9 +416,12 @@ func (s JobSpec) Validate() error {
 	return nil
 }
 
-// CellCount returns the number of cells the grid expands to, without
+// CellCount returns the number of cells the job expands to, without
 // materializing them. ok is false if the product overflows int.
 func (s JobSpec) CellCount() (count int, ok bool) {
+	if s.explicit() {
+		return len(s.CellList), true
+	}
 	count = 1
 	for _, axis := range []int{len(s.Families), len(s.Sizes), len(s.Protocols), len(s.Timings)} {
 		if axis == 0 {
@@ -189,14 +435,17 @@ func (s JobSpec) CellCount() (count int, ok bool) {
 	return count, true
 }
 
-// Cells expands the grid into cell specs in canonical order (families
-// outermost, then sizes, protocols, timings). The graph seed depends
-// only on the job seed and the (family, size) coordinates — so all
-// protocol/timing cells of one sweep point share a graph instance —
-// while the trial seed additionally mixes in protocol and timing so
-// distinct measurements get independent RNG streams. Identical grids
-// reproduce exactly.
+// Cells expands the job into cell specs in canonical order: the explicit
+// cell list verbatim, or the grid with families outermost, then sizes,
+// protocols, timings. The grid's graph seed depends only on the job seed
+// and the (family, size) coordinates — so all protocol/timing cells of
+// one sweep point share a graph instance — while the trial seed
+// additionally mixes in protocol and timing so distinct measurements get
+// independent RNG streams. Identical specs reproduce exactly.
 func (s JobSpec) Cells() []CellSpec {
+	if s.explicit() {
+		return append([]CellSpec(nil), s.CellList...)
+	}
 	cells := make([]CellSpec, 0, len(s.Families)*len(s.Sizes)*len(s.Protocols)*len(s.Timings))
 	for fi, fam := range s.Families {
 		for si, n := range s.Sizes {
@@ -245,19 +494,29 @@ type CellResult struct {
 	Key string `json:"key"`
 	// Graph is the built instance's descriptive name (e.g.
 	// "hypercube(10)"), which carries the family's rounded parameters.
-	Graph string `json:"graph"`
+	// Empty for graphless kinds.
+	Graph string `json:"graph,omitempty"`
 	// N and M are the actual node and edge counts of the built instance
 	// (families may round the requested size).
 	N int `json:"n"`
 	M int `json:"m"`
-	// Times are the per-trial spreading times (rounds for sync,
-	// continuous time for async), indexed by trial.
+	// Times are the kind's primary per-trial series, indexed by trial:
+	// spreading times for the time kind (rounds for sync, continuous
+	// time for async); kind-specific otherwise.
 	Times []float64 `json:"times"`
 	// Summary holds descriptive statistics of Times.
 	Summary stats.Summary `json:"summary"`
-	// Coverage maps "q50"/"q90"/"q100" to the mean time to inform 50%,
-	// 90%, and 100% of the nodes across trials.
+	// Coverage maps milestone names ("q50", "q90", "q100", ...) to the
+	// mean time to inform that fraction of the nodes across trials, or
+	// -1 if some trial never reached it (possible under crash
+	// injection).
 	Coverage map[string]float64 `json:"coverage,omitempty"`
+	// Series holds kind-specific named per-trial series beyond Times
+	// (e.g. the coupling kinds' per-trial excess statistics).
+	Series map[string][]float64 `json:"series,omitempty"`
+	// Values holds kind-specific named scalars (e.g. the rejection
+	// sampler's attempt count).
+	Values map[string]float64 `json:"values,omitempty"`
 }
 
 // JobState is the lifecycle state of a submitted job.

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"reflect"
 	"testing"
 )
 
@@ -42,7 +43,7 @@ func TestCellsCanonicalOrder(t *testing.T) {
 func TestCellsDeterministicExpansion(t *testing.T) {
 	a, b := gridSpec().Cells(), gridSpec().Cells()
 	for i := range a {
-		if a[i] != b[i] {
+		if !reflect.DeepEqual(a[i], b[i]) {
 			t.Fatalf("cell %d differs between identical expansions: %+v vs %+v", i, a[i], b[i])
 		}
 		if a[i].Key() != b[i].Key() {

@@ -1,0 +1,311 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"rumor/internal/core"
+	"rumor/internal/graph"
+	"rumor/internal/harness"
+	"rumor/internal/xrand"
+)
+
+// KindTime is the builtin cell kind: sample spreading times (and
+// partial-coverage milestones) of the configured process.
+const KindTime = "time"
+
+// KindResult is what a cell-kind execution produces; the executor wraps
+// it into a CellResult (adding the spec, cache key, graph identity, and
+// the summary of Times). Every field must be a pure function of the
+// cell spec.
+type KindResult struct {
+	// Times is the primary per-trial series (indexed by trial).
+	Times []float64
+	// Coverage maps milestone names to aggregate coverage times.
+	Coverage map[string]float64
+	// Series holds additional named per-trial series.
+	Series map[string][]float64
+	// Values holds named scalar outputs.
+	Values map[string]float64
+}
+
+// CellKind is a registered measurement: how to validate a cell spec's
+// scenario fields and how to execute its trials. Kinds let callers
+// outside this package (e.g. the experiment suite's coupling-ladder and
+// spectral-gap measurements) ride the service's cache, scheduler, and
+// streaming without the service knowing their semantics.
+//
+// Run must be deterministic: a pure function of (cell, g). Trial
+// parallelism is bounded by trialWorkers (>= 1); implementations that
+// parallelize must derive per-trial RNG streams so the result is
+// independent of scheduling (harness.Runner provides exactly that).
+type CellKind struct {
+	// Name is the wire name ("time", "coupling-upper", ...).
+	Name string
+	// NeedsGraph reports whether cells of this kind run on a graph
+	// instance (Family/N/GraphSeed set). Graphless kinds receive a nil
+	// graph and must leave Family/N empty in their specs.
+	NeedsGraph bool
+	// Validate, if non-nil, checks kind-specific scenario constraints
+	// beyond the generic CellSpec checks.
+	Validate func(cell CellSpec) error
+	// Run executes the cell's trials on g (nil iff !NeedsGraph).
+	Run func(ctx context.Context, cell CellSpec, g *graph.Graph, trialWorkers int) (*KindResult, error)
+}
+
+var (
+	kindMu    sync.RWMutex
+	kindTable = map[string]CellKind{}
+)
+
+// RegisterKind adds a cell kind to the registry. It fails on an empty
+// or duplicate name and on a nil Run. Registration normally happens in
+// package init functions (importing a package makes its kinds
+// available); it is safe for concurrent use.
+func RegisterKind(k CellKind) error {
+	if k.Name == "" {
+		return fmt.Errorf("service: cell kind with empty name")
+	}
+	if k.Run == nil {
+		return fmt.Errorf("service: cell kind %q has no Run", k.Name)
+	}
+	kindMu.Lock()
+	defer kindMu.Unlock()
+	if _, dup := kindTable[k.Name]; dup {
+		return fmt.Errorf("service: cell kind %q already registered", k.Name)
+	}
+	kindTable[k.Name] = k
+	return nil
+}
+
+// MustRegisterKind is RegisterKind, panicking on error (for init use).
+func MustRegisterKind(k CellKind) {
+	if err := RegisterKind(k); err != nil {
+		panic(err)
+	}
+}
+
+// KindByName returns the registered kind.
+func KindByName(name string) (CellKind, error) {
+	kindMu.RLock()
+	defer kindMu.RUnlock()
+	k, ok := kindTable[name]
+	if !ok {
+		return CellKind{}, fmt.Errorf("service: unknown cell kind %q", name)
+	}
+	return k, nil
+}
+
+// KindNames lists the registered kinds, sorted.
+func KindNames() []string {
+	kindMu.RLock()
+	defer kindMu.RUnlock()
+	names := make([]string, 0, len(kindTable))
+	for name := range kindTable {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	MustRegisterKind(CellKind{
+		Name:       KindTime,
+		NeedsGraph: true,
+		Validate:   validateTimeCell,
+		Run:        runTimeCell,
+	})
+}
+
+// validateTimeCell checks the scenario-field combinations the engines
+// support. Rejecting unsupported combinations here (rather than at run
+// time) keeps invalid cells out of the queue and the cache key space.
+func validateTimeCell(c CellSpec) error {
+	if c.Timing != TimingSync && c.Timing != TimingAsync {
+		return fmt.Errorf("unknown timing %q (want sync or async)", c.Timing)
+	}
+	proto, err := ParseProtocol(c.Protocol)
+	if err != nil {
+		return err
+	}
+	if _, err := ParseView(c.View); err != nil {
+		return err
+	}
+	if c.View != "" && c.Timing != TimingAsync {
+		return fmt.Errorf("view %q requires async timing", c.View)
+	}
+	variant, err := ParseVariant(c.Variant)
+	if err != nil {
+		return err
+	}
+	if variant != 0 {
+		if c.Timing != TimingSync {
+			return fmt.Errorf("variant %q is a synchronous process", c.Variant)
+		}
+		if proto != core.PushPull {
+			return fmt.Errorf("variant %q is defined for push-pull only", c.Variant)
+		}
+		if c.Quasirandom {
+			return fmt.Errorf("variant %q cannot be quasirandom", c.Variant)
+		}
+	}
+	if c.Quasirandom {
+		if c.Timing != TimingSync {
+			return fmt.Errorf("quasirandom is a synchronous protocol")
+		}
+		if len(c.Crashes) > 0 {
+			return fmt.Errorf("quasirandom engine does not support crash injection")
+		}
+	}
+	if len(c.Params) > 0 {
+		return fmt.Errorf("time cells take no params")
+	}
+	return nil
+}
+
+// CoverageName renders a coverage fraction as a milestone name: 0.5 →
+// "q50", 0.99 → "q99", 1.0 → "q100". Reducers reading CellResult.Coverage
+// should use it rather than formatting fractions themselves.
+func CoverageName(frac float64) string {
+	pct := frac * 100
+	if r := math.Round(pct); math.Abs(pct-r) < 1e-9 {
+		return fmt.Sprintf("q%d", int(r))
+	}
+	return "q" + fmtFloat(pct)
+}
+
+// runTimeCell runs the cell's trials on the built graph. Per-trial
+// seeding comes from harness.Runner, so the sample is identical for any
+// worker count; coverage milestones are extracted per trial with the
+// batch helpers (one sort per trial) and aggregated.
+func runTimeCell(ctx context.Context, cell CellSpec, g *graph.Graph, trialWorkers int) (*KindResult, error) {
+	proto, err := ParseProtocol(cell.Protocol)
+	if err != nil {
+		return nil, err
+	}
+	src := graph.NodeID(cell.Source)
+	if int(src) >= g.NumNodes() {
+		src = 0
+	}
+	extra := make([]graph.NodeID, len(cell.ExtraSources))
+	for i, s := range cell.ExtraSources {
+		extra[i] = graph.NodeID(s)
+	}
+	crashes := make([]core.Crash, len(cell.Crashes))
+	for i, cr := range cell.Crashes {
+		crashes[i] = core.Crash{Node: graph.NodeID(cr.Node), Time: cr.Time}
+	}
+	transmit := 1 - cell.LossProb
+	// Crash injection can legitimately cut the rumor off from part of
+	// the graph; only crash-free cells insist on full coverage.
+	requireComplete := len(crashes) == 0
+
+	fracs := cell.effectiveCoverage()
+	coverage := make([][]float64, len(fracs))
+	for i := range coverage {
+		coverage[i] = make([]float64, cell.Trials)
+	}
+
+	r := harness.Runner{Trials: cell.Trials, Seed: cell.TrialSeed, Workers: trialWorkers}
+	var times []float64
+	switch cell.Timing {
+	case TimingSync:
+		variant, err := ParseVariant(cell.Variant)
+		if err != nil {
+			return nil, err
+		}
+		cfg := core.SyncConfig{
+			Protocol:     proto,
+			TransmitProb: transmit,
+			ExtraSources: extra,
+			Crashes:      crashes,
+		}
+		times, err = r.Run(func(t int, rng *xrand.RNG) (float64, error) {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+			var res *core.SyncResult
+			var err error
+			switch {
+			case variant != 0:
+				res, err = core.RunPPVariant(g, src, variant, cfg, rng)
+			case cell.Quasirandom:
+				res, err = core.RunQuasirandomSync(g, src, cfg, rng)
+			default:
+				res, err = core.RunSync(g, src, cfg, rng)
+			}
+			if err != nil {
+				return 0, err
+			}
+			if requireComplete && !res.Complete {
+				return 0, fmt.Errorf("service: graph %v is disconnected; spreading time undefined", g)
+			}
+			for i, v := range res.CoverageRounds(fracs) {
+				coverage[i][t] = float64(v)
+			}
+			return float64(res.Rounds), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	case TimingAsync:
+		view, err := ParseView(cell.View)
+		if err != nil {
+			return nil, err
+		}
+		cfg := core.AsyncConfig{
+			Protocol:     proto,
+			View:         view,
+			TransmitProb: transmit,
+			ExtraSources: extra,
+			Crashes:      crashes,
+		}
+		times, err = r.Run(func(t int, rng *xrand.RNG) (float64, error) {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+			res, err := core.RunAsync(g, src, cfg, rng)
+			if err != nil {
+				return 0, err
+			}
+			if requireComplete && !res.Complete {
+				return 0, fmt.Errorf("service: graph %v is disconnected; spreading time undefined", g)
+			}
+			for i, v := range res.CoverageTimes(fracs) {
+				coverage[i][t] = v
+			}
+			return res.Time, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("%w: unknown timing %q", ErrBadSpec, cell.Timing)
+	}
+
+	cov := make(map[string]float64, len(fracs))
+	for i, frac := range fracs {
+		cov[CoverageName(frac)] = meanOrUnreached(coverage[i])
+	}
+	return &KindResult{Times: times, Coverage: cov}, nil
+}
+
+// meanOrUnreached averages a coverage series, collapsing to -1 if any
+// trial never reached the milestone (a -1 entry): a partial mean would
+// silently mix reached and unreached trials.
+func meanOrUnreached(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		if x < 0 {
+			return -1
+		}
+		sum += x
+	}
+	if len(xs) == 0 {
+		return -1
+	}
+	return sum / float64(len(xs))
+}

@@ -1,0 +1,143 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+// TestExecutorRunsScenarioCells drives every v2 scenario axis through
+// the executor end-to-end: views, variants, quasirandom, loss,
+// multi-source, crashes, and custom coverage milestones.
+func TestExecutorRunsScenarioCells(t *testing.T) {
+	exec := &Executor{Graphs: NewGraphCache(0)}
+	cells := []CellSpec{
+		{Family: "hypercube", N: 32, Protocol: "push-pull", Timing: "async",
+			View: "per-node-clocks", Trials: 3, GraphSeed: 1, TrialSeed: 2},
+		{Family: "hypercube", N: 32, Protocol: "push-pull", Timing: "async",
+			View: "per-edge-clocks", Trials: 3, GraphSeed: 1, TrialSeed: 2},
+		{Family: "hypercube", N: 32, Protocol: "push-pull", Timing: "sync",
+			Variant: "ppx", Trials: 3, GraphSeed: 1, TrialSeed: 2},
+		{Family: "hypercube", N: 32, Protocol: "push-pull", Timing: "sync",
+			Variant: "ppy", Trials: 3, GraphSeed: 1, TrialSeed: 2},
+		{Family: "hypercube", N: 32, Protocol: "push-pull", Timing: "sync",
+			Quasirandom: true, Trials: 3, GraphSeed: 1, TrialSeed: 2},
+		{Family: "complete", N: 16, Protocol: "push", Timing: "sync",
+			LossProb: 0.5, Trials: 3, GraphSeed: 1, TrialSeed: 2},
+		{Family: "complete", N: 16, Protocol: "push", Timing: "async",
+			ExtraSources: []int{3, 7}, Trials: 3, GraphSeed: 1, TrialSeed: 2},
+		{Family: "complete", N: 16, Protocol: "push-pull", Timing: "sync",
+			CoverageFracs: []float64{0.25, 0.75}, Trials: 3, GraphSeed: 1, TrialSeed: 2},
+	}
+	for i, cell := range cells {
+		res, cached, err := exec.Run(context.Background(), i, cell)
+		if err != nil {
+			t.Fatalf("cell %d (%+v): %v", i, cell, err)
+		}
+		if cached {
+			t.Fatalf("cell %d reported cached on a cache-less executor", i)
+		}
+		if len(res.Times) != cell.Trials {
+			t.Fatalf("cell %d: %d times, want %d", i, len(res.Times), cell.Trials)
+		}
+		for _, v := range res.Times {
+			if v < 0 {
+				t.Fatalf("cell %d: negative spreading time %v", i, v)
+			}
+		}
+	}
+}
+
+// TestExecutorCrashCell: a crash schedule that silences the whole graph
+// immediately leaves coverage milestones unreached (-1) instead of
+// failing the cell, and the run still terminates.
+func TestExecutorCrashCell(t *testing.T) {
+	exec := &Executor{}
+	crashes := make([]CrashSpec, 16)
+	for i := range crashes {
+		crashes[i] = CrashSpec{Node: i, Time: 0}
+	}
+	cell := CellSpec{Family: "complete", N: 16, Protocol: "push-pull", Timing: "sync",
+		Crashes: crashes, Trials: 2, GraphSeed: 1, TrialSeed: 2}
+	res, _, err := exec.Run(context.Background(), 0, cell)
+	if err != nil {
+		t.Fatalf("crash cell failed: %v", err)
+	}
+	if got := res.Coverage["q100"]; got != -1 {
+		t.Fatalf("q100 = %v with everyone crashed, want -1", got)
+	}
+	// The source is informed at time 0 before any crash takes effect,
+	// but 50% of 16 nodes needs more than the source alone.
+	if got := res.Coverage["q50"]; got != -1 {
+		t.Fatalf("q50 = %v with everyone crashed at t=0, want -1", got)
+	}
+}
+
+// TestRunCellsDeterministicAcrossWorkers: RunCells returns bytewise
+// identical results for any CellWorkers setting and for warm caches.
+func TestRunCellsDeterministicAcrossWorkers(t *testing.T) {
+	cells := []CellSpec{
+		{Family: "hypercube", N: 32, Protocol: "push-pull", Timing: "sync", Trials: 4, GraphSeed: 1, TrialSeed: 2},
+		{Family: "hypercube", N: 32, Protocol: "push-pull", Timing: "async", Trials: 4, GraphSeed: 1, TrialSeed: 3},
+		{Family: "star", N: 33, Protocol: "push", Timing: "sync", Trials: 4, GraphSeed: 1, TrialSeed: 4},
+		{Family: "complete", N: 16, Protocol: "pull", Timing: "async", Trials: 4, GraphSeed: 1, TrialSeed: 5},
+	}
+	marshal := func(results []*CellResult) string {
+		data, err := json.Marshal(results)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	cached := &Executor{CellWorkers: 4, Results: NewResultCache(0), Graphs: NewGraphCache(0)}
+	cold, err := cached.RunCells(context.Background(), cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := marshal(cold)
+
+	warm, err := cached.RunCells(context.Background(), cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := marshal(warm); got != want {
+		t.Error("warm-cache results differ from cold results")
+	}
+	if cached.Results.Stats().Hits == 0 {
+		t.Error("second run produced no cache hits")
+	}
+
+	serial := &Executor{CellWorkers: 1}
+	rerun, err := serial.RunCells(context.Background(), cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := marshal(rerun); got != want {
+		t.Error("serial cache-less results differ from parallel cached results")
+	}
+}
+
+// TestSchedulerRunsExplicitCellJob: SubmitCells + the CellRunner
+// interface on the scheduler produce the executor's results.
+func TestSchedulerRunsExplicitCellJob(t *testing.T) {
+	sched := NewScheduler(SchedulerConfig{Workers: 2})
+	defer sched.Shutdown(context.Background())
+	cells := []CellSpec{
+		{Family: "complete", N: 16, Protocol: "push-pull", Timing: "sync", Trials: 3, GraphSeed: 1, TrialSeed: 2},
+		{Family: "complete", N: 16, Protocol: "push-pull", Timing: "async",
+			View: "per-node-clocks", Trials: 3, GraphSeed: 1, TrialSeed: 3},
+	}
+	viaScheduler, err := sched.RunCells(context.Background(), cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := (&Executor{}).RunCells(context.Background(), cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(viaScheduler)
+	b, _ := json.Marshal(direct)
+	if string(a) != string(b) {
+		t.Errorf("scheduler and direct executor disagree:\n%s\n%s", a, b)
+	}
+}

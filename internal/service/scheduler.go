@@ -155,7 +155,44 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 		return nil, fmt.Errorf("%w: %d cells > limit %d; split the job or raise the queue limit",
 			ErrJobTooLarge, count, s.queueLimit)
 	}
-	cells := spec.Cells()
+	return s.enqueue(spec, spec.Cells())
+}
+
+// SubmitCells validates and enqueues an explicit cell sequence (the
+// form the experiment suite uses: arbitrary cell lists rather than
+// grids). Results stream in the given order via Job.WaitCell. It is
+// Submit on an explicit-cell JobSpec; validation and size limits are
+// shared.
+func (s *Scheduler) SubmitCells(cells []CellSpec, priority int) (*Job, error) {
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("%w: no cells", ErrBadSpec)
+	}
+	return s.Submit(JobSpec{Priority: priority, CellList: append([]CellSpec(nil), cells...)})
+}
+
+// RunCells implements CellRunner on the scheduler: it submits the cells
+// as one job (at default priority) and blocks until every result is in.
+// ctx cancels the job and returns early.
+func (s *Scheduler) RunCells(ctx context.Context, cells []CellSpec) ([]*CellResult, error) {
+	job, err := s.SubmitCells(cells, 0)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]*CellResult, len(cells))
+	for i := range cells {
+		res, err := job.WaitCell(ctx, i)
+		if err != nil {
+			job.Cancel()
+			return nil, err
+		}
+		results[i] = res
+	}
+	return results, nil
+}
+
+// enqueue registers the validated, size-checked job. cells is the
+// spec's expansion (passed in so Submit does not expand twice).
+func (s *Scheduler) enqueue(spec JobSpec, cells []CellSpec) (*Job, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {

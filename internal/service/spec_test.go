@@ -1,0 +1,248 @@
+package service
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCellKeyGoldenV2 pins the v2 cache keys of representative specs.
+// If this test fails, the canonical rendering changed: either revert
+// the change, or bump the key version ("v2" → "v3") AND update these
+// constants — silently changing keys would invalidate or, worse, alias
+// persisted caches.
+func TestCellKeyGoldenV2(t *testing.T) {
+	cases := []struct {
+		name string
+		spec CellSpec
+		want string
+	}{
+		{
+			name: "sync baseline (v1-era shape)",
+			spec: CellSpec{Family: "hypercube", N: 1024, Protocol: "push-pull", Timing: "sync",
+				Trials: 100, GraphSeed: 1, TrialSeed: 2, Source: 0},
+			want: "a7a395e9851ee50f5bdcc27d3970e01b",
+		},
+		{
+			name: "async baseline",
+			spec: CellSpec{Family: "hypercube", N: 1024, Protocol: "push-pull", Timing: "async",
+				Trials: 100, GraphSeed: 1, TrialSeed: 2, Source: 0},
+			want: "388c6e4d6ba4a81a2e313fd66068f2a4",
+		},
+		{
+			name: "per-edge view",
+			spec: CellSpec{Family: "star", N: 512, Protocol: "push-pull", Timing: "async",
+				View: "per-edge-clocks", Trials: 50, GraphSeed: 3, TrialSeed: 4, Source: 1},
+			want: "2331e6ad45929a14a948e68a09131168",
+		},
+		{
+			name: "ppx variant",
+			spec: CellSpec{Family: "complete", N: 256, Protocol: "push-pull", Timing: "sync",
+				Variant: "ppx", Trials: 80, GraphSeed: 5, TrialSeed: 6},
+			want: "8812d239e81cc131846f40ff61d75b92",
+		},
+		{
+			name: "quasirandom",
+			spec: CellSpec{Family: "complete", N: 256, Protocol: "push-pull", Timing: "sync",
+				Quasirandom: true, Trials: 80, GraphSeed: 5, TrialSeed: 6},
+			want: "117be7cb64caaed8049975e311835d38",
+		},
+		{
+			name: "loss + multi-source + crashes",
+			spec: CellSpec{Family: "gnp", N: 128, Protocol: "push", Timing: "sync", LossProb: 0.25,
+				Trials: 10, GraphSeed: 7, TrialSeed: 8, ExtraSources: []int{5, 3, 3},
+				Crashes: []CrashSpec{{Node: 2, Time: 1.5}, {Node: 1, Time: 0.5}}},
+			want: "f9fdd8ac05855bdb2f46dfa20b6bb955",
+		},
+		{
+			name: "custom coverage",
+			spec: CellSpec{Family: "torus", N: 900, Protocol: "pull", Timing: "async",
+				CoverageFracs: []float64{0.25, 0.75}, Trials: 20, GraphSeed: 9, TrialSeed: 10},
+			want: "4d133cb38ac090eb51907232790784c5",
+		},
+	}
+	for _, tc := range cases {
+		if got := tc.spec.Key(); got != tc.want {
+			t.Errorf("%s: key = %s, want %s (canonical form changed — bump the version)", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestCellKeyNormalization: equivalent specs must alias to one key;
+// distinct measurements must not.
+func TestCellKeyNormalization(t *testing.T) {
+	base := CellSpec{Family: "hypercube", N: 1024, Protocol: "push-pull", Timing: "async",
+		Trials: 100, GraphSeed: 1, TrialSeed: 2}
+
+	explicitDefaults := base
+	explicitDefaults.Kind = KindTime
+	explicitDefaults.View = "global-clock"
+	explicitDefaults.CoverageFracs = []float64{0.5, 0.9, 1.0}
+	if base.Key() != explicitDefaults.Key() {
+		t.Error("explicit defaults (kind, view, coverage) changed the key")
+	}
+
+	reorderedExtras := base
+	reorderedExtras.ExtraSources = []int{7, 3, 3, 5}
+	sortedExtras := base
+	sortedExtras.ExtraSources = []int{3, 5, 7}
+	if reorderedExtras.Key() != sortedExtras.Key() {
+		t.Error("extra-source order/duplicates changed the key")
+	}
+
+	reorderedCrashes := base
+	reorderedCrashes.Crashes = []CrashSpec{{Node: 2, Time: 3}, {Node: 1, Time: 1}}
+	sortedCrashes := base
+	sortedCrashes.Crashes = []CrashSpec{{Node: 1, Time: 1}, {Node: 2, Time: 3}}
+	if reorderedCrashes.Key() != sortedCrashes.Key() {
+		t.Error("crash schedule order changed the key")
+	}
+
+	// Distinct measurements must get distinct keys.
+	distinct := []CellSpec{base}
+	perNode := base
+	perNode.View = "per-node-clocks"
+	lossy := base
+	lossy.LossProb = 0.1
+	multi := base
+	multi.ExtraSources = []int{1}
+	crashed := base
+	crashed.Crashes = []CrashSpec{{Node: 1, Time: 1}}
+	coverage := base
+	coverage.CoverageFracs = []float64{0.5}
+	distinct = append(distinct, perNode, lossy, multi, crashed, coverage)
+	seen := map[string]int{}
+	for i, s := range distinct {
+		if prev, dup := seen[s.Key()]; dup {
+			t.Errorf("specs %d and %d share a key", prev, i)
+		}
+		seen[s.Key()] = i
+	}
+}
+
+func TestCellSpecValidateV2(t *testing.T) {
+	good := []CellSpec{
+		{Family: "hypercube", N: 64, Protocol: "push-pull", Timing: "async",
+			View: "per-node-clocks", Trials: 1},
+		{Family: "hypercube", N: 64, Protocol: "push-pull", Timing: "sync",
+			Variant: "ppy", Trials: 1},
+		{Family: "hypercube", N: 64, Protocol: "push", Timing: "sync",
+			Quasirandom: true, LossProb: 0.5, ExtraSources: []int{1, 2}, Trials: 1},
+		{Family: "hypercube", N: 64, Protocol: "push", Timing: "async",
+			Crashes: []CrashSpec{{Node: 3, Time: 2.5}}, CoverageFracs: []float64{0.5}, Trials: 1},
+	}
+	for i, spec := range good {
+		if err := spec.Validate(); err != nil {
+			t.Errorf("good spec %d rejected: %v", i, err)
+		}
+	}
+
+	bad := []struct {
+		name string
+		spec CellSpec
+	}{
+		{"unknown kind", CellSpec{Kind: "no-such-kind", Family: "hypercube", N: 64,
+			Protocol: "push", Timing: "sync", Trials: 1}},
+		{"unknown view", CellSpec{Family: "hypercube", N: 64, Protocol: "push-pull",
+			Timing: "async", View: "warped", Trials: 1}},
+		{"view on sync", CellSpec{Family: "hypercube", N: 64, Protocol: "push-pull",
+			Timing: "sync", View: "global-clock", Trials: 1}},
+		{"unknown variant", CellSpec{Family: "hypercube", N: 64, Protocol: "push-pull",
+			Timing: "sync", Variant: "ppz", Trials: 1}},
+		{"variant on async", CellSpec{Family: "hypercube", N: 64, Protocol: "push-pull",
+			Timing: "async", Variant: "ppx", Trials: 1}},
+		{"variant on push", CellSpec{Family: "hypercube", N: 64, Protocol: "push",
+			Timing: "sync", Variant: "ppx", Trials: 1}},
+		{"quasirandom async", CellSpec{Family: "hypercube", N: 64, Protocol: "push-pull",
+			Timing: "async", Quasirandom: true, Trials: 1}},
+		{"quasirandom with crashes", CellSpec{Family: "hypercube", N: 64, Protocol: "push-pull",
+			Timing: "sync", Quasirandom: true, Crashes: []CrashSpec{{Node: 1, Time: 1}}, Trials: 1}},
+		{"loss = 1", CellSpec{Family: "hypercube", N: 64, Protocol: "push",
+			Timing: "sync", LossProb: 1, Trials: 1}},
+		{"negative loss", CellSpec{Family: "hypercube", N: 64, Protocol: "push",
+			Timing: "sync", LossProb: -0.1, Trials: 1}},
+		{"negative extra source", CellSpec{Family: "hypercube", N: 64, Protocol: "push",
+			Timing: "sync", ExtraSources: []int{-1}, Trials: 1}},
+		{"negative crash time", CellSpec{Family: "hypercube", N: 64, Protocol: "push",
+			Timing: "sync", Crashes: []CrashSpec{{Node: 1, Time: -1}}, Trials: 1}},
+		{"coverage frac 0", CellSpec{Family: "hypercube", N: 64, Protocol: "push",
+			Timing: "sync", CoverageFracs: []float64{0}, Trials: 1}},
+		{"coverage frac > 1", CellSpec{Family: "hypercube", N: 64, Protocol: "push",
+			Timing: "sync", CoverageFracs: []float64{1.5}, Trials: 1}},
+		{"params on time cell", CellSpec{Family: "hypercube", N: 64, Protocol: "push",
+			Timing: "sync", Params: map[string]float64{"x": 1}, Trials: 1}},
+	}
+	// A separator inside a param key would make two distinct specs
+	// render (and hash) identically — it must be rejected, for any kind.
+	for _, key := range []string{"a=1,b", "a,b", "a|b"} {
+		bad = append(bad, struct {
+			name string
+			spec CellSpec
+		}{"reserved separator in param key " + key,
+			CellSpec{Family: "hypercube", N: 64, Protocol: "push", Timing: "sync",
+				Params: map[string]float64{key: 1}, Trials: 1}})
+	}
+	for _, tc := range bad {
+		if err := tc.spec.Validate(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+// TestJobSpecExplicitCells: the jobs API accepts explicit cell lists,
+// rejects mixing them with grid axes, and validates each cell.
+func TestJobSpecExplicitCells(t *testing.T) {
+	cell := CellSpec{Family: "complete", N: 16, Protocol: "push", Timing: "sync", Trials: 2}
+	good := JobSpec{CellList: []CellSpec{cell}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("explicit job rejected: %v", err)
+	}
+	if n, ok := good.CellCount(); !ok || n != 1 {
+		t.Fatalf("CellCount = %d, %v", n, ok)
+	}
+	if cells := good.Cells(); len(cells) != 1 || cells[0].Key() != cell.Key() {
+		t.Fatal("explicit cells not returned verbatim")
+	}
+
+	mixed := JobSpec{Families: []string{"complete"}, CellList: []CellSpec{cell}}
+	if err := mixed.Validate(); err == nil {
+		t.Error("mixed grid+cells spec accepted")
+	}
+	badCell := cell
+	badCell.Trials = 0
+	if err := (JobSpec{CellList: []CellSpec{badCell}}).Validate(); err == nil {
+		t.Error("explicit job with invalid cell accepted")
+	} else if !strings.Contains(err.Error(), "cell 0") {
+		t.Errorf("error does not locate the bad cell: %v", err)
+	}
+}
+
+func TestRegisterKindErrors(t *testing.T) {
+	if err := RegisterKind(CellKind{Name: ""}); err == nil {
+		t.Error("empty-name kind accepted")
+	}
+	if err := RegisterKind(CellKind{Name: "orphan"}); err == nil {
+		t.Error("kind without Run accepted")
+	}
+	if err := RegisterKind(CellKind{Name: KindTime, Run: runTimeCell}); err == nil {
+		t.Error("duplicate kind accepted")
+	}
+	names := KindNames()
+	found := false
+	for _, n := range names {
+		if n == KindTime {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("KindNames() = %v, missing %q", names, KindTime)
+	}
+}
+
+func TestCoverageName(t *testing.T) {
+	cases := map[float64]string{0.5: "q50", 0.9: "q90", 0.99: "q99", 1.0: "q100", 0.125: "q12.5"}
+	for frac, want := range cases {
+		if got := CoverageName(frac); got != want {
+			t.Errorf("CoverageName(%v) = %q, want %q", frac, got, want)
+		}
+	}
+}
