@@ -15,29 +15,41 @@
 //	experiments -quick               # reduced sizes/trials (seconds)
 //	experiments -run E11             # a single experiment
 //	experiments -quick -cache        # serve repeated cells from the result LRU
+//	experiments -quick -cache-dir D  # persistent cache: warm replay survives restarts
 //	experiments -quick -bench B.json # cold vs warm suite timing to B.json
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"time"
 
+	"rumor/internal/cachestore"
 	"rumor/internal/experiments"
 	"rumor/internal/service"
 )
 
+// errVerdictFailed reports that an experiment contradicted the paper:
+// run returns it (rather than calling os.Exit directly) so deferred
+// cleanup — flushing the persistent cache — still happens.
+var errVerdictFailed = errors.New("experiments: at least one verdict is FAILED")
+
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	err := run(os.Args[1:], os.Stdout)
+	if errors.Is(err, errVerdictFailed) {
+		os.Exit(2)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
 		quick    = fs.Bool("quick", false, "reduced sizes and trial counts")
@@ -46,34 +58,52 @@ func run(args []string) error {
 		workers  = fs.Int("workers", 0, "parallel cells in flight (0 = all cores)")
 		markdown = fs.String("md", "", "also write a Markdown report to this file")
 		cache    = fs.Bool("cache", false, "serve repeated cells from a result LRU (rumord's cache tier)")
+		cacheDir = fs.String("cache-dir", "", "persistent cell-result store directory: cells computed by any prior run (or a rumord with the same dir) replay from disk")
 		bench    = fs.String("bench", "", "run the suite twice (cold, then warm cache) and write timing JSON to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// -cache-dir supplies its own tiered result cache below, so only
+	// -cache/-bench ask NewLocalRunner for the plain LRU tier.
+	runner := experiments.NewLocalRunner(*workers, *cache || *bench != "")
+	if *cacheDir != "" {
+		store, err := cachestore.Open(cachestore.Options{
+			Dir:        *cacheDir,
+			KeyVersion: service.CellKeyVersion,
+		})
+		if err != nil {
+			return fmt.Errorf("opening cache store: %w", err)
+		}
+		runner.Results = service.NewTieredResultCache(service.NewResultCache(0), store)
+		// Close flushes the write-behind queue: everything this run
+		// computed must be durable before the process exits, or the
+		// next run recomputes it.
+		defer store.Close()
+	}
 	cfg := experiments.Config{
 		Quick:   *quick,
 		Seed:    *seed,
 		Workers: *workers,
-		Out:     os.Stdout,
-		Runner:  experiments.NewLocalRunner(*workers, *cache || *bench != ""),
+		Out:     stdout,
+		Runner:  runner,
 	}
 	if *bench != "" {
-		return runBench(*bench, cfg)
+		return runBench(*bench, cfg, stdout)
 	}
 	if *runID != "" {
 		e, err := experiments.ByID(*runID)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("=== %s: %s ===\n%s\n\n", e.ID, e.Title, e.Claim)
+		fmt.Fprintf(stdout, "=== %s: %s ===\n%s\n\n", e.ID, e.Title, e.Claim)
 		o, err := e.Run(cfg)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%s verdict: %v — %s\n", o.ID, o.Verdict, o.Summary)
+		fmt.Fprintf(stdout, "%s verdict: %v — %s\n", o.ID, o.Verdict, o.Summary)
 		if o.Verdict == experiments.Failed {
-			os.Exit(2)
+			return errVerdictFailed
 		}
 		return nil
 	}
@@ -93,11 +123,11 @@ func run(args []string) error {
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s\n", *markdown)
+		fmt.Fprintf(stdout, "wrote %s\n", *markdown)
 	}
 	for _, o := range outcomes {
 		if o.Verdict == experiments.Failed {
-			os.Exit(2)
+			return errVerdictFailed
 		}
 	}
 	return nil
@@ -123,7 +153,7 @@ type benchReport struct {
 	GeneratedAt       string             `json:"generated_at"`
 }
 
-func runBench(path string, cfg experiments.Config) error {
+func runBench(path string, cfg experiments.Config, stdout io.Writer) error {
 	runner, ok := cfg.Runner.(*service.Executor)
 	if !ok || runner.Results == nil {
 		runner = experiments.NewLocalRunner(cfg.Workers, true)
@@ -190,7 +220,7 @@ func runBench(path string, cfg experiments.Config) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	fmt.Printf("suite (%s): cold %.2fs, warm %.2fs (%.1fx), verdicts identical: %v; wrote %s\n",
+	fmt.Fprintf(stdout, "suite (%s): cold %.2fs, warm %.2fs (%.1fx), verdicts identical: %v; wrote %s\n",
 		mode, report.ColdSeconds, report.WarmSeconds, report.Speedup, identical, path)
 	if !identical {
 		return fmt.Errorf("warm-cache suite run diverged from cold run (determinism violation)")

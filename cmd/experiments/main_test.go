@@ -1,28 +1,31 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestRunSingleQuickExperiment(t *testing.T) {
 	// E12 is the cheapest self-contained experiment.
-	if err := run([]string{"-run", "E12", "-quick"}); err != nil {
+	if err := run([]string{"-run", "E12", "-quick"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run([]string{"-run", "E99"}); err == nil {
+	if err := run([]string{"-run", "E99"}, io.Discard); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
 
 func TestRunBadFlag(t *testing.T) {
-	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+	if err := run([]string{"-definitely-not-a-flag"}, io.Discard); err == nil {
 		t.Fatal("bad flag accepted")
 	}
 }
@@ -33,7 +36,7 @@ func TestRunBenchWritesReport(t *testing.T) {
 	}
 	dir := t.TempDir()
 	path := filepath.Join(dir, "bench.json")
-	if err := run([]string{"-quick", "-bench", path}); err != nil {
+	if err := run([]string{"-quick", "-bench", path}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -64,13 +67,64 @@ func TestRunBenchWritesReport(t *testing.T) {
 	}
 }
 
+// TestCacheDirSurvivesRestart is the persistent-cache acceptance
+// check at single-experiment scale: the second run() call builds a
+// fresh process state (new LRU, new store handle) over the same
+// directory, replays every cell from disk, and prints byte-identical
+// output.
+func TestCacheDirSurvivesRestart(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	var first, second bytes.Buffer
+	if err := run([]string{"-run", "E12", "-quick", "-cache-dir", dir}, &first); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.ndjson"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segment files written to -cache-dir: %v, %v", segs, err)
+	}
+	if err := run([]string{"-run", "E12", "-quick", "-cache-dir", dir}, &second); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Errorf("restarted warm run diverged from cold run\ncold:\n%s\nwarm:\n%s", first.String(), second.String())
+	}
+}
+
+// TestQuickSuiteCacheDirRestart runs the full quick suite twice over
+// one -cache-dir: the second run must replay warm from disk after the
+// simulated process restart, with byte-identical verdict rows.
+func TestQuickSuiteCacheDirRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the quick suite twice")
+	}
+	dir := filepath.Join(t.TempDir(), "cache")
+	var cold, warm bytes.Buffer
+	start := time.Now()
+	if err := run([]string{"-quick", "-cache-dir", dir}, &cold); err != nil {
+		t.Fatal(err)
+	}
+	coldDur := time.Since(start)
+	start = time.Now()
+	if err := run([]string{"-quick", "-cache-dir", dir}, &warm); err != nil {
+		t.Fatal(err)
+	}
+	warmDur := time.Since(start)
+	if cold.String() != warm.String() {
+		t.Error("warm-from-disk suite output diverged from cold run")
+	}
+	t.Logf("cold %v, warm-from-disk %v", coldDur, warmDur)
+	if warmDur > coldDur {
+		t.Errorf("warm replay (%v) slower than cold run (%v)", warmDur, coldDur)
+	}
+}
+
 func TestRunQuickSuiteWithMarkdownReport(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs the full quick suite")
 	}
 	dir := t.TempDir()
 	md := filepath.Join(dir, "report.md")
-	if err := run([]string{"-quick", "-md", md}); err != nil {
+	if err := run([]string{"-quick", "-md", md}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(md)

@@ -17,10 +17,17 @@
 //	curl -sN localhost:8080/v1/jobs/job-00000001/results
 //	curl -s localhost:8080/v1/experiments
 //	curl -sN localhost:8080/v1/experiments/e11 -d '{"quick": true}'
+//	curl -s localhost:8080/v1/cache
 //	curl -s localhost:8080/metricsz
 //
+// With -cache-dir the completed-cell cache gains a persistent tier
+// (internal/cachestore): results survive restarts, so a rebooted
+// daemon replays previously computed cells from disk instead of
+// recomputing them. GET /v1/cache reports the tier breakdown.
+//
 // SIGINT/SIGTERM drains gracefully: in-flight and queued cells finish
-// (up to -drain-timeout), then the process exits.
+// (up to -drain-timeout), then the persistent tier is flushed and the
+// process exits.
 package main
 
 import (
@@ -36,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"rumor/internal/cachestore"
 	"rumor/internal/experiments"
 	"rumor/internal/service"
 )
@@ -60,6 +68,7 @@ func run(args []string) error {
 		queueLimit   = fs.Int("queue", 4096, "max pending cells before submits are rejected")
 		resultCap    = fs.Int("result-cache", 4096, "cell result LRU capacity (0 disables the tier)")
 		graphCap     = fs.Int("graph-cache", 64, "constructed graph LRU capacity (0 disables the tier)")
+		cacheDir     = fs.String("cache-dir", "", "persistent cell-result store directory (empty = in-memory only); results survive restarts")
 		jobRetention = fs.Int("job-retention", 256, "terminal jobs kept for status/result queries")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "max time to drain on shutdown")
 	)
@@ -67,9 +76,33 @@ func run(args []string) error {
 		return err
 	}
 
-	var results *service.ResultCache
+	var results service.ResultStore
+	var tiered *service.TieredResultCache
 	if *resultCap > 0 {
-		results = service.NewResultCache(*resultCap)
+		lru := service.NewResultCache(*resultCap)
+		if *cacheDir != "" {
+			store, err := cachestore.Open(cachestore.Options{
+				Dir:        *cacheDir,
+				KeyVersion: service.CellKeyVersion,
+				Logf:       log.Printf,
+			})
+			if err != nil {
+				return fmt.Errorf("opening cache store: %w", err)
+			}
+			st := store.Stats()
+			log.Printf("rumord: cache store %s: %d records in %d segments (%d bytes)",
+				*cacheDir, st.Records, st.Segments, st.Bytes)
+			tiered = service.NewTieredResultCache(lru, store)
+			// Close is idempotent; this backstop flushes the
+			// write-behind queue even when run exits through a fatal
+			// server error rather than the SIGTERM drain below.
+			defer tiered.Close()
+			results = tiered
+		} else {
+			results = lru
+		}
+	} else if *cacheDir != "" {
+		return fmt.Errorf("-cache-dir needs the result-cache tier (set -result-cache > 0)")
 	}
 	var graphs *service.GraphCache
 	if *graphCap > 0 {
@@ -118,6 +151,15 @@ func run(args []string) error {
 		log.Printf("rumord: scheduler drain cut short: %v", err)
 	} else {
 		log.Printf("rumord: drained cleanly")
+	}
+	// Flush the persistent tier after the drain so every result the
+	// drained cells produced is durable before the process exits.
+	if tiered != nil {
+		if err := tiered.Close(); err != nil {
+			log.Printf("rumord: cache store close: %v", err)
+		} else {
+			log.Printf("rumord: cache store flushed")
+		}
 	}
 	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
 		return err

@@ -2,7 +2,9 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -13,6 +15,118 @@ import (
 
 	"rumor/internal/service"
 )
+
+// startRumord launches run() with the given args plus an ephemeral
+// port and returns the base URL and the exit-error channel.
+func startRumord(t *testing.T, args ...string) (string, chan error) {
+	t.Helper()
+	addrCh := make(chan net.Addr, 1)
+	onListen = func(a net.Addr) { addrCh <- a }
+	t.Cleanup(func() { onListen = nil })
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run(append([]string{"-addr", "127.0.0.1:0"}, args...))
+	}()
+	select {
+	case addr := <-addrCh:
+		return "http://" + addr.String(), errCh
+	case err := <-errCh:
+		t.Fatalf("rumord exited before listening: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("rumord did not start listening")
+	}
+	return "", nil
+}
+
+// stopRumord SIGTERMs the process and waits for a clean drain.
+func stopRumord(t *testing.T, errCh chan error) {
+	t.Helper()
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("rumord exited with error after SIGTERM: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("rumord did not drain after SIGTERM")
+	}
+}
+
+// getBody fetches a URL and returns the body.
+func getBody(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// submitAndStream submits a job spec and returns the streamed NDJSON
+// result bytes.
+func submitAndStream(t *testing.T, base, spec string) []byte {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st service.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d, %+v", resp.StatusCode, st)
+	}
+	return getBody(t, base+"/v1/jobs/"+st.ID+"/results")
+}
+
+// TestRumordCacheDirSurvivesRestart: a rumord with -cache-dir computes
+// a job, drains on SIGTERM (flushing the persistent tier), and a fresh
+// rumord over the same directory serves the same job byte-identically
+// from disk — GET /v1/cache must report the disk-tier hits.
+func TestRumordCacheDirSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	spec := `{"families":["hypercube"],"sizes":[64],` +
+		`"protocols":["push-pull"],"timings":["sync","async"],"trials":10,"seed":7}`
+
+	base, errCh := startRumord(t, "-workers", "2", "-cache-dir", dir)
+	cold := submitAndStream(t, base, spec)
+	stopRumord(t, errCh)
+
+	base, errCh = startRumord(t, "-workers", "2", "-cache-dir", dir)
+	warm := submitAndStream(t, base, spec)
+	if !bytes.Equal(cold, warm) {
+		t.Errorf("restarted daemon streamed different bytes\ncold: %s\nwarm: %s", cold, warm)
+	}
+	var snap service.CacheSnapshot
+	if err := json.Unmarshal(getBody(t, base+"/v1/cache"), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.ResultCache == nil || snap.ResultCache.Disk == nil {
+		t.Fatalf("/v1/cache missing tiered result stats: %+v", snap)
+	}
+	if snap.ResultCache.DiskHits == 0 {
+		t.Errorf("restarted daemon served no disk-tier hits: %+v", snap.ResultCache)
+	}
+	if snap.ResultCache.Hits != snap.ResultCache.MemHits+snap.ResultCache.DiskHits {
+		t.Errorf("torn tier counters: %+v", snap.ResultCache)
+	}
+	if snap.ResultCache.Disk.Records == 0 {
+		t.Errorf("disk tier reports no records: %+v", snap.ResultCache.Disk)
+	}
+	stopRumord(t, errCh)
+}
 
 // End-to-end daemon lifecycle: rumord starts on an ephemeral port,
 // accepts a job over HTTP, streams NDJSON results, and drains cleanly

@@ -1,0 +1,873 @@
+// Package cachestore implements a crash-safe, append-only on-disk
+// store for completed cell results: the persistent tier under the
+// service's in-memory result LRU.
+//
+// Layout: the store directory holds numbered segment files
+// (seg-00000001.ndjson, ...), each an append-only sequence of NDJSON
+// records. A record carries the store format version, the cache-key
+// version the key was computed under, the key, a CRC-32C checksum, and
+// the value (an opaque JSON document). Records are immutable once
+// written; a repeated Put of a key appends a superseding record, and
+// the previous one becomes dead weight until compaction rewrites the
+// live set into a fresh segment.
+//
+// Durability model: Put enqueues and returns immediately (write-behind
+// — the hot path never blocks on fsync); a background flusher appends
+// queued records in batches and fsyncs each batch. A crash can lose
+// only records still in the queue, never corrupt what was already
+// synced: recovery scans each segment record by record, stops at the
+// first torn or corrupt record, truncates a torn active-segment tail,
+// and reports the reclaimed bytes. Records whose cache-key version
+// does not match the store's configured version are ignored on open
+// and reclaimed by the next compaction — a key-format bump can never
+// alias stale results.
+package cachestore
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Format is the on-disk record format version. Any change to the
+// record schema must bump it; the golden-format test pins the current
+// encoding byte for byte.
+const Format = 1
+
+const (
+	segPrefix = "seg-"
+	segSuffix = ".ndjson"
+)
+
+// Defaults for Options zero values.
+const (
+	DefaultSegmentBytes    = 4 << 20
+	DefaultQueueLimit      = 4096
+	DefaultCompactFraction = 0.5
+	DefaultCompactMinBytes = 64 << 10
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Options configures a Store.
+type Options struct {
+	// Dir is the store directory; created if missing.
+	Dir string
+	// KeyVersion is the cache-key version the caller's keys are
+	// computed under (e.g. service.CellKeyVersion). Records written
+	// under any other version are ignored on open and reclaimed by
+	// compaction. Required.
+	KeyVersion string
+	// SegmentBytes rolls the active segment once it exceeds this size;
+	// 0 selects DefaultSegmentBytes.
+	SegmentBytes int64
+	// QueueLimit bounds the write-behind queue; a Put past the bound is
+	// dropped (counted in Stats.Dropped — losing a cache write is
+	// correctness-neutral, the result is just recomputed next time).
+	// 0 selects DefaultQueueLimit.
+	QueueLimit int
+	// CompactFraction triggers background compaction once dead bytes
+	// exceed this fraction of total bytes (and CompactMinBytes); 0
+	// selects DefaultCompactFraction.
+	CompactFraction float64
+	// CompactMinBytes is the minimum dead-byte volume before background
+	// compaction is worth it; 0 selects DefaultCompactMinBytes.
+	CompactMinBytes int64
+	// NoSync skips the per-batch fsync (tests only).
+	NoSync bool
+	// Logf receives recovery and compaction log lines; nil discards.
+	Logf func(format string, args ...interface{})
+}
+
+// Stats is a point-in-time snapshot of store counters. All fields are
+// taken under one lock, so a snapshot is internally consistent.
+type Stats struct {
+	// Records is the number of live (indexed) records.
+	Records int `json:"records"`
+	// Segments is the number of segment files.
+	Segments int `json:"segments"`
+	// Bytes is the total on-disk size across segments.
+	Bytes int64 `json:"bytes"`
+	// DeadBytes counts superseded, version-mismatched, and skipped
+	// corrupt bytes awaiting compaction.
+	DeadBytes int64 `json:"dead_bytes"`
+	// Pending is the current write-behind queue length.
+	Pending int `json:"pending"`
+	// Hits and Misses count Get outcomes.
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	// Appends counts records durably written; Flushes counts fsync
+	// batches; Dropped counts Puts lost to a full queue, invalid
+	// values, or write errors.
+	Appends uint64 `json:"appends"`
+	Flushes uint64 `json:"flushes"`
+	Dropped uint64 `json:"dropped"`
+	// Compactions counts completed compaction passes; ReclaimedBytes
+	// totals bytes removed by recovery truncation and compaction.
+	Compactions    uint64 `json:"compactions"`
+	ReclaimedBytes int64  `json:"reclaimed_bytes"`
+	// CorruptRecords counts records rejected by checksum or parse
+	// failures (at open or on read).
+	CorruptRecords uint64 `json:"corrupt_records"`
+}
+
+// record is the on-disk NDJSON schema. Field order is part of the
+// format: encoding/json emits struct fields in declaration order, and
+// the golden test pins the resulting bytes.
+type record struct {
+	Format     int             `json:"format"`
+	KeyVersion string          `json:"key_version"`
+	Key        string          `json:"key"`
+	CRC        string          `json:"crc32c"`
+	Value      json.RawMessage `json:"value"`
+}
+
+// checksum covers the key version, the key, and the value bytes, each
+// separated by a NUL (which JSON strings cannot contain unescaped), so
+// a record whose fields were individually valid but re-associated by
+// corruption still fails verification.
+func checksum(keyVersion, key string, value []byte) string {
+	h := crc32.New(crcTable)
+	io.WriteString(h, keyVersion)
+	h.Write([]byte{0})
+	io.WriteString(h, key)
+	h.Write([]byte{0})
+	h.Write(value)
+	return fmt.Sprintf("%08x", h.Sum32())
+}
+
+// encodeRecord renders one record line (including the trailing
+// newline). value must be compact valid JSON.
+func encodeRecord(keyVersion, key string, value []byte) ([]byte, error) {
+	rec := record{
+		Format:     Format,
+		KeyVersion: keyVersion,
+		Key:        key,
+		CRC:        checksum(keyVersion, key, value),
+		Value:      json.RawMessage(value),
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// decodeRecord parses and verifies one record line (with or without
+// its trailing newline).
+func decodeRecord(line []byte) (record, error) {
+	line = bytes.TrimSuffix(line, []byte{'\n'})
+	var rec record
+	if err := json.Unmarshal(line, &rec); err != nil {
+		return rec, fmt.Errorf("cachestore: parsing record: %w", err)
+	}
+	if rec.Format != Format {
+		return rec, fmt.Errorf("cachestore: record format %d, want %d", rec.Format, Format)
+	}
+	if got := checksum(rec.KeyVersion, rec.Key, rec.Value); got != rec.CRC {
+		return rec, fmt.Errorf("cachestore: checksum mismatch: %s != %s", got, rec.CRC)
+	}
+	return rec, nil
+}
+
+// segment is one on-disk file. Compaction unlinks and closes
+// superseded segments as soon as the index is swapped; a read that
+// already captured the old handle fails with ErrClosed and retries
+// through the fresh index (see Get).
+type segment struct {
+	id   int
+	path string
+	f    *os.File
+	size int64
+}
+
+func segName(id int) string {
+	return fmt.Sprintf("%s%08d%s", segPrefix, id, segSuffix)
+}
+
+// recordLoc locates one live record.
+type recordLoc struct {
+	seg int
+	off int64
+	len int64
+}
+
+// queued is one write-behind entry.
+type queued struct {
+	key   string
+	value []byte
+}
+
+// Store is the persistent cell-result store. All methods are safe for
+// concurrent use.
+type Store struct {
+	opts Options
+
+	mu      sync.Mutex
+	cond    *sync.Cond // wakes the flusher; broadcast on queue/flush/compact transitions
+	index   map[string]recordLoc
+	segs    map[int]*segment
+	active  int // id of the segment appends go to
+	nextSeg int
+	queue   []queued
+	pending map[string][]byte // queued values, readable before they are flushed
+	writing int               // records currently being written by the flusher
+	st      Stats
+	closed  bool
+	compact bool // compaction requested (by trigger or Compact)
+	ioErr   error
+
+	flusherDone chan struct{}
+}
+
+// Open opens (or creates) the store in opts.Dir, replaying every
+// segment to rebuild the index. Torn or corrupt tails are skipped and
+// reported; a torn tail on the active segment is truncated away so new
+// appends start from a clean record boundary.
+func Open(opts Options) (*Store, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("cachestore: Options.Dir is required")
+	}
+	if opts.KeyVersion == "" {
+		return nil, errors.New("cachestore: Options.KeyVersion is required")
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if opts.QueueLimit <= 0 {
+		opts.QueueLimit = DefaultQueueLimit
+	}
+	if opts.CompactFraction <= 0 {
+		opts.CompactFraction = DefaultCompactFraction
+	}
+	if opts.CompactMinBytes <= 0 {
+		opts.CompactMinBytes = DefaultCompactMinBytes
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{
+		opts:        opts,
+		index:       make(map[string]recordLoc),
+		segs:        make(map[int]*segment),
+		pending:     make(map[string][]byte),
+		nextSeg:     1,
+		flusherDone: make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	if err := s.recover(); err != nil {
+		s.closeFiles()
+		return nil, err
+	}
+	go s.flusher()
+	return s, nil
+}
+
+func (s *Store) logf(format string, args ...interface{}) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// recover scans existing segments in id order and rebuilds the index.
+func (s *Store) recover() error {
+	entries, err := os.ReadDir(s.opts.Dir)
+	if err != nil {
+		return err
+	}
+	var ids []int
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, ".compact") {
+			// Temp file from a compaction cut short by a crash: the old
+			// segments are still intact, so the partial copy is garbage.
+			os.Remove(filepath.Join(s.opts.Dir, name))
+			continue
+		}
+		if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		id, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix))
+		if err != nil || id < 1 {
+			continue
+		}
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for i, id := range ids {
+		last := i == len(ids)-1
+		if err := s.recoverSegment(id, last); err != nil {
+			return err
+		}
+		if id >= s.nextSeg {
+			s.nextSeg = id + 1
+		}
+	}
+	if len(ids) == 0 {
+		seg, err := s.createSegment()
+		if err != nil {
+			return err
+		}
+		s.active = seg.id
+	} else {
+		s.active = ids[len(ids)-1]
+	}
+	return nil
+}
+
+// recoverSegment replays one segment file. Scanning stops at the first
+// torn or corrupt record: the remainder of the segment is unreachable
+// (reclaimed by truncation when the segment is the active one, by
+// compaction otherwise).
+func (s *Store) recoverSegment(id int, active bool) error {
+	path := filepath.Join(s.opts.Dir, segName(id))
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	size := info.Size()
+	seg := &segment{id: id, path: path, f: f}
+
+	r := bufio.NewReaderSize(f, 1<<16)
+	var off int64
+	var bad error
+	for off < size {
+		line, err := r.ReadBytes('\n')
+		if err == io.EOF {
+			bad = errors.New("cachestore: torn record (no trailing newline)")
+			break
+		}
+		if err != nil {
+			f.Close()
+			return err
+		}
+		rec, derr := decodeRecord(line)
+		if derr != nil {
+			bad = derr
+			break
+		}
+		n := int64(len(line))
+		switch {
+		case rec.KeyVersion != s.opts.KeyVersion:
+			// Stale key format: never served, reclaimed by compaction.
+			s.st.DeadBytes += n
+		default:
+			if old, ok := s.index[rec.Key]; ok {
+				s.st.DeadBytes += old.len
+				s.st.Records--
+			}
+			s.index[rec.Key] = recordLoc{seg: id, off: off, len: n}
+			s.st.Records++
+		}
+		off += n
+	}
+	seg.size = off
+	if bad != nil {
+		reclaimed := size - off
+		s.st.CorruptRecords++
+		if active {
+			if err := f.Truncate(off); err != nil {
+				f.Close()
+				return fmt.Errorf("cachestore: truncating torn tail of %s: %w", path, err)
+			}
+			s.st.ReclaimedBytes += reclaimed
+			s.logf("cachestore: %s: %v at offset %d; truncated, reclaimed %d bytes", segName(id), bad, off, reclaimed)
+		} else {
+			// A sealed segment is never appended to again; count the
+			// tail dead so compaction rewrites the segment away.
+			s.st.DeadBytes += reclaimed
+			seg.size = size
+			s.logf("cachestore: %s: %v at offset %d; skipping %d bytes until compaction", segName(id), bad, off, reclaimed)
+		}
+	}
+	s.segs[id] = seg
+	s.st.Segments = len(s.segs)
+	s.st.Bytes += seg.size
+	return nil
+}
+
+// createSegment creates the next segment file. Caller guarantees no
+// concurrent createSegment (single flusher, or Open before the flusher
+// starts).
+func (s *Store) createSegment() (*segment, error) {
+	id := s.nextSeg
+	s.nextSeg++
+	path := filepath.Join(s.opts.Dir, segName(id))
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	seg := &segment{id: id, path: path, f: f}
+	s.segs[id] = seg
+	s.st.Segments = len(s.segs)
+	return seg, nil
+}
+
+// Has reports whether key is present (indexed or queued). It never
+// touches the hit/miss counters.
+func (s *Store) Has(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.pending[key]; ok {
+		return true
+	}
+	_, ok := s.index[key]
+	return ok
+}
+
+// Get returns the stored value for key. A record that fails its
+// checksum on read is dropped from the index and reported as a miss.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	if v, ok := s.pending[key]; ok {
+		s.st.Hits++
+		s.mu.Unlock()
+		return append([]byte(nil), v...), true
+	}
+	loc, ok := s.index[key]
+	if !ok {
+		s.st.Misses++
+		s.mu.Unlock()
+		return nil, false
+	}
+	seg := s.segs[loc.seg]
+	s.mu.Unlock()
+
+	buf := make([]byte, loc.len)
+	_, err := seg.f.ReadAt(buf, loc.off)
+	var rec record
+	if err == nil {
+		rec, err = decodeRecord(buf)
+		if err == nil && rec.Key != key {
+			err = fmt.Errorf("cachestore: record at %s+%d holds key %s, want %s", segName(loc.seg), loc.off, rec.Key, key)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil {
+		// The index entry may have moved under us (compaction swapped
+		// segments between the lookup and the read); retry via the
+		// current index before declaring the record corrupt.
+		if cur, ok := s.index[key]; ok && cur != loc {
+			s.mu.Unlock()
+			v, hit := s.Get(key)
+			s.mu.Lock()
+			return v, hit
+		}
+		s.logf("cachestore: dropping unreadable record for %s: %v", key, err)
+		if cur, ok := s.index[key]; ok && cur == loc {
+			delete(s.index, key)
+			s.st.Records--
+			s.st.DeadBytes += loc.len
+		}
+		s.st.CorruptRecords++
+		s.st.Misses++
+		return nil, false
+	}
+	s.st.Hits++
+	return rec.Value, true
+}
+
+// Drop removes key from the index, so the caller's next Put can write
+// a fresh record. It is the self-heal hook for callers that find a
+// checksum-valid record semantically unreadable (e.g. a value schema
+// change without a key-version bump): the stale bytes become dead
+// weight for compaction instead of shadowing every future Put of the
+// key. Queued (pending) writes are unaffected.
+func (s *Store) Drop(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if loc, ok := s.index[key]; ok {
+		delete(s.index, key)
+		s.st.Records--
+		s.st.DeadBytes += loc.len
+	}
+}
+
+// Put enqueues a write-behind append of value (which must be a valid
+// JSON document) under key. It returns immediately; durability lags by
+// at most one flush batch. A Put that finds the queue full, the store
+// closed, or the value invalid is dropped and counted.
+func (s *Store) Put(key string, value []byte) {
+	if !json.Valid(value) {
+		s.mu.Lock()
+		s.st.Dropped++
+		s.mu.Unlock()
+		s.logf("cachestore: dropping invalid JSON value for %s", key)
+		return
+	}
+	compact := &bytes.Buffer{}
+	// Compact so the bytes we checksum are exactly the bytes the record
+	// encoder emits (encoding/json compacts RawMessage on marshal).
+	if err := json.Compact(compact, value); err != nil {
+		s.mu.Lock()
+		s.st.Dropped++
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || len(s.queue) >= s.opts.QueueLimit {
+		s.st.Dropped++
+		return
+	}
+	v := compact.Bytes()
+	s.queue = append(s.queue, queued{key: key, value: v})
+	s.pending[key] = v
+	s.cond.Broadcast()
+}
+
+// Flush blocks until every record queued before the call is durably on
+// disk, and returns the first write error since the last Flush.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for (len(s.queue) > 0 || s.writing > 0) && !s.closed {
+		s.cond.Wait()
+	}
+	err := s.ioErr
+	s.ioErr = nil
+	return err
+}
+
+// Compact requests a compaction pass and blocks until it completes:
+// live records are rewritten into a fresh segment, dead and stale
+// records are dropped, and superseded segment files are removed.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("cachestore: store is closed")
+	}
+	done := s.st.Compactions + 1
+	s.compact = true
+	s.cond.Broadcast()
+	for s.st.Compactions < done && !s.closed {
+		s.cond.Wait()
+	}
+	err := s.ioErr
+	s.ioErr = nil
+	return err
+}
+
+// Close drains the write-behind queue, fsyncs, stops the flusher, and
+// closes every file handle.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	<-s.flusherDone
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closeFiles()
+	return s.ioErr
+}
+
+// closeFiles closes all handles. Caller holds s.mu (or is Open failing
+// before the flusher starts).
+func (s *Store) closeFiles() {
+	for _, seg := range s.segs {
+		seg.f.Close()
+	}
+}
+
+// Stats returns a consistent snapshot of the store counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.st
+	st.Pending = len(s.queue)
+	return st
+}
+
+// flusher is the single goroutine that performs file writes: it drains
+// the write-behind queue in batches (one fsync per batch) and runs
+// compaction passes when requested or triggered.
+func (s *Store) flusher() {
+	defer close(s.flusherDone)
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.compact && !s.closed {
+			s.cond.Wait()
+		}
+		if len(s.queue) == 0 && !s.compact && s.closed {
+			s.mu.Unlock()
+			return
+		}
+		if s.compact {
+			s.compact = false
+			s.mu.Unlock()
+			s.runCompaction()
+			continue
+		}
+		batch := s.queue
+		s.queue = nil
+		s.writing = len(batch)
+		s.mu.Unlock()
+
+		s.writeBatch(batch)
+
+		s.mu.Lock()
+		s.writing = 0
+		if s.shouldCompactLocked() {
+			s.compact = true
+		}
+		closed := s.closed && len(s.queue) == 0 && !s.compact
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		if closed {
+			return
+		}
+	}
+}
+
+// shouldCompactLocked applies the background-compaction trigger.
+func (s *Store) shouldCompactLocked() bool {
+	return s.st.DeadBytes >= s.opts.CompactMinBytes &&
+		float64(s.st.DeadBytes) >= s.opts.CompactFraction*float64(s.st.Bytes)
+}
+
+// writeBatch appends a batch of queued records to the active segment
+// and fsyncs once. Only the flusher calls it.
+func (s *Store) writeBatch(batch []queued) {
+	s.mu.Lock()
+	seg := s.segs[s.active]
+	s.mu.Unlock()
+	if seg.size >= s.opts.SegmentBytes {
+		s.mu.Lock()
+		next, err := s.createSegment()
+		if err != nil {
+			s.failBatchLocked(batch, err)
+			s.mu.Unlock()
+			return
+		}
+		s.active = next.id
+		s.mu.Unlock()
+		seg = next
+	}
+
+	var buf bytes.Buffer
+	locs := make([]recordLoc, len(batch))
+	off := seg.size
+	for i, q := range batch {
+		line, err := encodeRecord(s.opts.KeyVersion, q.key, q.value)
+		if err != nil {
+			s.mu.Lock()
+			s.failBatchLocked(batch, err)
+			s.mu.Unlock()
+			return
+		}
+		locs[i] = recordLoc{seg: seg.id, off: off, len: int64(len(line))}
+		off += int64(len(line))
+		buf.Write(line)
+	}
+	if _, err := seg.f.WriteAt(buf.Bytes(), seg.size); err != nil {
+		s.mu.Lock()
+		s.failBatchLocked(batch, err)
+		s.mu.Unlock()
+		return
+	}
+	if !s.opts.NoSync {
+		if err := seg.f.Sync(); err != nil {
+			s.mu.Lock()
+			s.failBatchLocked(batch, err)
+			s.mu.Unlock()
+			return
+		}
+	}
+
+	s.mu.Lock()
+	written := off - seg.size
+	seg.size = off
+	s.st.Bytes += written
+	s.st.Flushes++
+	for i, q := range batch {
+		if old, ok := s.index[q.key]; ok {
+			s.st.DeadBytes += old.len
+			s.st.Records--
+		}
+		s.index[q.key] = locs[i]
+		s.st.Records++
+		s.st.Appends++
+		// Drop the pending entry only if a newer Put has not replaced it.
+		if cur, ok := s.pending[q.key]; ok && bytes.Equal(cur, q.value) {
+			delete(s.pending, q.key)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// failBatchLocked records a write failure: the batch is dropped (a
+// lost cache write is recomputed, never wrong). Caller holds s.mu.
+func (s *Store) failBatchLocked(batch []queued, err error) {
+	s.ioErr = err
+	s.st.Dropped += uint64(len(batch))
+	for _, q := range batch {
+		if cur, ok := s.pending[q.key]; ok && bytes.Equal(cur, q.value) {
+			delete(s.pending, q.key)
+		}
+	}
+	s.logf("cachestore: dropping batch of %d records: %v", len(batch), err)
+}
+
+// runCompaction rewrites the live record set into a fresh segment and
+// unlinks the superseded ones. Only the flusher calls it, so no append
+// can race the rewrite; Gets proceed concurrently against the old
+// segments (their handles stay open until Close) and switch to the new
+// one when the index is swapped.
+func (s *Store) runCompaction() {
+	s.mu.Lock()
+	oldSegs := make([]*segment, 0, len(s.segs))
+	for _, seg := range s.segs {
+		oldSegs = append(oldSegs, seg)
+	}
+	type liveRec struct {
+		key string
+		loc recordLoc
+	}
+	live := make([]liveRec, 0, len(s.index))
+	for k, loc := range s.index {
+		live = append(live, liveRec{key: k, loc: loc})
+	}
+	// Copy in (segment, offset) order: append order is preserved, and
+	// sequential reads stay sequential.
+	sort.Slice(live, func(i, j int) bool {
+		if live[i].loc.seg != live[j].loc.seg {
+			return live[i].loc.seg < live[j].loc.seg
+		}
+		return live[i].loc.off < live[j].loc.off
+	})
+	oldBytes := s.st.Bytes
+	segsByID := make(map[int]*segment, len(s.segs))
+	for id, seg := range s.segs {
+		segsByID[id] = seg
+	}
+	s.mu.Unlock()
+
+	finish := func(err error) {
+		s.mu.Lock()
+		s.ioErr = err
+		s.st.Compactions++ // a failed pass still unblocks Compact waiters
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		s.logf("cachestore: compaction failed: %v", err)
+	}
+
+	path := filepath.Join(s.opts.Dir, segName(0)+".compact")
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		finish(err)
+		return
+	}
+	w := bufio.NewWriterSize(f, 1<<16)
+	newLocs := make(map[string]recordLoc, len(live))
+	dropped := make(map[string]recordLoc)
+	var off int64
+	for _, lr := range live {
+		seg := segsByID[lr.loc.seg]
+		buf := make([]byte, lr.loc.len)
+		if _, err := seg.f.ReadAt(buf, lr.loc.off); err != nil {
+			f.Close()
+			os.Remove(path)
+			finish(err)
+			return
+		}
+		if _, err := decodeRecord(buf); err != nil {
+			// Bit rot found during compaction: drop the record rather
+			// than carry a corrupt copy forward. Remember it so the
+			// index swap below removes the key — a stale entry would
+			// point into a segment that no longer exists.
+			dropped[lr.key] = lr.loc
+			s.mu.Lock()
+			s.st.CorruptRecords++
+			s.mu.Unlock()
+			s.logf("cachestore: compaction dropping corrupt record for %s: %v", lr.key, err)
+			continue
+		}
+		if _, err := w.Write(buf); err != nil {
+			f.Close()
+			os.Remove(path)
+			finish(err)
+			return
+		}
+		newLocs[lr.key] = recordLoc{off: off, len: lr.loc.len}
+		off += lr.loc.len
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(path)
+		finish(err)
+		return
+	}
+	if !s.opts.NoSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			os.Remove(path)
+			finish(err)
+			return
+		}
+	}
+
+	s.mu.Lock()
+	id := s.nextSeg
+	s.nextSeg++
+	finalPath := filepath.Join(s.opts.Dir, segName(id))
+	if err := os.Rename(path, finalPath); err != nil {
+		s.mu.Unlock()
+		f.Close()
+		os.Remove(path)
+		finish(err)
+		return
+	}
+	newSeg := &segment{id: id, path: finalPath, f: f, size: off}
+	s.segs = map[int]*segment{id: newSeg}
+	s.active = id
+	for key, loc := range newLocs {
+		loc.seg = id
+		s.index[key] = loc
+	}
+	for key, loc := range dropped {
+		if cur, ok := s.index[key]; ok && cur == loc {
+			delete(s.index, key)
+		}
+	}
+	s.st.Records = len(s.index)
+	s.st.Segments = 1
+	s.st.Bytes = off
+	s.st.DeadBytes = 0
+	s.st.ReclaimedBytes += oldBytes - off
+	s.st.Compactions++
+	// Close the superseded handles now that no index entry points at
+	// them — holding them open would leak one fd per compaction and
+	// pin the unlinked segments' disk blocks. A Get that captured an
+	// old handle before the swap gets ErrClosed and retries through
+	// the fresh index.
+	for _, seg := range oldSegs {
+		os.Remove(seg.path)
+		seg.f.Close()
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.logf("cachestore: compacted %d segments (%d bytes) into %s (%d bytes, %d records)",
+		len(oldSegs), oldBytes, segName(id), off, len(newLocs))
+}

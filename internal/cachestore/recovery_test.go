@@ -1,0 +1,247 @@
+package cachestore
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeStore populates a fresh store in dir with n records and closes
+// it, returning the active segment path.
+func writeStore(t *testing.T, dir string, n int) string {
+	t.Helper()
+	s := mustOpen(t, Options{Dir: dir, KeyVersion: "v2"})
+	for i := 0; i < n; i++ {
+		s.Put(fmt.Sprintf("k%d", i), val(i))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(dir, segName(1))
+}
+
+func appendBytes(t *testing.T, path string, b []byte) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoveryTruncatesTornTail: a crash mid-append leaves a partial
+// record with no trailing newline. The store must open, serve every
+// complete record, truncate the torn bytes, and log what it reclaimed.
+func TestRecoveryTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	seg := writeStore(t, dir, 5)
+	torn := []byte(`{"format":1,"key_version":"v2","key":"k99","crc32c":"0000`)
+	appendBytes(t, seg, torn)
+	before, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var logs strings.Builder
+	s := mustOpen(t, Options{Dir: dir, KeyVersion: "v2",
+		Logf: func(format string, args ...interface{}) { fmt.Fprintf(&logs, format+"\n", args...) }})
+	for i := 0; i < 5; i++ {
+		if v, ok := s.Get(fmt.Sprintf("k%d", i)); !ok || string(v) != string(val(i)) {
+			t.Fatalf("k%d lost to torn-tail recovery: %q, %v", i, v, ok)
+		}
+	}
+	st := s.Stats()
+	if st.Records != 5 {
+		t.Errorf("Records = %d, want 5", st.Records)
+	}
+	if want := int64(len(torn)); st.ReclaimedBytes != want {
+		t.Errorf("ReclaimedBytes = %d, want %d", st.ReclaimedBytes, want)
+	}
+	if !strings.Contains(logs.String(), "reclaimed") {
+		t.Errorf("recovery did not log the reclaimed bytes: %q", logs.String())
+	}
+	after, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() != before.Size()-int64(len(torn)) {
+		t.Errorf("segment size %d after recovery, want %d", after.Size(), before.Size()-int64(len(torn)))
+	}
+
+	// New appends land after the truncation point and survive another
+	// reopen — the store is fully healthy again.
+	s.Put("fresh", val(100))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := mustOpen(t, Options{Dir: dir, KeyVersion: "v2"})
+	if v, ok := r.Get("fresh"); !ok || string(v) != string(val(100)) {
+		t.Fatalf("post-recovery append lost: %q, %v", v, ok)
+	}
+	if st := r.Stats(); st.Records != 6 || st.CorruptRecords != 0 {
+		t.Errorf("second reopen: %+v", st)
+	}
+}
+
+// TestRecoveryStopsAtCorruptRecord: a flipped byte mid-file fails that
+// record's checksum; recovery keeps everything before it and drops the
+// rest of the segment.
+func TestRecoveryStopsAtCorruptRecord(t *testing.T) {
+	dir := t.TempDir()
+	seg := writeStore(t, dir, 5)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	// Flip a digit inside record 3's value (times of val(2) is [2]).
+	lines[2] = bytes.Replace(lines[2], []byte(`"times":[2]`), []byte(`"times":[7]`), 1)
+	if err := os.WriteFile(seg, bytes.Join(lines, nil), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s := mustOpen(t, Options{Dir: dir, KeyVersion: "v2"})
+	st := s.Stats()
+	if st.Records != 2 {
+		t.Fatalf("Records = %d, want 2 (the prefix before the corrupt record)", st.Records)
+	}
+	if st.CorruptRecords == 0 || st.ReclaimedBytes == 0 {
+		t.Errorf("corruption not reported: %+v", st)
+	}
+	for i := 0; i < 2; i++ {
+		if _, ok := s.Get(fmt.Sprintf("k%d", i)); !ok {
+			t.Errorf("k%d (before the corruption) lost", i)
+		}
+	}
+	for i := 2; i < 5; i++ {
+		if _, ok := s.Get(fmt.Sprintf("k%d", i)); ok {
+			t.Errorf("k%d (at/after the corruption) served", i)
+		}
+	}
+}
+
+// TestRecoveryCorruptSealedSegment: corruption in a sealed (non-active)
+// segment is skipped without truncation — the bytes are counted dead
+// and the next compaction rewrites the segment away.
+func TestRecoveryCorruptSealedSegment(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir, KeyVersion: "v2", SegmentBytes: 128})
+	for i := 0; i < 8; i++ {
+		s.Put(fmt.Sprintf("k%d", i), val(i))
+		if err := s.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s.Stats(); st.Segments < 3 {
+		t.Fatalf("want >= 3 segments, got %d", st.Segments)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the first (sealed) segment's first record.
+	seg1 := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(seg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(seg1, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r := mustOpen(t, Options{Dir: dir, KeyVersion: "v2", SegmentBytes: 128})
+	st := r.Stats()
+	if st.CorruptRecords == 0 || st.DeadBytes == 0 {
+		t.Errorf("sealed-segment corruption not counted: %+v", st)
+	}
+	if after, err := os.Stat(seg1); err != nil || after.Size() != int64(len(data)) {
+		t.Errorf("sealed segment was truncated (size %d, want %d): %v", after.Size(), len(data), err)
+	}
+	if err := r.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	st = r.Stats()
+	if st.DeadBytes != 0 || st.Segments != 1 {
+		t.Errorf("compaction did not reclaim the corrupt segment: %+v", st)
+	}
+	// Survivors must still verify after the rewrite.
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rr := mustOpen(t, Options{Dir: dir, KeyVersion: "v2"})
+	if st := rr.Stats(); st.CorruptRecords != 0 {
+		t.Errorf("compacted store reopens with %d corrupt records", st.CorruptRecords)
+	}
+}
+
+// TestCompactionDropsCorruptRecordFromIndex: bit rot discovered while
+// compaction copies a record must also remove the key from the index —
+// a stale entry would point into a segment that no longer exists, and
+// the next Get would dereference a nil segment.
+func TestCompactionDropsCorruptRecordFromIndex(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir, KeyVersion: "v2"})
+	for i := 0; i < 3; i++ {
+		s.Put(fmt.Sprintf("k%d", i), val(i))
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Rot k1's value on disk behind the store's back (same inode the
+	// store holds open).
+	seg := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rotted := bytes.Replace(data, []byte(`"times":[1]`), []byte(`"times":[8]`), 1)
+	if bytes.Equal(rotted, data) {
+		t.Fatal("fixture: k1 record not found in segment")
+	}
+	if err := os.WriteFile(seg, rotted, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s.Get("k1"); ok {
+		t.Errorf("rotted record served after compaction: %q", v)
+	}
+	for _, k := range []string{"k0", "k2"} {
+		if _, ok := s.Get(k); !ok {
+			t.Errorf("%s lost by compaction", k)
+		}
+	}
+	if st := s.Stats(); st.Records != 2 || st.CorruptRecords == 0 {
+		t.Errorf("after compacting rotted record: %+v", st)
+	}
+}
+
+// TestRecoveryEmptyAndGarbageFiles: an empty segment and a wholly
+// garbage segment must not prevent the store from opening.
+func TestRecoveryEmptyAndGarbageFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, segName(1)), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, segName(2)), []byte("not json at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := mustOpen(t, Options{Dir: dir, KeyVersion: "v2"})
+	s.Put("k", val(1))
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s.Get("k"); !ok || string(v) != string(val(1)) {
+		t.Fatalf("store unusable after garbage recovery: %q, %v", v, ok)
+	}
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"rumor/internal/cachestore"
+	"rumor/internal/service"
+)
+
+// newPersistentServer builds the full rumord HTTP surface over a
+// tiered result cache rooted at dir, modelling one daemon process.
+// The returned shutdown func drains the scheduler and flushes the
+// store, like rumord's SIGTERM path.
+func newPersistentServer(t *testing.T, dir string) (*httptest.Server, *service.Scheduler, func()) {
+	t.Helper()
+	store, err := cachestore.Open(cachestore.Options{Dir: dir, KeyVersion: service.CellKeyVersion})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiered := service.NewTieredResultCache(service.NewResultCache(0), store)
+	sched := service.NewScheduler(service.SchedulerConfig{
+		Workers: 4,
+		Results: tiered,
+		Graphs:  service.NewGraphCache(0),
+	})
+	api := service.NewServer(sched)
+	RegisterHTTP(api, sched)
+	ts := httptest.NewServer(api)
+	var stopped bool
+	stop := func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		ts.Close()
+		sched.Shutdown(context.Background())
+		if err := tiered.Close(); err != nil {
+			t.Errorf("closing store: %v", err)
+		}
+	}
+	t.Cleanup(stop)
+	return ts, sched, stop
+}
+
+// TestExperimentStreamIdenticalAcrossRestart: the NDJSON stream of an
+// experiment run served cold and the stream served by a restarted
+// daemon warm from the same -cache-dir are byte-identical — the
+// persistent tier changes only speed, never a single byte of output.
+// GET /v1/cache on the restarted daemon must attribute the cells to
+// the disk tier.
+func TestExperimentStreamIdenticalAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+
+	ts, _, stop := newPersistentServer(t, dir)
+	code, cold := postExperiment(t, ts, "e12", `{"quick": true, "seed": 1}`)
+	if code != 200 {
+		t.Fatalf("cold run status %d\n%s", code, cold)
+	}
+	stop() // drain + flush, as rumord does on SIGTERM
+
+	ts2, sched2, _ := newPersistentServer(t, dir)
+	code, warm := postExperiment(t, ts2, "e12", `{"quick": true, "seed": 1}`)
+	if code != 200 {
+		t.Fatalf("warm run status %d\n%s", code, warm)
+	}
+	if cold != warm {
+		t.Errorf("restarted stream diverged\ncold: %s\nwarm: %s", cold, warm)
+	}
+
+	snap := sched2.CacheStats()
+	if snap.ResultCache == nil || snap.ResultCache.DiskHits == 0 {
+		t.Fatalf("restarted run did not hit the disk tier: %+v", snap.ResultCache)
+	}
+	if snap.ResultCache.Disk == nil || snap.ResultCache.Disk.Records == 0 {
+		t.Errorf("disk tier stats missing records: %+v", snap.ResultCache)
+	}
+	// The snapshot JSON shape is the /v1/cache payload; make sure the
+	// tier fields actually serialize.
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"disk_hits", "segments", "records"} {
+		if !strings.Contains(string(raw), `"`+want+`"`) {
+			t.Errorf("cache snapshot JSON missing %q: %s", want, raw)
+		}
+	}
+}

@@ -4,9 +4,26 @@ import (
 	"container/list"
 	"sync"
 
+	"rumor/internal/cachestore"
 	"rumor/internal/graph"
 	"rumor/internal/harness"
 )
+
+// ResultStore is the completed-cell cache surface the executor runs
+// against: the single-tier in-memory LRU (ResultCache) and the
+// LRU-over-disk combination (TieredResultCache) both implement it.
+// Implementations must be safe for concurrent use, and Stats must
+// return one internally consistent snapshot (hit and miss counters
+// taken together, not field by field).
+type ResultStore interface {
+	// Get returns the cached result for key. The caller must not
+	// mutate the returned result (clone it to re-index).
+	Get(key string) (*CellResult, bool)
+	// Put stores a result under its canonical key.
+	Put(key string, res *CellResult)
+	// Stats returns current counters.
+	Stats() CacheStats
+}
 
 // ResultCache is a thread-safe LRU of completed cell results keyed by
 // the canonical cell hash. Because every cell is a pure function of its
@@ -72,12 +89,27 @@ func (c *ResultCache) Put(key string, res *CellResult) {
 	}
 }
 
-// CacheStats is a point-in-time snapshot of cache counters.
+// CacheStats is a point-in-time snapshot of cache counters. Every
+// implementation takes the whole snapshot under one lock, so the
+// counters are mutually consistent: Hits + Misses always equals the
+// number of lookups observed at the snapshot instant, and for tiered
+// caches Hits always equals MemHits + DiskHits.
 type CacheStats struct {
 	Size   int     `json:"size"`
 	Hits   uint64  `json:"hits"`
 	Misses uint64  `json:"misses"`
 	Rate   float64 `json:"hit_rate"`
+
+	// Tier breakdown, populated by TieredResultCache (zero/omitted for
+	// single-tier caches): MemHits and DiskHits partition Hits by the
+	// tier that served them, and Promotions counts disk hits copied up
+	// into the LRU.
+	MemHits    uint64 `json:"mem_hits,omitempty"`
+	DiskHits   uint64 `json:"disk_hits,omitempty"`
+	Promotions uint64 `json:"promotions,omitempty"`
+	// Disk carries the persistent tier's own counters (segments,
+	// bytes, compactions, ...), when one is attached.
+	Disk *cachestore.Stats `json:"disk,omitempty"`
 }
 
 // Stats returns current counters.
@@ -85,6 +117,13 @@ func (c *ResultCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return snapshotStats(c.ll.Len(), c.hits, c.misses)
+}
+
+// Len returns the number of cached entries.
+func (c *ResultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
 }
 
 func snapshotStats(size int, hits, misses uint64) CacheStats {

@@ -27,8 +27,9 @@ type CellRunner interface {
 // result computed by any of them is byte-identical (and cache-shareable)
 // with the others.
 type Executor struct {
-	// Results is the completed-cell LRU; nil disables result caching.
-	Results *ResultCache
+	// Results is the completed-cell cache (the in-memory LRU, or the
+	// tiered LRU-over-disk store); nil disables result caching.
+	Results ResultStore
 	// Graphs is the constructed-graph LRU; nil disables graph sharing.
 	Graphs *GraphCache
 	// TrialWorkers bounds the per-cell trial parallelism; 0 means 1

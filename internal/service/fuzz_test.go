@@ -1,0 +1,189 @@
+package service
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// fuzzSpec derives a CellSpec from raw fuzz inputs. It intentionally
+// produces invalid specs too: Key() must be total and stable over the
+// whole spec space, not just the validated subset, because a persisted
+// record's key is trusted long after validation happened.
+func fuzzSpec(kindSel, protoSel, timingSel, viewSel, variantSel uint8, family string,
+	n, trials, source int, qr bool, loss float64, gseed, tseed uint64,
+	extras, crashes, covs []byte, param float64) CellSpec {
+	kinds := append([]string{""}, KindNames()...)
+	protos := []string{"push", "pull", "push-pull", ""}
+	timings := []string{TimingSync, TimingAsync, ""}
+	views := []string{"", "global-clock", "per-node-clocks", "per-edge-clocks"}
+	variants := []string{"", "ppx", "ppy"}
+	spec := CellSpec{
+		Kind: kinds[int(kindSel)%len(kinds)],
+		// Coerce to the UTF-8 domain exactly the way the JSON wire
+		// would: a spec can only reach the service as JSON, and
+		// encoding/json replaces invalid bytes with U+FFFD. (Found by
+		// this fuzzer: a raw 0xeb family byte round-trips to a
+		// different key; see the checked-in corpus.)
+		Family:      strings.ToValidUTF8(family, "�"),
+		N:           n,
+		Protocol:    protos[int(protoSel)%len(protos)],
+		Timing:      timings[int(timingSel)%len(timings)],
+		View:        views[int(viewSel)%len(views)],
+		Variant:     variants[int(variantSel)%len(variants)],
+		Quasirandom: qr,
+		LossProb:    loss,
+		Trials:      trials,
+		GraphSeed:   gseed,
+		TrialSeed:   tseed,
+		Source:      source,
+	}
+	if math.IsNaN(loss) || math.IsInf(loss, 0) {
+		spec.LossProb = 0 // non-finite floats do not survive JSON
+	}
+	for _, b := range extras {
+		spec.ExtraSources = append(spec.ExtraSources, int(b))
+	}
+	for i := 0; i+1 < len(crashes); i += 2 {
+		spec.Crashes = append(spec.Crashes,
+			CrashSpec{Node: int(crashes[i]), Time: float64(crashes[i+1]) / 16})
+	}
+	for _, b := range covs {
+		spec.CoverageFracs = append(spec.CoverageFracs, (float64(b)+1)/256)
+	}
+	if !math.IsNaN(param) && !math.IsInf(param, 0) {
+		spec.Params = map[string]float64{"p": param}
+	}
+	return spec
+}
+
+// FuzzCellSpecKey fuzzes the canonical-key round-trip guarantees the
+// persistent store depends on:
+//
+//  1. decode(encode(spec)) yields the same key — a spec that crossed
+//     the JSON wire (jobs API, persisted record) hashes identically to
+//     the original, so a cached result is findable from any surface.
+//  2. Semantically equivalent rewrites (defaults made explicit,
+//     extra-source order and duplicates) keep the key; semantically
+//     distinct mutations change the canonical form — equal keys mean
+//     equal measurements, so the durable cache can never alias.
+func FuzzCellSpecKey(f *testing.F) {
+	// Seed corpus: the golden-key specs plus scenario-space corners.
+	f.Add(uint8(0), uint8(2), uint8(0), uint8(0), uint8(0), "hypercube",
+		1024, 100, 0, false, 0.0, uint64(1), uint64(2), []byte(nil), []byte(nil), []byte(nil), math.NaN())
+	f.Add(uint8(0), uint8(2), uint8(1), uint8(3), uint8(0), "star",
+		512, 50, 1, false, 0.0, uint64(3), uint64(4), []byte(nil), []byte(nil), []byte(nil), math.NaN())
+	f.Add(uint8(0), uint8(2), uint8(0), uint8(0), uint8(1), "complete",
+		256, 80, 0, true, 0.0, uint64(5), uint64(6), []byte(nil), []byte(nil), []byte(nil), math.NaN())
+	f.Add(uint8(0), uint8(0), uint8(0), uint8(0), uint8(0), "gnp",
+		128, 10, 0, false, 0.25, uint64(7), uint64(8), []byte{5, 3, 3}, []byte{2, 24, 1, 8}, []byte(nil), math.NaN())
+	f.Add(uint8(1), uint8(1), uint8(1), uint8(2), uint8(0), "torus",
+		900, 20, 0, false, 0.0, uint64(9), uint64(10), []byte(nil), []byte(nil), []byte{63, 191}, 32.0)
+	f.Add(uint8(2), uint8(3), uint8(2), uint8(1), uint8(2), "",
+		0, 1, 0, false, 0.5, uint64(0), uint64(0), []byte{0}, []byte{0, 0}, []byte{255}, -1.5)
+
+	f.Fuzz(func(t *testing.T, kindSel, protoSel, timingSel, viewSel, variantSel uint8,
+		family string, n, trials, source int, qr bool, loss float64,
+		gseed, tseed uint64, extras, crashes, covs []byte, param float64) {
+		spec := fuzzSpec(kindSel, protoSel, timingSel, viewSel, variantSel, family,
+			n, trials, source, qr, loss, gseed, tseed, extras, crashes, covs, param)
+		key := spec.Key()
+		canon := spec.canonical()
+		if spec.Key() != key || spec.canonical() != canon {
+			t.Fatal("Key/canonical not deterministic")
+		}
+
+		// (1) JSON round trip preserves the key and the full canonical
+		// form, not just the 128-bit hash.
+		wire, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		var decoded CellSpec
+		if err := json.Unmarshal(wire, &decoded); err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		if decoded.canonical() != canon {
+			t.Errorf("JSON round trip changed the canonical form:\n in: %s\nout: %s", canon, decoded.canonical())
+		}
+		if decoded.Key() != key {
+			t.Errorf("JSON round trip changed the key: %s -> %s", key, decoded.Key())
+		}
+		if !reflect.DeepEqual(spec, decoded) && decoded.canonical() == canon {
+			t.Error("decoded spec differs semantically yet shares the key")
+		}
+
+		// (2a) Documented normalizations are key-preserving.
+		explicit := spec
+		if explicit.Kind == "" {
+			explicit.Kind = KindTime
+		}
+		if explicit.Timing == TimingAsync && explicit.View == "" {
+			explicit.View = "global-clock"
+		}
+		if len(explicit.CoverageFracs) == 0 && explicit.kind() == KindTime {
+			explicit.CoverageFracs = []float64{0.5, 0.9, 1.0}
+		}
+		if explicit.canonical() != canon {
+			t.Errorf("explicit defaults changed the canonical form:\n in: %s\nout: %s", canon, explicit.canonical())
+		}
+		if len(spec.ExtraSources) > 1 {
+			reversed := spec
+			reversed.ExtraSources = append([]int(nil), spec.ExtraSources...)
+			for i, j := 0, len(reversed.ExtraSources)-1; i < j; i, j = i+1, j-1 {
+				reversed.ExtraSources[i], reversed.ExtraSources[j] = reversed.ExtraSources[j], reversed.ExtraSources[i]
+			}
+			if reversed.canonical() != canon {
+				t.Error("extra-source order changed the canonical form")
+			}
+			dup := spec
+			dup.ExtraSources = append(append([]int(nil), spec.ExtraSources...), spec.ExtraSources[0])
+			if dup.canonical() != canon {
+				t.Error("duplicate extra source changed the canonical form")
+			}
+		}
+
+		// (2b) Semantically distinct mutations must change the
+		// canonical form — one probe per scenario axis.
+		distinct := []struct {
+			name   string
+			mutate func(*CellSpec)
+		}{
+			{"trials", func(c *CellSpec) { c.Trials++ }},
+			{"n", func(c *CellSpec) { c.N++ }},
+			{"graph seed", func(c *CellSpec) { c.GraphSeed++ }},
+			{"trial seed", func(c *CellSpec) { c.TrialSeed++ }},
+			{"source", func(c *CellSpec) { c.Source++ }},
+			{"quasirandom", func(c *CellSpec) { c.Quasirandom = !c.Quasirandom }},
+			{"loss", func(c *CellSpec) {
+				if c.LossProb == 0.25 {
+					c.LossProb = 0.75
+				} else {
+					c.LossProb = 0.25
+				}
+			}},
+			{"new extra source", func(c *CellSpec) {
+				max := -1
+				for _, s := range c.ExtraSources {
+					if s > max {
+						max = s
+					}
+				}
+				c.ExtraSources = append(append([]int(nil), c.ExtraSources...), max+1)
+			}},
+			{"new crash", func(c *CellSpec) {
+				c.Crashes = append(append([]CrashSpec(nil), c.Crashes...), CrashSpec{Node: 1 << 20, Time: 1e9})
+			}},
+			{"family", func(c *CellSpec) { c.Family += "x" }},
+		}
+		for _, m := range distinct {
+			mutated := spec
+			m.mutate(&mutated)
+			if mutated.canonical() == canon {
+				t.Errorf("mutating %s did not change the canonical form %q", m.name, canon)
+			}
+		}
+	})
+}

@@ -15,6 +15,7 @@ import (
 //	GET    /v1/jobs/{id}/results stream results as NDJSON, in canonical
 //	                             cell order, as cells complete
 //	DELETE /v1/jobs/{id}         cancel a job
+//	GET    /v1/cache             cache-tier stats (LRU + disk store)
 //	GET    /healthz              liveness
 //	GET    /metricsz             scheduler + cache metrics snapshot
 //
@@ -32,6 +33,7 @@ func NewServer(sched *Scheduler) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.status)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/results", s.results)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
+	s.mux.HandleFunc("GET /v1/cache", s.cache)
 	s.mux.HandleFunc("GET /healthz", s.healthz)
 	s.mux.HandleFunc("GET /metricsz", s.metricsz)
 	return s
@@ -161,4 +163,11 @@ func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) metricsz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.sched.Metrics())
+}
+
+// cache reports the cache tiers: LRU size and hit/miss counters, the
+// disk tier's hit/promotion split, and the persistent store's segment
+// and compaction counters when a store is attached.
+func (s *Server) cache(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.sched.CacheStats())
 }

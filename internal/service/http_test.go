@@ -309,6 +309,27 @@ func TestHTTPHealthAndMetrics(t *testing.T) {
 	if m.GraphCache.Hits == 0 {
 		t.Errorf("graph cache saw no hits across timing pairs: %+v", m.GraphCache)
 	}
+
+	// GET /v1/cache with a plain (single-tier) result cache: the tier
+	// fields stay omitted, the core counters are present.
+	resp, err = http.Get(srv.URL + "/v1/cache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap CacheSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.ResultCache == nil || snap.GraphCache == nil {
+		t.Fatalf("/v1/cache missing caches: %+v", snap)
+	}
+	if snap.ResultCache.Size == 0 || snap.ResultCache.Misses == 0 {
+		t.Errorf("/v1/cache result tier counters empty: %+v", snap.ResultCache)
+	}
+	if snap.ResultCache.Disk != nil {
+		t.Errorf("plain LRU reports a disk tier: %+v", snap.ResultCache.Disk)
+	}
 }
 
 // Streaming while the job is still running: the handler must deliver

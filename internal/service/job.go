@@ -36,6 +36,13 @@ const (
 	TimingAsync = "async"
 )
 
+// CellKeyVersion is the version tag of the canonical cell-key
+// rendering. Any change to the canonical form must bump it: persistent
+// caches (internal/cachestore) stamp every record with the version
+// they were written under and refuse to serve records from any other,
+// so a bump invalidates stale entries instead of aliasing them.
+const CellKeyVersion = "v2"
+
 // Spec validation errors.
 var (
 	ErrBadSpec = errors.New("service: invalid job spec")
@@ -150,12 +157,21 @@ func fmtFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
 // Two cells share a key iff they are the same measurement, and
 // determinism guarantees equal results.
 //
-// The rendering is versioned ("v2|..."); any change to the canonical
-// form must bump the version so stale persisted caches can never alias.
-// The golden-key tests pin the current form.
+// The rendering is versioned (CellKeyVersion); any change to the
+// canonical form must bump the version so stale persisted caches can
+// never alias. The golden-key tests pin the current form, and
+// FuzzCellSpecKey guards its round-trip stability.
 func (c CellSpec) Key() string {
+	sum := sha256.Sum256([]byte(c.canonical()))
+	return hex.EncodeToString(sum[:16])
+}
+
+// canonical renders the unambiguous, normalized form Key hashes. Two
+// specs share a canonical form iff they are the same measurement.
+func (c CellSpec) canonical() string {
 	var b strings.Builder
-	b.WriteString("v2|kind=")
+	b.WriteString(CellKeyVersion)
+	b.WriteString("|kind=")
 	b.WriteString(c.kind())
 	fmt.Fprintf(&b, "|family=%s|n=%d|protocol=%s|timing=%s|view=%s|variant=%s",
 		c.Family, c.N, c.Protocol, c.Timing, c.effectiveView(), c.Variant)
@@ -212,8 +228,7 @@ func (c CellSpec) Key() string {
 		fmt.Fprintf(&b, "%s=%s", k, fmtFloat(c.Params[k]))
 	}
 
-	sum := sha256.Sum256([]byte(b.String()))
-	return hex.EncodeToString(sum[:16])
+	return b.String()
 }
 
 // GraphKey identifies the graph instance the cell runs on; cells that

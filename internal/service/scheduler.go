@@ -45,8 +45,12 @@ type SchedulerConfig struct {
 	// when a new submission pushes past the bound. Running and queued
 	// jobs are never evicted. 0 means 256.
 	JobRetention int
-	// Results and Graphs are the shared caches; nil disables each tier.
-	Results *ResultCache
+	// Results and Graphs are the shared caches; nil disables each.
+	// Results may be a plain LRU or a TieredResultCache with a
+	// persistent tier underneath — the scheduler does not care, but it
+	// never owns the disk store's lifecycle: whoever opened it flushes
+	// and closes it after Shutdown drains.
+	Results ResultStore
 	Graphs  *GraphCache
 }
 
@@ -378,6 +382,29 @@ func (s *Scheduler) Metrics() Metrics {
 		m.GraphCache = &st
 	}
 	return m
+}
+
+// CacheSnapshot is the GET /v1/cache payload: one consistent snapshot
+// per cache (result tiers and graphs), taken at request time.
+type CacheSnapshot struct {
+	ResultCache *CacheStats `json:"result_cache,omitempty"`
+	GraphCache  *CacheStats `json:"graph_cache,omitempty"`
+}
+
+// CacheStats snapshots the scheduler's caches. Each cache's counters
+// are read in a single critical section (see CacheStats), so hit/miss
+// pairs never tear even while workers are hammering the caches.
+func (s *Scheduler) CacheStats() CacheSnapshot {
+	var snap CacheSnapshot
+	if s.exec.Results != nil {
+		st := s.exec.Results.Stats()
+		snap.ResultCache = &st
+	}
+	if s.exec.Graphs != nil {
+		st := s.exec.Graphs.Stats()
+		snap.GraphCache = &st
+	}
+	return snap
 }
 
 // Shutdown stops accepting jobs and drains: queued and running cells
