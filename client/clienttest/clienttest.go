@@ -1,0 +1,86 @@
+// Package clienttest provides fault injection for exercising the SDK's
+// reconnect paths: transports that cut streaming response bodies
+// mid-flight, so tests can prove a client resumes from its cursor
+// instead of silently dropping or re-reading rows.
+package clienttest
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrCut is the transport error a cut body surfaces after delivering
+// its byte budget.
+var ErrCut = errors.New("clienttest: connection cut")
+
+// CutOnceTransport wraps a RoundTripper and truncates the body of the
+// first response whose URL path contains Match, after After bytes: the
+// reader then returns ErrCut, simulating a dropped connection
+// mid-stream (possibly mid-row — resuming clients must discard the
+// partial tail). Subsequent matching responses pass through intact, so
+// one reconnect heals the stream.
+type CutOnceTransport struct {
+	// Base is the underlying transport; nil means
+	// http.DefaultTransport.
+	Base http.RoundTripper
+	// Match is the URL path substring selecting the stream to cut
+	// (e.g. "/results").
+	Match string
+	// After is how many body bytes to deliver before cutting.
+	After int64
+
+	mu   sync.Mutex
+	used bool
+	cuts atomic.Int64
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *CutOnceTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	resp, err := base.RoundTrip(req)
+	if err != nil || !strings.Contains(req.URL.Path, t.Match) {
+		return resp, err
+	}
+	t.mu.Lock()
+	cut := !t.used
+	t.used = true
+	t.mu.Unlock()
+	if cut {
+		t.cuts.Add(1)
+		resp.Body = &cutBody{rc: resp.Body, remaining: t.After}
+	}
+	return resp, nil
+}
+
+// Cuts reports how many responses were cut (0 or 1; a test asserting a
+// forced reconnect checks it is 1).
+func (t *CutOnceTransport) Cuts() int64 { return t.cuts.Load() }
+
+type cutBody struct {
+	rc        io.ReadCloser
+	remaining int64
+}
+
+func (b *cutBody) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		return 0, ErrCut
+	}
+	if int64(len(p)) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.rc.Read(p)
+	b.remaining -= int64(n)
+	if err == nil && b.remaining <= 0 {
+		err = ErrCut
+	}
+	return n, err
+}
+
+func (b *cutBody) Close() error { return b.rc.Close() }

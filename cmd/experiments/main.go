@@ -17,6 +17,12 @@
 //	experiments -quick -cache        # serve repeated cells from the result LRU
 //	experiments -quick -cache-dir D  # persistent cache: warm replay survives restarts
 //	experiments -quick -bench B.json # cold vs warm suite timing to B.json
+//	experiments -quick -server http://localhost:8080
+//	                                 # run every cell on a rumord daemon via
+//	                                 # the client SDK; verdicts and output are
+//	                                 # byte-identical to the in-process path,
+//	                                 # and dropped result streams resume from
+//	                                 # their cursor without recomputation
 package main
 
 import (
@@ -28,10 +34,18 @@ import (
 	"os"
 	"time"
 
+	"rumor/client"
 	"rumor/internal/cachestore"
 	"rumor/internal/experiments"
 	"rumor/internal/service"
 )
+
+// newServerRunner builds the SDK-backed cell runner for -server (test
+// hook: fault-injection tests swap in a client with a cutting
+// transport to force a mid-suite stream reconnect).
+var newServerRunner = func(baseURL string) (service.CellRunner, error) {
+	return client.New(baseURL)
+}
 
 // errVerdictFailed reports that an experiment contradicted the paper:
 // run returns it (rather than calling os.Exit directly) so deferred
@@ -60,9 +74,26 @@ func run(args []string, stdout io.Writer) error {
 		cache    = fs.Bool("cache", false, "serve repeated cells from a result LRU (rumord's cache tier)")
 		cacheDir = fs.String("cache-dir", "", "persistent cell-result store directory: cells computed by any prior run (or a rumord with the same dir) replay from disk")
 		bench    = fs.String("bench", "", "run the suite twice (cold, then warm cache) and write timing JSON to this file")
+		server   = fs.String("server", "", "run every cell on a rumord server at this base URL via the client SDK (reducers still run locally; output is byte-identical to the in-process path)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *server != "" {
+		if *cache || *cacheDir != "" || *bench != "" {
+			return fmt.Errorf("-server is incompatible with -cache/-cache-dir/-bench: caching and timing belong to the daemon")
+		}
+		remote, err := newServerRunner(*server)
+		if err != nil {
+			return err
+		}
+		cfg := experiments.Config{
+			Quick:  *quick,
+			Seed:   *seed,
+			Out:    stdout,
+			Runner: remote,
+		}
+		return runSuite(cfg, *runID, *markdown, stdout)
 	}
 	// -cache-dir supplies its own tiered result cache below, so only
 	// -cache/-bench ask NewLocalRunner for the plain LRU tier.
@@ -91,8 +122,15 @@ func run(args []string, stdout io.Writer) error {
 	if *bench != "" {
 		return runBench(*bench, cfg, stdout)
 	}
-	if *runID != "" {
-		e, err := experiments.ByID(*runID)
+	return runSuite(cfg, *runID, *markdown, stdout)
+}
+
+// runSuite runs one experiment (runID != "") or the whole suite on
+// cfg's runner — in-process or SDK-backed, the output is the same
+// bytes.
+func runSuite(cfg experiments.Config, runID, markdown string, stdout io.Writer) error {
+	if runID != "" {
+		e, err := experiments.ByID(runID)
 		if err != nil {
 			return err
 		}
@@ -111,8 +149,8 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if *markdown != "" {
-		f, err := os.Create(*markdown)
+	if markdown != "" {
+		f, err := os.Create(markdown)
 		if err != nil {
 			return err
 		}
@@ -123,7 +161,7 @@ func run(args []string, stdout io.Writer) error {
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Fprintf(stdout, "wrote %s\n", *markdown)
+		fmt.Fprintf(stdout, "wrote %s\n", markdown)
 	}
 	for _, o := range outcomes {
 		if o.Verdict == experiments.Failed {

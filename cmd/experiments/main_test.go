@@ -2,13 +2,21 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 	"time"
+
+	"rumor/client"
+	"rumor/client/clienttest"
+	"rumor/internal/experiments"
+	"rumor/internal/service"
 )
 
 func TestRunSingleQuickExperiment(t *testing.T) {
@@ -136,5 +144,90 @@ func TestRunQuickSuiteWithMarkdownReport(t *testing.T) {
 		if !strings.Contains(report, want) {
 			t.Errorf("markdown report missing %q", want)
 		}
+	}
+}
+
+// startSuiteServer spins up the full rumord HTTP surface (jobs +
+// experiment endpoints) in-process for -server tests.
+func startSuiteServer(t *testing.T) string {
+	t.Helper()
+	sched := service.NewScheduler(service.SchedulerConfig{
+		Workers: 4,
+		Results: service.NewResultCache(0),
+		Graphs:  service.NewGraphCache(0),
+	})
+	srv := service.NewServer(sched)
+	experiments.Mount(srv, sched)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		sched.Shutdown(context.Background())
+	})
+	return ts.URL
+}
+
+// TestServerModeSingleExperiment: the cheap smoke — one experiment via
+// -server matches the in-process run byte for byte.
+func TestServerModeSingleExperiment(t *testing.T) {
+	url := startSuiteServer(t)
+	var local, remote bytes.Buffer
+	if err := run([]string{"-run", "E12", "-quick"}, &local); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-run", "E12", "-quick", "-server", url}, &remote); err != nil {
+		t.Fatal(err)
+	}
+	if local.String() != remote.String() {
+		t.Errorf("-server output diverged\nlocal:\n%s\nremote:\n%s", local.String(), remote.String())
+	}
+}
+
+func TestServerModeFlagConflicts(t *testing.T) {
+	for _, args := range [][]string{
+		{"-server", "http://localhost:1", "-cache"},
+		{"-server", "http://localhost:1", "-cache-dir", "/tmp/x"},
+		{"-server", "http://localhost:1", "-bench", "/tmp/b.json"},
+		{"-server", "://bad"},
+	} {
+		if err := run(args, io.Discard); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+// TestServerModeSuiteMatchesLocalWithReconnect is the acceptance check
+// of the SDK spine: `experiments -quick -server URL` reproduces the
+// E1–E15 suite verdicts byte-identical to the in-process path, even
+// when one result stream is force-cut mid-suite — the SDK reconnects
+// with a cursor and no cell is recomputed or dropped.
+func TestServerModeSuiteMatchesLocalWithReconnect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick suite twice")
+	}
+	url := startSuiteServer(t)
+
+	// Swap the runner hook for a client whose transport cuts the first
+	// results stream after 900 bytes (mid-row, mid-suite).
+	cut := &clienttest.CutOnceTransport{Match: "/results", After: 900}
+	old := newServerRunner
+	newServerRunner = func(baseURL string) (service.CellRunner, error) {
+		return client.New(baseURL,
+			client.WithHTTPClient(&http.Client{Transport: cut}),
+			client.WithBackoff(time.Millisecond, 50*time.Millisecond))
+	}
+	t.Cleanup(func() { newServerRunner = old })
+
+	var local, remote bytes.Buffer
+	if err := run([]string{"-quick"}, &local); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-quick", "-server", url}, &remote); err != nil {
+		t.Fatal(err)
+	}
+	if cut.Cuts() != 1 {
+		t.Fatalf("transport cut %d streams, want exactly 1", cut.Cuts())
+	}
+	if local.String() != remote.String() {
+		t.Errorf("-server suite output diverged from in-process run after forced reconnect")
 	}
 }

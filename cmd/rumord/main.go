@@ -117,7 +117,7 @@ func run(args []string) error {
 		Graphs:       graphs,
 	})
 	api := service.NewServer(sched)
-	experiments.RegisterHTTP(api, sched)
+	experiments.Mount(api, sched)
 	srv := &http.Server{Addr: *addr, Handler: api}
 
 	ln, err := net.Listen("tcp", *addr)

@@ -1,24 +1,27 @@
 package main
 
 import (
-	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net"
 	"net/http"
 	"os"
-	"strings"
 	"syscall"
 	"testing"
 	"time"
 
+	"rumor/client"
+	"rumor/client/clienttest"
 	"rumor/internal/service"
 )
 
 // startRumord launches run() with the given args plus an ephemeral
-// port and returns the base URL and the exit-error channel.
-func startRumord(t *testing.T, args ...string) (string, chan error) {
+// port and returns an SDK client for it and the exit-error channel.
+// The daemon is driven exclusively through the typed client — the
+// same path every other consumer in the repo uses.
+func startRumord(t *testing.T, args ...string) (*client.Client, chan error) {
 	t.Helper()
 	addrCh := make(chan net.Addr, 1)
 	onListen = func(a net.Addr) { addrCh <- a }
@@ -29,13 +32,17 @@ func startRumord(t *testing.T, args ...string) (string, chan error) {
 	}()
 	select {
 	case addr := <-addrCh:
-		return "http://" + addr.String(), errCh
+		c, err := client.New("http://" + addr.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c, errCh
 	case err := <-errCh:
 		t.Fatalf("rumord exited before listening: %v", err)
 	case <-time.After(10 * time.Second):
 		t.Fatal("rumord did not start listening")
 	}
-	return "", nil
+	return nil, nil
 }
 
 // stopRumord SIGTERMs the process and waits for a clean drain.
@@ -54,67 +61,75 @@ func stopRumord(t *testing.T, errCh chan error) {
 	}
 }
 
-// getBody fetches a URL and returns the body.
-func getBody(t *testing.T, url string) []byte {
+// rawResults streams a job's results from after the given cursor and
+// returns the raw NDJSON bytes — the unit of the byte-determinism
+// guarantee.
+func rawResults(t *testing.T, c *client.Client, id string, after int) []byte {
 	t.Helper()
-	resp, err := http.Get(url)
+	stream, err := c.Results(context.Background(), id, after)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("GET %s = %d", url, resp.StatusCode)
+	defer stream.Close()
+	var buf bytes.Buffer
+	for {
+		_, err := stream.Next()
+		if err == io.EOF {
+			return buf.Bytes()
+		}
+		if err != nil {
+			t.Fatalf("stream error: %v", err)
+		}
+		buf.Write(stream.Raw())
+		buf.WriteByte('\n')
 	}
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return body
 }
 
-// submitAndStream submits a job spec and returns the streamed NDJSON
-// result bytes.
-func submitAndStream(t *testing.T, base, spec string) []byte {
+// submitAndStream submits a job spec through the SDK and returns the
+// streamed NDJSON result bytes.
+func submitAndStream(t *testing.T, c *client.Client, spec service.JobSpec) []byte {
 	t.Helper()
-	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(spec))
+	st, err := c.SubmitJob(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var st service.JobStatus
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-		t.Fatal(err)
+	return rawResults(t, c, st.ID, -1)
+}
+
+func restartGrid() service.JobSpec {
+	return service.JobSpec{
+		Families:  []string{"hypercube"},
+		Sizes:     []int{64},
+		Protocols: []string{"push-pull"},
+		Timings:   []string{service.TimingSync, service.TimingAsync},
+		Trials:    10,
+		Seed:      7,
 	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusAccepted {
-		t.Fatalf("submit: status %d, %+v", resp.StatusCode, st)
-	}
-	return getBody(t, base+"/v1/jobs/"+st.ID+"/results")
 }
 
 // TestRumordCacheDirSurvivesRestart: a rumord with -cache-dir computes
 // a job, drains on SIGTERM (flushing the persistent tier), and a fresh
 // rumord over the same directory serves the same job byte-identically
-// from disk — GET /v1/cache must report the disk-tier hits.
+// from disk — the SDK's CacheStats must report the disk-tier hits.
 func TestRumordCacheDirSurvivesRestart(t *testing.T) {
 	dir := t.TempDir()
-	spec := `{"families":["hypercube"],"sizes":[64],` +
-		`"protocols":["push-pull"],"timings":["sync","async"],"trials":10,"seed":7}`
+	spec := restartGrid()
 
-	base, errCh := startRumord(t, "-workers", "2", "-cache-dir", dir)
-	cold := submitAndStream(t, base, spec)
+	c, errCh := startRumord(t, "-workers", "2", "-cache-dir", dir)
+	cold := submitAndStream(t, c, spec)
 	stopRumord(t, errCh)
 
-	base, errCh = startRumord(t, "-workers", "2", "-cache-dir", dir)
-	warm := submitAndStream(t, base, spec)
+	c, errCh = startRumord(t, "-workers", "2", "-cache-dir", dir)
+	warm := submitAndStream(t, c, spec)
 	if !bytes.Equal(cold, warm) {
 		t.Errorf("restarted daemon streamed different bytes\ncold: %s\nwarm: %s", cold, warm)
 	}
-	var snap service.CacheSnapshot
-	if err := json.Unmarshal(getBody(t, base+"/v1/cache"), &snap); err != nil {
+	snap, err := c.CacheStats(context.Background())
+	if err != nil {
 		t.Fatal(err)
 	}
 	if snap.ResultCache == nil || snap.ResultCache.Disk == nil {
-		t.Fatalf("/v1/cache missing tiered result stats: %+v", snap)
+		t.Fatalf("cache stats missing tiered result stats: %+v", snap)
 	}
 	if snap.ResultCache.DiskHits == 0 {
 		t.Errorf("restarted daemon served no disk-tier hits: %+v", snap.ResultCache)
@@ -128,125 +143,180 @@ func TestRumordCacheDirSurvivesRestart(t *testing.T) {
 	stopRumord(t, errCh)
 }
 
-// End-to-end daemon lifecycle: rumord starts on an ephemeral port,
-// accepts a job over HTTP, streams NDJSON results, and drains cleanly
-// when the process receives SIGTERM.
+// End-to-end daemon lifecycle through the SDK: rumord starts on an
+// ephemeral port, accepts a job, streams NDJSON results, serves the
+// experiment registry, runs an experiment, and drains cleanly when the
+// process receives SIGTERM.
 func TestRumordServesAndDrainsOnSIGTERM(t *testing.T) {
-	addrCh := make(chan net.Addr, 1)
-	onListen = func(a net.Addr) { addrCh <- a }
-	defer func() { onListen = nil }()
+	c, errCh := startRumord(t, "-workers", "2", "-drain-timeout", "30s")
+	ctx := context.Background()
 
-	errCh := make(chan error, 1)
-	go func() {
-		errCh <- run([]string{"-addr", "127.0.0.1:0", "-workers", "2", "-drain-timeout", "30s"})
-	}()
-	var base string
-	select {
-	case addr := <-addrCh:
-		base = "http://" + addr.String()
-	case err := <-errCh:
-		t.Fatalf("rumord exited before listening: %v", err)
-	case <-time.After(10 * time.Second):
-		t.Fatal("rumord did not start listening")
+	if err := c.Health(ctx); err != nil {
+		t.Fatalf("healthz: %v", err)
 	}
 
-	resp, err := http.Get(base + "/healthz")
+	spec := service.JobSpec{
+		Families:  []string{"hypercube", "complete"},
+		Sizes:     []int{64},
+		Protocols: []string{"push-pull"},
+		Timings:   []string{service.TimingSync, service.TimingAsync},
+		Trials:    10,
+		Seed:      3,
+	}
+	st, err := c.SubmitJob(ctx, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("healthz = %d", resp.StatusCode)
-	}
-
-	spec := `{"families":["hypercube","complete"],"sizes":[64],` +
-		`"protocols":["push-pull"],"timings":["sync","async"],"trials":10,"seed":3}`
-	resp, err = http.Post(base+"/v1/jobs", "application/json", strings.NewReader(spec))
-	if err != nil {
-		t.Fatal(err)
-	}
-	var st service.JobStatus
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusAccepted || st.CellsTotal != 4 {
-		t.Fatalf("submit: status %d, %+v", resp.StatusCode, st)
-	}
-
-	resp, err = http.Get(base + "/v1/jobs/" + st.ID + "/results")
-	if err != nil {
-		t.Fatal(err)
+	if st.CellsTotal != 4 {
+		t.Fatalf("submit: %+v", st)
 	}
 	rows := 0
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
-	for sc.Scan() {
-		var row service.CellResult
-		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
-			t.Fatalf("row %d: %v", rows, err)
+	if err := c.StreamResults(ctx, st.ID, -1, func(res *service.CellResult) error {
+		if res.Index != rows {
+			t.Errorf("row %d has index %d: stream out of canonical order", rows, res.Index)
 		}
 		rows++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
 	}
-	resp.Body.Close()
 	if rows != 4 {
 		t.Fatalf("streamed %d rows, want 4", rows)
 	}
 
 	// Experiment endpoints: the registry lists E1–E15, and running one
-	// (E12 is graphless and cheap) streams its cells plus a final
-	// outcome row with a verdict.
-	resp, err = http.Get(base + "/v1/experiments")
+	// (E12 is graphless and cheap) streams its cells plus an outcome.
+	infos, err := c.Experiments(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var infos []map[string]interface{}
-	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
 	if len(infos) != 15 {
 		t.Fatalf("experiment registry lists %d entries, want 15", len(infos))
 	}
-
-	resp, err = http.Post(base+"/v1/experiments/e12", "application/json",
-		strings.NewReader(`{"quick": true, "seed": 1}`))
+	cells := 0
+	outcome, err := c.RunExperiment(ctx, "e12", client.RunExperimentRequest{Quick: true, Seed: 1},
+		func(*service.CellResult) error { cells++; return nil })
 	if err != nil {
 		t.Fatal(err)
 	}
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("experiment run status = %d", resp.StatusCode)
-	}
-	var lines []string
-	sc = bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
-	for sc.Scan() {
-		lines = append(lines, sc.Text())
-	}
-	resp.Body.Close()
-	if len(lines) != 2 { // one cell + the outcome
-		t.Fatalf("experiment stream has %d rows, want 2", len(lines))
-	}
-	var outcome struct {
-		ID      string `json:"id"`
-		Verdict string `json:"verdict"`
-	}
-	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &outcome); err != nil {
-		t.Fatal(err)
-	}
-	if outcome.ID != "E12" || outcome.Verdict == "" || outcome.Verdict == "FAILED" {
-		t.Fatalf("experiment outcome = %+v", outcome)
+	if cells != 1 || outcome.ID != "E12" || outcome.Verdict == "" || outcome.Verdict == "FAILED" {
+		t.Fatalf("experiment run: %d cells, outcome %+v", cells, outcome)
 	}
 
-	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+	stopRumord(t, errCh)
+}
+
+// TestRumordSDKEndToEnd is the acceptance test of the SDK path: a real
+// rumord daemon, driven only through the client — idempotent submit, a
+// result stream force-cut mid-flight and resumed via the cursor, an
+// SSE watch — with every result byte-identical to an in-process
+// executor run of the same cells.
+func TestRumordSDKEndToEnd(t *testing.T) {
+	c, errCh := startRumord(t, "-workers", "2")
+	ctx := context.Background()
+
+	spec := service.JobSpec{
+		Families:  []string{"hypercube", "complete", "star"},
+		Sizes:     []int{64, 128},
+		Protocols: []string{"push-pull"},
+		Timings:   []string{service.TimingSync, service.TimingAsync},
+		Trials:    8,
+		Seed:      11,
+	}
+	cells := spec.Cells()
+
+	// In-process reference: the same cells through the local executor.
+	exec := &service.Executor{Graphs: service.NewGraphCache(0)}
+	want, err := exec.RunCells(ctx, cells)
+	if err != nil {
 		t.Fatal(err)
 	}
-	select {
-	case err := <-errCh:
-		if err != nil {
-			t.Fatalf("rumord exited with error after SIGTERM: %v", err)
+	var wantBytes bytes.Buffer
+	enc := json.NewEncoder(&wantBytes)
+	enc.SetEscapeHTML(false)
+	for _, res := range want {
+		if err := enc.Encode(res); err != nil {
+			t.Fatal(err)
 		}
-	case <-time.After(30 * time.Second):
-		t.Fatal("rumord did not drain after SIGTERM")
 	}
+
+	// SDK path with a fault-injecting transport: the first results
+	// stream is cut after 600 bytes (mid-row), forcing RunCells'
+	// auto-resume to reconnect with a cursor.
+	cut := &clienttest.CutOnceTransport{Match: "/results", After: 600}
+	cutClient, err := client.New(c.BaseURL(), client.WithHTTPClient(&http.Client{Transport: cut}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cutClient.RunCells(ctx, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut.Cuts() != 1 {
+		t.Fatalf("transport cut %d streams, want exactly 1", cut.Cuts())
+	}
+	var gotBytes bytes.Buffer
+	enc = json.NewEncoder(&gotBytes)
+	enc.SetEscapeHTML(false)
+	for _, res := range got {
+		if err := enc.Encode(res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(wantBytes.Bytes(), gotBytes.Bytes()) {
+		t.Errorf("SDK results (with forced reconnect) differ from in-process run\nin-process: %s\nsdk:        %s",
+			wantBytes.Bytes(), gotBytes.Bytes())
+	}
+
+	// The uncut wire stream must carry exactly those bytes, pinning
+	// marshal(in-process) == wire NDJSON (the idempotent resubmit binds
+	// to the same server-side job).
+	st, err := c.SubmitJob(ctx, service.JobSpec{CellList: cells},
+		client.WithIdempotencyKey(client.CellsIdempotencyKey(cells)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wire := rawResults(t, c, st.ID, -1); !bytes.Equal(wire, wantBytes.Bytes()) {
+		t.Errorf("wire stream differs from in-process bytes\nwire:       %s\nin-process: %s",
+			wire, wantBytes.Bytes())
+	}
+
+	// SSE watch: every cell arrives as a "cell" event in canonical
+	// order with its index as the SSE id, and the stream ends at the
+	// terminal "state" event.
+	watch, err := c.Watch(ctx, st.ID, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer watch.Close()
+	var cellEvents int
+	var lastState service.JobState
+	for {
+		ev, err := watch.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch ev.Type {
+		case "cell":
+			if ev.ID != cellEvents || ev.Result == nil || ev.Result.Index != cellEvents {
+				t.Fatalf("cell event %d out of order: id %d, %+v", cellEvents, ev.ID, ev.Result)
+			}
+			cellEvents++
+		case "state":
+			lastState = ev.Status.State
+		case "error":
+			t.Fatalf("unexpected error event: %v", ev.Err)
+		}
+	}
+	if cellEvents != len(cells) {
+		t.Errorf("watch delivered %d cell events, want %d", cellEvents, len(cells))
+	}
+	if lastState != service.JobDone {
+		t.Errorf("terminal state event = %q, want done", lastState)
+	}
+
+	stopRumord(t, errCh)
 }

@@ -1,12 +1,15 @@
 // Command rumorsim runs rumor spreading simulations from the command
 // line: single measurements or size sweeps over any standard graph
-// family, with any protocol and timing model.
+// family, with any protocol and timing model. With -server it runs the
+// same cells on a rumord daemon through the typed client SDK instead
+// of in-process — same cells, same bytes, different executor.
 //
 // Examples:
 //
 //	rumorsim -graph hypercube -n 1024 -protocol push-pull -timing both -trials 200
 //	rumorsim -graph star -n 4096 -protocol push -timing sync -trials 50
 //	rumorsim -graph diamond -sweep 512,1331,4096 -timing both -csv
+//	rumorsim -graph hypercube -n 4096 -server http://localhost:8080
 package main
 
 import (
@@ -19,6 +22,7 @@ import (
 	"strings"
 
 	"rumor"
+	"rumor/client"
 	"rumor/internal/core"
 	"rumor/internal/harness"
 	"rumor/internal/service"
@@ -48,6 +52,7 @@ func run(args []string) error {
 		view      = fs.String("view", "", "async process view: global-clock, per-node-clocks, per-edge-clocks")
 		csv       = fs.Bool("csv", false, "emit CSV instead of an aligned table")
 		useCache  = fs.Bool("cache", false, "serve repeated cells from a result LRU (rumord's cache tier)")
+		server    = fs.String("server", "", "run the cells on a rumord server at this base URL (typed client SDK) instead of in-process")
 		curve     = fs.Bool("curve", false, "emit the mean spreading curve (informed fraction vs time) instead of summary rows")
 		curvePts  = fs.Int("curve-points", 40, "number of grid points for -curve")
 	)
@@ -66,6 +71,9 @@ func run(args []string) error {
 		return err
 	}
 	if *curve {
+		if *server != "" {
+			return fmt.Errorf("-curve runs in-process only (it samples full trajectories, not cells)")
+		}
 		g, err := fam.Build(*n, *seed)
 		if err != nil {
 			return err
@@ -84,21 +92,17 @@ func run(args []string) error {
 		}
 	}
 
-	// Summary rows run through the same cell executor as the rumord
-	// service, so the CLI and the daemon share one execution path. The
-	// graph tier is always on (sync and async of one sweep size share
-	// one built instance, as the pre-service code did); -cache
-	// additionally turns on the completed-cell result LRU.
-	trialWorkers := *workers
-	if trialWorkers <= 0 {
-		trialWorkers = runtime.GOMAXPROCS(0)
-	}
-	exec := service.Executor{
-		TrialWorkers: trialWorkers,
-		Graphs:       service.NewGraphCache(0),
-	}
-	if *useCache {
-		exec.Results = service.NewResultCache(0)
+	// Summary rows run through the same cell model as the rumord
+	// service: one cell list, executed either by the in-process
+	// executor or — with -server — by a rumord daemon through the
+	// client SDK. Results are byte-identical either way; only where
+	// they compute changes. Locally the graph tier is always on (sync
+	// and async of one sweep size share one built instance) and -cache
+	// additionally turns on the completed-cell result LRU; on a server
+	// the daemon's own tiers apply.
+	runner, err := buildRunner(*server, *workers, *useCache)
+	if err != nil {
+		return err
 	}
 	var timings []string
 	if *timing == "sync" || *timing == "both" {
@@ -107,8 +111,8 @@ func run(args []string) error {
 	if *timing == "async" || *timing == "both" {
 		timings = append(timings, service.TimingAsync)
 	}
-	tab := stats.NewTable("graph", "n", "m", "timing", "protocol",
-		"mean", "median", "q99", "max", "stderr")
+	var cells []service.CellSpec
+	var cellTimings []string
 	for _, size := range sizes {
 		for _, tm := range timings {
 			trialSeed := *seed
@@ -129,17 +133,48 @@ func run(args []string) error {
 			if tm == service.TimingAsync {
 				cell.View = *view
 			}
-			res, _, err := exec.Run(context.Background(), 0, cell)
-			if err != nil {
-				return err
-			}
-			addRow(tab, res, tm, proto)
+			cells = append(cells, cell)
+			cellTimings = append(cellTimings, tm)
 		}
+	}
+	results, err := runner.RunCells(context.Background(), cells)
+	if err != nil {
+		return err
+	}
+	tab := stats.NewTable("graph", "n", "m", "timing", "protocol",
+		"mean", "median", "q99", "max", "stderr")
+	for i, res := range results {
+		addRow(tab, res, cellTimings[i], proto)
 	}
 	if *csv {
 		return tab.WriteCSV(os.Stdout)
 	}
 	return tab.Render(os.Stdout)
+}
+
+// buildRunner picks the cell runner: the rumord server at serverURL
+// via the SDK, or the in-process executor (cells serial, trials
+// parallel — the historical CLI parallelism shape).
+func buildRunner(serverURL string, workers int, useCache bool) (service.CellRunner, error) {
+	if serverURL != "" {
+		if useCache {
+			return nil, fmt.Errorf("-cache is in-process only; with -server, caching is the daemon's (-result-cache/-cache-dir)")
+		}
+		return client.New(serverURL)
+	}
+	trialWorkers := workers
+	if trialWorkers <= 0 {
+		trialWorkers = runtime.GOMAXPROCS(0)
+	}
+	exec := &service.Executor{
+		TrialWorkers: trialWorkers,
+		CellWorkers:  1,
+		Graphs:       service.NewGraphCache(0),
+	}
+	if useCache {
+		exec.Results = service.NewResultCache(0)
+	}
+	return exec, nil
 }
 
 func addRow(tab *stats.Table, res *service.CellResult, timing string, proto core.Protocol) {

@@ -1,9 +1,14 @@
 package main
 
 import (
+	"context"
+	"io"
+	"net/http/httptest"
+	"os"
 	"testing"
 
 	"rumor/internal/core"
+	"rumor/internal/service"
 )
 
 func TestParseProtocol(t *testing.T) {
@@ -63,4 +68,71 @@ func TestRunSourceOutOfRangeFallsBack(t *testing.T) {
 	if err := run([]string{"-graph", "complete", "-n", "16", "-trials", "3", "-source", "9999", "-timing", "sync"}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// startTestServer spins up the full rumord HTTP surface in-process for
+// -server mode tests.
+func startTestServer(t *testing.T) string {
+	t.Helper()
+	sched := service.NewScheduler(service.SchedulerConfig{Workers: 2})
+	ts := httptest.NewServer(service.NewServer(sched))
+	t.Cleanup(func() {
+		ts.Close()
+		sched.Shutdown(context.Background())
+	})
+	return ts.URL
+}
+
+// TestRunServerModeMatchesLocal: -server routes the same cells through
+// a rumord daemon via the SDK and prints byte-identical output.
+func TestRunServerModeMatchesLocal(t *testing.T) {
+	url := startTestServer(t)
+	args := []string{"-graph", "complete", "-sweep", "16,32", "-trials", "5", "-timing", "both", "-seed", "7", "-csv"}
+
+	local := captureStdout(t, func() {
+		if err := run(args); err != nil {
+			t.Error(err)
+		}
+	})
+	remote := captureStdout(t, func() {
+		if err := run(append(args, "-server", url)); err != nil {
+			t.Error(err)
+		}
+	})
+	if local != remote {
+		t.Errorf("-server output differs from local run\nlocal:\n%s\nremote:\n%s", local, remote)
+	}
+}
+
+func TestRunServerModeFlagConflicts(t *testing.T) {
+	for _, args := range [][]string{
+		{"-server", "http://localhost:1", "-cache"},
+		{"-server", "http://localhost:1", "-curve"},
+		{"-server", "://bad-url"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+// captureStdout redirects os.Stdout around fn (the CLI writes tables
+// straight to stdout).
+func captureStdout(t *testing.T, fn func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		data, _ := io.ReadAll(r)
+		done <- string(data)
+	}()
+	fn()
+	w.Close()
+	os.Stdout = old
+	return <-done
 }

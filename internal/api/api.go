@@ -1,0 +1,221 @@
+// Package api defines the wire protocol of the rumord v1 HTTP API: the
+// structured error envelope with its stable machine-readable codes, the
+// server-sent-event names of the job event stream, the idempotency and
+// cursor headers, and the experiment wire types. Both the server
+// (internal/service, internal/experiments) and the typed Go SDK
+// (rumor/client) build on this package, so the two ends of the wire can
+// never drift apart.
+//
+// Compatibility contract: the code constants below are API. Clients
+// switch on them (the SDK's retry logic keys on CodeQueueFull, resume
+// logic on CodeJobFailed/CodeJobCancelled), so existing codes must
+// never be renamed or reused; new failure modes get new codes. The
+// golden test in this package pins every code and the envelope shape.
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Stable machine-readable error codes. Every v1 error response carries
+// exactly one of these in its envelope.
+const (
+	// CodeBadRequest: the request itself is malformed (unparseable
+	// JSON, unknown fields, invalid query parameters or cursors).
+	CodeBadRequest = "bad_request"
+	// CodeInvalidSpec: the request parsed but the job or cell spec is
+	// semantically invalid (unknown family, trials < 1, ...).
+	CodeInvalidSpec = "invalid_spec"
+	// CodeQueueFull: transient backpressure — the pending-cell queue
+	// cannot accept the job right now. Retry with backoff (the response
+	// carries Retry-After).
+	CodeQueueFull = "queue_full"
+	// CodeJobTooLarge: the job exceeds the queue capacity outright and
+	// can never be accepted at any load; do not retry, split the job.
+	CodeJobTooLarge = "job_too_large"
+	// CodeShuttingDown: the server is draining and accepts no new work.
+	CodeShuttingDown = "shutting_down"
+	// CodeJobNotFound: no job with the requested ID (never submitted,
+	// or evicted by terminal-job retention).
+	CodeJobNotFound = "job_not_found"
+	// CodeExperimentNotFound: no experiment with the requested ID.
+	CodeExperimentNotFound = "experiment_not_found"
+	// CodeIdempotencyMismatch: the Idempotency-Key was seen before but
+	// with a different job spec; the submit is rejected rather than
+	// silently returning someone else's job.
+	CodeIdempotencyMismatch = "idempotency_mismatch"
+	// CodeJobFailed: the job terminated with a cell error; streamed as
+	// the final row/event of a result or event stream.
+	CodeJobFailed = "job_failed"
+	// CodeJobCancelled: the job was cancelled before completing;
+	// streamed as the final row/event of a result or event stream.
+	CodeJobCancelled = "job_cancelled"
+	// CodeInternal: an unclassified server-side failure.
+	CodeInternal = "internal"
+)
+
+// Codes returns every stable error code, in documentation order. The
+// golden test pins this list; the README's code table mirrors it.
+func Codes() []string {
+	return []string{
+		CodeBadRequest,
+		CodeInvalidSpec,
+		CodeQueueFull,
+		CodeJobTooLarge,
+		CodeShuttingDown,
+		CodeJobNotFound,
+		CodeExperimentNotFound,
+		CodeIdempotencyMismatch,
+		CodeJobFailed,
+		CodeJobCancelled,
+		CodeInternal,
+	}
+}
+
+// Request headers of the v1 API.
+const (
+	// IdempotencyKeyHeader makes POST /v1/jobs idempotent: resubmits
+	// with the same key and spec return the original job instead of
+	// enqueueing a duplicate.
+	IdempotencyKeyHeader = "Idempotency-Key"
+	// LastEventIDHeader resumes a result or event stream after the
+	// given cell index (the SSE standard reconnect header; the ?after=
+	// query parameter is its querystring equivalent).
+	LastEventIDHeader = "Last-Event-ID"
+	// IdempotencyReplayedHeader is set to "true" on a submit response
+	// served from the idempotency map rather than a fresh enqueue.
+	IdempotencyReplayedHeader = "Idempotency-Replayed"
+)
+
+// Server-sent event names of GET /v1/jobs/{id}/events.
+const (
+	// EventState carries a JobStatus snapshot; emitted on every job
+	// state transition (queued, running, done, failed, cancelled).
+	EventState = "state"
+	// EventCell carries one CellResult; emitted per cell completion in
+	// canonical cell order, with the cell index as the SSE event ID (so
+	// Last-Event-ID resume restarts exactly after the last seen cell).
+	EventCell = "cell"
+	// EventError carries an Error envelope; emitted as the final event
+	// of a stream whose job failed or was cancelled.
+	EventError = "error"
+)
+
+// Error is the structured API error: a stable machine-readable code
+// plus a human-readable message. It is the payload of every non-2xx
+// response body and of terminal stream rows/events, wrapped in an
+// Envelope.
+type Error struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// HTTPStatus is the transport status the error arrived with
+	// (client-side convenience; never serialized).
+	HTTPStatus int `json:"-"`
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("%s: %s", e.Code, e.Message)
+}
+
+// IsCode reports whether err is (or wraps) an API Error with the given
+// code.
+func IsCode(err error, code string) bool {
+	var apiErr *Error
+	return errors.As(err, &apiErr) && apiErr.Code == code
+}
+
+// Envelope is the JSON error wrapper: {"error": {"code": ..., "message": ...}}.
+type Envelope struct {
+	Error *Error `json:"error"`
+}
+
+// WriteJSON writes v as JSON with HTML escaping off — the API's
+// canonical encoder settings, shared by handlers and stream rows so the
+// same value renders identically everywhere.
+func WriteJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// WriteError writes the error envelope with the given code and message.
+func WriteError(w http.ResponseWriter, status int, code, message string) {
+	WriteJSON(w, status, Envelope{Error: &Error{Code: code, Message: message}})
+}
+
+// EncodeRow appends one NDJSON row (canonical encoder settings plus the
+// trailing newline json.Encoder emits) to w.
+func EncodeRow(w io.Writer, v interface{}) error {
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	return enc.Encode(v)
+}
+
+// Marshal renders v with the API's canonical encoder settings (HTML
+// escaping off, no trailing newline) — the same bytes EncodeRow
+// streams, so a value serialized as an SSE data payload and as an
+// NDJSON row is bit-for-bit identical.
+func Marshal(v interface{}) ([]byte, error) {
+	var b bytes.Buffer
+	enc := json.NewEncoder(&b)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		return nil, err
+	}
+	return bytes.TrimRight(b.Bytes(), "\n"), nil
+}
+
+// WriteSSE writes one server-sent event. id is omitted when empty; data
+// must be a single line (JSON without raw newlines qualifies).
+func WriteSSE(w io.Writer, event, id string, data []byte) error {
+	if _, err := fmt.Fprintf(w, "event: %s\n", event); err != nil {
+		return err
+	}
+	if id != "" {
+		if _, err := fmt.Fprintf(w, "id: %s\n", id); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "data: %s\n\n", data)
+	return err
+}
+
+// ExperimentInfo is one row of the GET /v1/experiments listing.
+type ExperimentInfo struct {
+	ID         string `json:"id"`
+	Title      string `json:"title"`
+	Claim      string `json:"claim"`
+	CellsQuick int    `json:"cells_quick"`
+	CellsFull  int    `json:"cells_full"`
+}
+
+// RunExperimentRequest is the POST /v1/experiments/{id} body. An empty
+// body selects the defaults (full mode, default seed, priority 0).
+type RunExperimentRequest struct {
+	// Quick shrinks sizes and trial counts (the -quick CLI flag).
+	Quick bool `json:"quick"`
+	// Seed is the root seed; 0 selects the suite default.
+	Seed uint64 `json:"seed"`
+	// Priority orders the experiment's job in the scheduler queue.
+	Priority int `json:"priority"`
+}
+
+// ExperimentOutcome is the final row of a POST /v1/experiments/{id}
+// stream: the verdict the reducer computed over the preceding cells. It
+// mirrors the experiment package's Outcome on the wire (Verdict renders
+// as its string name).
+type ExperimentOutcome struct {
+	ID      string `json:"id"`
+	Title   string `json:"title"`
+	Verdict string `json:"verdict"`
+	Summary string `json:"summary"`
+	Details string `json:"details,omitempty"`
+}

@@ -8,10 +8,21 @@ import (
 	"net/http"
 	"strings"
 
+	"rumor/internal/api"
 	"rumor/internal/service"
 )
 
-// RegisterHTTP mounts the experiment endpoints on the service API:
+// ExperimentInfo is one row of the GET /v1/experiments listing (the
+// wire type lives in internal/api so the client SDK shares it).
+type ExperimentInfo = api.ExperimentInfo
+
+// RunRequest is the POST /v1/experiments/{id} body (wire type in
+// internal/api; an empty body selects the defaults: full mode, default
+// seed, priority 0).
+type RunRequest = api.RunExperimentRequest
+
+// Mount attaches the experiment endpoints under the service API's
+// versioned /v1/experiments resource:
 //
 //	GET  /v1/experiments       list the E1–E15 registry with cell counts
 //	POST /v1/experiments/{id}  run one experiment through the scheduler,
@@ -22,42 +33,22 @@ import (
 // The streamed bytes are a pure function of (experiment, quick, seed):
 // identical across runs, worker counts, and cache states — and the
 // outcome equals what cmd/experiments prints for the same seed, because
-// both ride the same cells and reducer.
-func RegisterHTTP(srv *service.Server, sched *service.Scheduler) {
-	srv.HandleFunc("GET /v1/experiments", listHandler)
-	srv.HandleFunc("POST /v1/experiments/{id}", runHandler(sched))
+// both ride the same cells and reducer. This run stream is not
+// cursor-resumable (the reduction happens server-side); resumable
+// experiment runs go through the jobs API instead, as the SDK's
+// RunCells does — which is exactly how cmd/experiments -server runs the
+// suite.
+func Mount(srv *service.Server, sched *service.Scheduler) {
+	srv.Mount("experiments", Handler(sched))
 }
 
-// RunRequest is the POST /v1/experiments/{id} body. An empty body
-// selects the defaults (full mode, default seed, priority 0).
-type RunRequest struct {
-	// Quick shrinks sizes and trial counts (the -quick CLI flag).
-	Quick bool `json:"quick"`
-	// Seed is the root seed; 0 selects the suite default.
-	Seed uint64 `json:"seed"`
-	// Priority orders the experiment's job in the scheduler queue.
-	Priority int `json:"priority"`
-}
-
-// ExperimentInfo is one row of the GET /v1/experiments listing.
-type ExperimentInfo struct {
-	ID         string `json:"id"`
-	Title      string `json:"title"`
-	Claim      string `json:"claim"`
-	CellsQuick int    `json:"cells_quick"`
-	CellsFull  int    `json:"cells_full"`
-}
-
-type httpError struct {
-	Error string `json:"error"`
-}
-
-func writeJSON(w http.ResponseWriter, code int, v interface{}) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetEscapeHTML(false)
-	_ = enc.Encode(v)
+// Handler returns the /v1/experiments resource handler (for mounting
+// via Server.Mount, or standalone in tests).
+func Handler(sched *service.Scheduler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/experiments", listHandler)
+	mux.HandleFunc("POST /v1/experiments/{id}", runHandler(sched))
+	return mux
 }
 
 func listHandler(w http.ResponseWriter, _ *http.Request) {
@@ -71,63 +62,62 @@ func listHandler(w http.ResponseWriter, _ *http.Request) {
 			CellsFull:  len(e.Cells(Config{})),
 		})
 	}
-	writeJSON(w, http.StatusOK, infos)
+	api.WriteJSON(w, http.StatusOK, infos)
 }
 
 func runHandler(sched *service.Scheduler) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		e, err := ByID(r.PathValue("id"))
 		if err != nil {
-			writeJSON(w, http.StatusNotFound, httpError{Error: err.Error()})
+			api.WriteError(w, http.StatusNotFound, api.CodeExperimentNotFound, err.Error())
 			return
 		}
 		var req RunRequest
 		dec := json.NewDecoder(r.Body)
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&req); err != nil && !errors.Is(err, io.EOF) {
-			writeJSON(w, http.StatusBadRequest, httpError{Error: fmt.Sprintf("decoding run request: %v", err)})
+			api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest,
+				fmt.Sprintf("decoding run request: %v", err))
 			return
 		}
 		cfg := Config{Quick: req.Quick, Seed: req.Seed}
 		cells := e.Cells(cfg)
 		job, err := sched.SubmitCells(cells, req.Priority)
-		switch {
-		case errors.Is(err, service.ErrQueueFull):
-			w.Header().Set("Retry-After", "1")
-			writeJSON(w, http.StatusTooManyRequests, httpError{Error: err.Error()})
-			return
-		case errors.Is(err, service.ErrShuttingDown):
-			writeJSON(w, http.StatusServiceUnavailable, httpError{Error: err.Error()})
-			return
-		case err != nil:
-			writeJSON(w, http.StatusBadRequest, httpError{Error: err.Error()})
+		if err != nil {
+			service.WriteSchedulerError(w, err)
 			return
 		}
 
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		w.WriteHeader(http.StatusOK)
 		flusher, _ := w.(http.Flusher)
-		enc := json.NewEncoder(w)
-		enc.SetEscapeHTML(false)
 		flush := func() {
 			if flusher != nil {
 				flusher.Flush()
 			}
 		}
-		fail := func(err error) {
+		fail := func(code string, err error) {
 			job.Cancel()
-			_ = enc.Encode(httpError{Error: err.Error()})
+			_ = api.EncodeRow(w, api.Envelope{Error: &api.Error{Code: code, Message: err.Error()}})
 			flush()
 		}
 		results := make([]*service.CellResult, len(cells))
 		for i := range cells {
 			res, err := job.WaitCell(r.Context(), i)
 			if err != nil {
-				fail(err)
+				if r.Context().Err() != nil {
+					job.Cancel() // client went away; stop computing for nobody
+					return
+				}
+				code := api.CodeJobFailed
+				if job.Status().State == service.JobCancelled {
+					code = api.CodeJobCancelled
+				}
+				fail(code, err)
 				return
 			}
 			results[i] = res
-			if err := enc.Encode(res); err != nil {
+			if err := api.EncodeRow(w, res); err != nil {
 				job.Cancel()
 				return // client went away
 			}
@@ -141,11 +131,11 @@ func runHandler(sched *service.Scheduler) http.HandlerFunc {
 		redCfg.Out = &details
 		outcome, err := e.Reduce(redCfg, results)
 		if err != nil {
-			fail(err)
+			fail(api.CodeInternal, err)
 			return
 		}
 		outcome.Details = details.String()
-		_ = enc.Encode(outcome)
+		_ = api.EncodeRow(w, outcome)
 		flush()
 	}
 }

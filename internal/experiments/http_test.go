@@ -9,6 +9,8 @@ import (
 	"strings"
 	"testing"
 
+	"rumor/client"
+	"rumor/internal/api"
 	"rumor/internal/service"
 )
 
@@ -22,7 +24,7 @@ func newTestServer(t *testing.T, workers int, withCaches bool) (*httptest.Server
 	sched := service.NewScheduler(cfg)
 	t.Cleanup(func() { sched.Shutdown(context.Background()) })
 	api := service.NewServer(sched)
-	RegisterHTTP(api, sched)
+	Mount(api, sched)
 	ts := httptest.NewServer(api)
 	t.Cleanup(ts.Close)
 	return ts, sched
@@ -65,22 +67,33 @@ func TestExperimentListEndpoint(t *testing.T) {
 
 func TestExperimentRunEndpointErrors(t *testing.T) {
 	ts, _ := newTestServer(t, 2, false)
-	if code, _ := postExperiment(t, ts, "e99", `{"quick":true}`); code != http.StatusNotFound {
+	code, body := postExperiment(t, ts, "e99", `{"quick":true}`)
+	if code != http.StatusNotFound {
 		t.Errorf("unknown experiment: status %d, want 404", code)
 	}
-	if code, _ := postExperiment(t, ts, "e12", `{"quick": "yes"}`); code != http.StatusBadRequest {
+	var env api.Envelope
+	if err := json.Unmarshal([]byte(body), &env); err != nil || env.Error == nil || env.Error.Code != api.CodeExperimentNotFound {
+		t.Errorf("unknown experiment body %q: want %s envelope", body, api.CodeExperimentNotFound)
+	}
+	code, body = postExperiment(t, ts, "e12", `{"quick": "yes"}`)
+	if code != http.StatusBadRequest {
 		t.Errorf("malformed body: status %d, want 400", code)
+	}
+	if err := json.Unmarshal([]byte(body), &env); err != nil || env.Error == nil || env.Error.Code != api.CodeBadRequest {
+		t.Errorf("malformed body response %q: want %s envelope", body, api.CodeBadRequest)
 	}
 }
 
-// TestAllExperimentsOverHTTPMatchCLI: every experiment E1–E15 served
-// over POST /v1/experiments/{id} streams a cell set and ends with an
+// TestAllExperimentsOverSDKMatchCLI: every experiment E1–E15, run
+// server-side through the typed client SDK (Client.RunExperiment over
+// POST /v1/experiments/{id}), streams its cell set and ends with an
 // outcome equal to what the in-process path (cmd/experiments) computes
-// for the same seed. The HTTP scheduler and the local comparison runner
-// share one result cache, so the suite is computed once and replayed
-// from cache for the comparison — which itself re-verifies that cache
-// hits are exact.
-func TestAllExperimentsOverHTTPMatchCLI(t *testing.T) {
+// for the same seed — the byte-identical determinism guarantee now
+// pins the SDK path. The HTTP scheduler and the local comparison
+// runner share one result cache, so the suite is computed once and
+// replayed from cache for the comparison — which itself re-verifies
+// that cache hits are exact.
+func TestAllExperimentsOverSDKMatchCLI(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs the full quick suite over HTTP")
 	}
@@ -88,27 +101,35 @@ func TestAllExperimentsOverHTTPMatchCLI(t *testing.T) {
 	graphs := service.NewGraphCache(0)
 	sched := service.NewScheduler(service.SchedulerConfig{Workers: 4, Results: results, Graphs: graphs})
 	defer sched.Shutdown(context.Background())
-	api := service.NewServer(sched)
-	RegisterHTTP(api, sched)
-	ts := httptest.NewServer(api)
+	srv := service.NewServer(sched)
+	Mount(srv, sched)
+	ts := httptest.NewServer(srv)
 	defer ts.Close()
+	sdk, err := client.New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
 	local := &service.Executor{Results: results, Graphs: graphs}
 
 	for _, e := range All() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			code, body := postExperiment(t, ts, strings.ToLower(e.ID), `{"quick": true, "seed": 1}`)
-			if code != http.StatusOK {
-				t.Fatalf("status %d\n%s", code, body)
-			}
-			lines := strings.Split(strings.TrimSpace(body), "\n")
 			cfg := Config{Quick: true, Seed: 1}
-			if want := len(e.Cells(cfg)); len(lines) != want+1 {
-				t.Fatalf("streamed %d rows, want %d cells + 1 outcome", len(lines), want)
+			cells := 0
+			streamed, err := sdk.RunExperiment(context.Background(), strings.ToLower(e.ID),
+				client.RunExperimentRequest{Quick: true, Seed: 1},
+				func(res *service.CellResult) error {
+					if res.Index != cells {
+						t.Errorf("cell %d arrived with index %d", cells, res.Index)
+					}
+					cells++
+					return nil
+				})
+			if err != nil {
+				t.Fatal(err)
 			}
-			var streamed Outcome
-			if err := json.Unmarshal([]byte(lines[len(lines)-1]), &streamed); err != nil {
-				t.Fatalf("final row: %v", err)
+			if want := len(e.Cells(cfg)); cells != want {
+				t.Fatalf("streamed %d cells, want %d", cells, want)
 			}
 			var details strings.Builder
 			cliCfg := cfg
@@ -119,8 +140,8 @@ func TestAllExperimentsOverHTTPMatchCLI(t *testing.T) {
 				t.Fatal(err)
 			}
 			cli.Details = details.String()
-			if streamed.Verdict != cli.Verdict || streamed.Summary != cli.Summary || streamed.Details != cli.Details {
-				t.Errorf("HTTP outcome differs from CLI outcome:\n%+v\nvs\n%+v", streamed, cli)
+			if streamed.Verdict != cli.Verdict.String() || streamed.Summary != cli.Summary || streamed.Details != cli.Details {
+				t.Errorf("SDK outcome differs from CLI outcome:\n%+v\nvs\n%+v", streamed, cli)
 			}
 		})
 	}

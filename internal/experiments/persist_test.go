@@ -28,7 +28,7 @@ func newPersistentServer(t *testing.T, dir string) (*httptest.Server, *service.S
 		Graphs:  service.NewGraphCache(0),
 	})
 	api := service.NewServer(sched)
-	RegisterHTTP(api, sched)
+	Mount(api, sched)
 	ts := httptest.NewServer(api)
 	var stopped bool
 	stop := func() {

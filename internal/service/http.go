@@ -5,21 +5,43 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+
+	"rumor/internal/api"
 )
 
-// Server exposes the scheduler over HTTP:
+// Server exposes the scheduler as the resource-oriented v1 HTTP API:
 //
-//	POST   /v1/jobs              submit a JobSpec; 202 with the job status
-//	GET    /v1/jobs              list job statuses
+//	POST   /v1/jobs              submit a JobSpec; 202 with the job status.
+//	                             An Idempotency-Key header makes the
+//	                             submit replayable: a resubmit with the
+//	                             same key and spec returns the original
+//	                             job (200, Idempotency-Replayed: true).
+//	GET    /v1/jobs              list job statuses; ?state= filters,
+//	                             ?limit= and ?after=<job-id> paginate
 //	GET    /v1/jobs/{id}         one job's status
 //	GET    /v1/jobs/{id}/results stream results as NDJSON, in canonical
-//	                             cell order, as cells complete
+//	                             cell order, as cells complete. The
+//	                             stream is resumable: ?after=<cell-index>
+//	                             (or a Last-Event-ID header) restarts it
+//	                             just past the last row received, served
+//	                             from the job's completed results without
+//	                             recomputation.
+//	GET    /v1/jobs/{id}/events  Server-Sent Events push: a "state"
+//	                             event per job-state transition and a
+//	                             "cell" event per completion (SSE id =
+//	                             cell index, so standard Last-Event-ID
+//	                             reconnects resume exactly). A failed or
+//	                             cancelled job ends with an "error" event.
 //	DELETE /v1/jobs/{id}         cancel a job
 //	GET    /v1/cache             cache-tier stats (LRU + disk store)
 //	GET    /healthz              liveness
 //	GET    /metricsz             scheduler + cache metrics snapshot
 //
-// Backpressure maps to HTTP: a full queue rejects the submit with 429.
+// Additional resources (the experiment suite) mount versioned subtrees
+// via Mount. Every error response is the structured envelope of
+// internal/api, with a stable machine-readable code; backpressure maps
+// to HTTP as 429 + Retry-After (code "queue_full").
 type Server struct {
 	sched *Scheduler
 	mux   *http.ServeMux
@@ -32,6 +54,7 @@ func NewServer(sched *Scheduler) *Server {
 	s.mux.HandleFunc("GET /v1/jobs", s.list)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.status)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/results", s.results)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.events)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
 	s.mux.HandleFunc("GET /v1/cache", s.cache)
 	s.mux.HandleFunc("GET /healthz", s.healthz)
@@ -42,33 +65,49 @@ func NewServer(sched *Scheduler) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// HandleFunc mounts an additional route on the server's mux. It exists
-// so packages layered above the service (e.g. the experiment suite's
-// /v1/experiments endpoints) can extend the API without this package
-// importing them.
-func (s *Server) HandleFunc(pattern string, h func(http.ResponseWriter, *http.Request)) {
-	s.mux.HandleFunc(pattern, h)
+// Mount attaches a handler under the versioned resource /v1/{resource}:
+// both the exact path and its subtree route to h, which does its own
+// method and sub-path matching (typically with its own ServeMux). It
+// exists so packages layered above the service (e.g. the experiment
+// suite's /v1/experiments) can extend the API without this package
+// importing them — while keeping every route under the /v1 version
+// prefix, rather than the open-ended HandleFunc escape hatch this
+// replaces.
+func (s *Server) Mount(resource string, h http.Handler) {
+	s.mux.Handle("/v1/"+resource, h)
+	s.mux.Handle("/v1/"+resource+"/", h)
 }
 
-// Scheduler returns the scheduler the server fronts (for mounted
-// handlers that submit jobs themselves).
-func (s *Server) Scheduler() *Scheduler { return s.sched }
-
-// httpError is the JSON error envelope.
-type httpError struct {
-	Error string `json:"error"`
+// ErrorResponse maps a scheduler error to its HTTP status and stable
+// API code. Mounted resource handlers (the experiment endpoints) share
+// it so one scheduler error renders identically on every route.
+func ErrorResponse(err error) (status int, code string) {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests, api.CodeQueueFull
+	case errors.Is(err, ErrJobTooLarge):
+		return http.StatusBadRequest, api.CodeJobTooLarge
+	case errors.Is(err, ErrShuttingDown):
+		return http.StatusServiceUnavailable, api.CodeShuttingDown
+	case errors.Is(err, ErrUnknownJob):
+		return http.StatusNotFound, api.CodeJobNotFound
+	case errors.Is(err, ErrIdempotencyMismatch):
+		return http.StatusConflict, api.CodeIdempotencyMismatch
+	case errors.Is(err, ErrBadSpec):
+		return http.StatusBadRequest, api.CodeInvalidSpec
+	default:
+		return http.StatusInternalServerError, api.CodeInternal
+	}
 }
 
-func writeJSON(w http.ResponseWriter, code int, v interface{}) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetEscapeHTML(false)
-	_ = enc.Encode(v)
-}
-
-func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, httpError{Error: err.Error()})
+// WriteSchedulerError renders err through ErrorResponse, adding
+// Retry-After on backpressure.
+func WriteSchedulerError(w http.ResponseWriter, err error) {
+	status, code := ErrorResponse(err)
+	if code == api.CodeQueueFull {
+		w.Header().Set("Retry-After", "1")
+	}
+	api.WriteError(w, status, code, err.Error())
 }
 
 func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
@@ -76,33 +115,61 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding job spec: %w", err))
+		api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest,
+			fmt.Sprintf("decoding job spec: %v", err))
 		return
 	}
-	job, err := s.sched.Submit(spec)
-	switch {
-	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, err)
-		return
-	case errors.Is(err, ErrShuttingDown):
-		writeError(w, http.StatusServiceUnavailable, err)
-		return
-	case err != nil:
-		writeError(w, http.StatusBadRequest, err)
+	job, replayed, err := s.sched.SubmitIdempotent(r.Header.Get(api.IdempotencyKeyHeader), spec)
+	if err != nil {
+		WriteSchedulerError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, job.Status())
+	if replayed {
+		w.Header().Set(api.IdempotencyReplayedHeader, "true")
+		api.WriteJSON(w, http.StatusOK, job.Status())
+		return
+	}
+	api.WriteJSON(w, http.StatusAccepted, job.Status())
 }
 
-func (s *Server) list(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.sched.Jobs())
+func (s *Server) list(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var f JobsFilter
+	if raw := q.Get("state"); raw != "" {
+		switch st := JobState(raw); st {
+		case JobQueued, JobRunning, JobDone, JobFailed, JobCancelled:
+			f.State = st
+		default:
+			api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest,
+				fmt.Sprintf("unknown state %q (want queued, running, done, failed, cancelled)", raw))
+			return
+		}
+	}
+	if raw := q.Get("limit"); raw != "" {
+		limit, err := strconv.Atoi(raw)
+		if err != nil || limit < 0 {
+			api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest,
+				fmt.Sprintf("limit %q is not a non-negative integer", raw))
+			return
+		}
+		f.Limit = limit
+	}
+	if raw := q.Get("after"); raw != "" {
+		seq, err := ParseJobSeq(raw)
+		if err != nil {
+			api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest,
+				fmt.Sprintf("after cursor %q is not a job ID", raw))
+			return
+		}
+		f.AfterSeq = seq
+	}
+	api.WriteJSON(w, http.StatusOK, s.sched.JobsFiltered(f))
 }
 
 func (s *Server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
 	job, err := s.sched.Job(r.PathValue("id"))
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		WriteSchedulerError(w, err)
 		return nil, false
 	}
 	return job, true
@@ -110,7 +177,7 @@ func (s *Server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
 
 func (s *Server) status(w http.ResponseWriter, r *http.Request) {
 	if job, ok := s.job(w, r); ok {
-		writeJSON(w, http.StatusOK, job.Status())
+		api.WriteJSON(w, http.StatusOK, job.Status())
 	}
 }
 
@@ -120,35 +187,76 @@ func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	job.Cancel()
-	writeJSON(w, http.StatusOK, job.Status())
+	api.WriteJSON(w, http.StatusOK, job.Status())
+}
+
+// cursor reads the stream-resume cursor: the index of the last cell the
+// client already has (?after= wins over the Last-Event-ID header), or
+// -1 to start from the beginning. ok is false after a malformed or
+// out-of-range cursor has been rejected.
+func cursor(w http.ResponseWriter, r *http.Request, numCells int) (after int, ok bool) {
+	raw := r.URL.Query().Get("after")
+	if raw == "" {
+		raw = r.Header.Get(api.LastEventIDHeader)
+	}
+	if raw == "" {
+		return -1, true
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil || v < -1 || v >= numCells {
+		api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest,
+			fmt.Sprintf("cursor %q is not a cell index in [-1, %d)", raw, numCells))
+		return 0, false
+	}
+	return v, true
+}
+
+// terminalCode classifies a terminated job for its stream-ending error
+// row or event.
+func terminalCode(job *Job) string {
+	if job.Status().State == JobCancelled {
+		return api.CodeJobCancelled
+	}
+	return api.CodeJobFailed
 }
 
 // results streams the job's cell results as NDJSON in canonical cell
 // order, flushing after every row so clients see cells as they
 // complete. Because cell order and cell contents are pure functions of
 // the job spec, the streamed bytes are identical across runs, worker
-// counts, and cache states. A job that fails or is cancelled ends the
-// stream with one {"error": ...} row.
+// counts, and cache states — and a resumed stream (?after=) is a
+// byte-exact suffix of the full one, served from the job's completed
+// results without recomputation. A job that fails or is cancelled ends
+// the stream with one error-envelope row; a client that disconnects
+// mid-stream just ends the handler (the job keeps running — streaming
+// is observation, not execution).
 func (s *Server) results(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	after, ok := cursor(w, r, job.NumCells())
 	if !ok {
 		return
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
-	enc := json.NewEncoder(w)
-	enc.SetEscapeHTML(false)
-	for i := 0; i < job.NumCells(); i++ {
+	for i := after + 1; i < job.NumCells(); i++ {
 		res, err := job.WaitCell(r.Context(), i)
 		if err != nil {
-			_ = enc.Encode(httpError{Error: err.Error()})
+			if r.Context().Err() != nil {
+				return // client went away; nobody is reading
+			}
+			_ = api.EncodeRow(w, api.Envelope{Error: &api.Error{
+				Code: terminalCode(job), Message: err.Error(),
+			}})
 			if flusher != nil {
 				flusher.Flush()
 			}
 			return
 		}
-		if err := enc.Encode(res); err != nil {
+		if err := api.EncodeRow(w, res); err != nil {
 			return // client went away
 		}
 		if flusher != nil {
@@ -157,17 +265,94 @@ func (s *Server) results(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// events pushes the job over Server-Sent Events: one "cell" event per
+// completion in canonical cell order (the SSE id is the cell index, so
+// a standard EventSource reconnect with Last-Event-ID resumes exactly
+// after the last event delivered), and one "state" event per job-state
+// transition. The stream ends after the terminal state event — plus an
+// "error" event when the job failed or was cancelled.
+func (s *Server) events(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	after, ok := cursor(w, r, job.NumCells())
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	next := after + 1
+	var lastState JobState
+	for {
+		st, changed := job.Watch()
+		// Drain every cell completed so far, in canonical order. The
+		// canonical api.Marshal keeps an SSE cell payload bit-identical
+		// to the same cell's NDJSON results row.
+		for next < job.NumCells() {
+			res, ready := job.Result(next)
+			if !ready {
+				break
+			}
+			data, err := api.Marshal(res)
+			if err != nil {
+				return
+			}
+			if err := api.WriteSSE(w, api.EventCell, strconv.Itoa(next), data); err != nil {
+				return // client went away
+			}
+			next++
+		}
+		if st.State != lastState {
+			lastState = st.State
+			data, err := api.Marshal(st)
+			if err != nil {
+				return
+			}
+			if err := api.WriteSSE(w, api.EventState, "", data); err != nil {
+				return
+			}
+		}
+		switch st.State {
+		case JobDone, JobFailed, JobCancelled:
+			// The snapshot was terminal, so the drain above already saw
+			// every cell that will ever complete.
+			if st.State != JobDone {
+				data, _ := api.Marshal(api.Envelope{Error: &api.Error{
+					Code: terminalCode(job), Message: job.Err().Error(),
+				}})
+				_ = api.WriteSSE(w, api.EventError, "", data)
+			}
+			flush()
+			return
+		}
+		flush()
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
 func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	api.WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 func (s *Server) metricsz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.sched.Metrics())
+	api.WriteJSON(w, http.StatusOK, s.sched.Metrics())
 }
 
 // cache reports the cache tiers: LRU size and hit/miss counters, the
 // disk tier's hit/promotion split, and the persistent store's segment
 // and compaction counters when a store is attached.
 func (s *Server) cache(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.sched.CacheStats())
+	api.WriteJSON(w, http.StatusOK, s.sched.CacheStats())
 }

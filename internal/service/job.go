@@ -483,6 +483,26 @@ func (s JobSpec) Cells() []CellSpec {
 	return cells
 }
 
+// Hash returns a canonical digest of the job: its expanded cells (in
+// canonical order, by their versioned canonical renderings) plus the
+// priority. Two specs share a hash iff they enqueue the same work, so
+// the hash is the natural idempotency token — the SDK derives its
+// Idempotency-Key for RunCells from it, and the server verifies a
+// replayed key against it.
+func (s JobSpec) Hash() string {
+	return hashCells(s.Priority, s.Cells())
+}
+
+// hashCells digests (priority, cells) — see JobSpec.Hash.
+func hashCells(priority int, cells []CellSpec) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "job|%s|priority=%d", CellKeyVersion, priority)
+	for _, c := range cells {
+		fmt.Fprintf(h, "|%s", c.canonical())
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
 // mixSeed derives a cell seed from the job seed and grid coordinates
 // using splitmix64-style finalization, so neighboring cells do not get
 // correlated streams.

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 )
@@ -28,6 +30,10 @@ var (
 	// ErrJobNotDone reports a cell read from a job that terminated
 	// before computing that cell (failed or cancelled).
 	ErrJobNotDone = errors.New("service: job terminated before cell completed")
+	// ErrIdempotencyMismatch reports an idempotency key reused with a
+	// different job spec: honouring the replay would hand the caller a
+	// job they did not submit (HTTP maps this to 409).
+	ErrIdempotencyMismatch = errors.New("service: idempotency key reused with a different job spec")
 )
 
 // SchedulerConfig configures a Scheduler.
@@ -97,6 +103,7 @@ type Scheduler struct {
 	cond    *sync.Cond // signals workers: new task or shutdown
 	pending taskHeap
 	jobs    map[string]*Job
+	idem    map[string]idemEntry // Idempotency-Key -> submitted job
 	nextSeq int64
 	closed  bool
 	wg      sync.WaitGroup
@@ -131,6 +138,7 @@ func NewScheduler(cfg SchedulerConfig) *Scheduler {
 		queueLimit: queueLimit,
 		retention:  retention,
 		jobs:       make(map[string]*Job),
+		idem:       make(map[string]idemEntry),
 		started:    time.Now(),
 	}
 	s.cond = sync.NewCond(&s.mu)
@@ -146,20 +154,34 @@ func NewScheduler(cfg SchedulerConfig) *Scheduler {
 // Submit rejects with ErrQueueFull when the pending queue cannot hold
 // the job's cells and with ErrShuttingDown after Shutdown began.
 func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
+	job, _, err := s.SubmitIdempotent("", spec)
+	return job, err
+}
+
+// SubmitIdempotent is Submit with an idempotency key: a resubmit with
+// the same non-empty key and an equivalent spec (same canonical cell
+// hashes, same priority) returns the original job with replayed = true
+// instead of enqueueing a duplicate — a client that lost the response
+// to its first submit retries safely. A reused key with a different
+// spec is rejected with ErrIdempotencyMismatch. Keys whose job failed,
+// was cancelled, or was evicted by retention are forgotten, so a retry
+// after a terminal failure runs fresh. An empty key degrades to plain
+// Submit.
+func (s *Scheduler) SubmitIdempotent(key string, spec JobSpec) (*Job, bool, error) {
 	if err := spec.Validate(); err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	// Size-check the grid before materializing it, so an oversized
 	// request is rejected without allocating its cross product.
 	count, ok := spec.CellCount()
 	if !ok {
-		return nil, fmt.Errorf("%w: cell count overflows; split the job", ErrJobTooLarge)
+		return nil, false, fmt.Errorf("%w: cell count overflows; split the job", ErrJobTooLarge)
 	}
 	if count > s.queueLimit {
-		return nil, fmt.Errorf("%w: %d cells > limit %d; split the job or raise the queue limit",
+		return nil, false, fmt.Errorf("%w: %d cells > limit %d; split the job or raise the queue limit",
 			ErrJobTooLarge, count, s.queueLimit)
 	}
-	return s.enqueue(spec, spec.Cells())
+	return s.enqueue(spec, spec.Cells(), key)
 }
 
 // SubmitCells validates and enqueues an explicit cell sequence (the
@@ -194,16 +216,48 @@ func (s *Scheduler) RunCells(ctx context.Context, cells []CellSpec) ([]*CellResu
 	return results, nil
 }
 
+// idemEntry maps an idempotency key to the job it created and the
+// digest of the spec it was created with, so replays can verify the
+// resubmitted spec is the same measurement.
+type idemEntry struct {
+	jobID    string
+	specHash string
+}
+
 // enqueue registers the validated, size-checked job. cells is the
-// spec's expansion (passed in so Submit does not expand twice).
-func (s *Scheduler) enqueue(spec JobSpec, cells []CellSpec) (*Job, error) {
+// spec's expansion (passed in so submission does not expand twice);
+// idemKey, when non-empty, registers the job for idempotent replay.
+// The replay lookup and the enqueue share one critical section, so two
+// racing submits with the same key can never both enqueue.
+func (s *Scheduler) enqueue(spec JobSpec, cells []CellSpec, idemKey string) (*Job, bool, error) {
+	var specHash string
+	if idemKey != "" {
+		specHash = hashCells(spec.Priority, cells)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return nil, ErrShuttingDown
+		return nil, false, ErrShuttingDown
+	}
+	if idemKey != "" {
+		if e, ok := s.idem[idemKey]; ok {
+			if prior, live := s.jobs[e.jobID]; live {
+				if e.specHash != specHash {
+					return nil, false, fmt.Errorf("%w: key %q", ErrIdempotencyMismatch, idemKey)
+				}
+				// Replay unless the prior attempt terminated without
+				// results; failed and cancelled jobs retry as new work.
+				switch prior.Status().State {
+				case JobFailed, JobCancelled:
+				default:
+					return prior, true, nil
+				}
+			}
+			delete(s.idem, idemKey)
+		}
 	}
 	if len(s.pending)+len(cells) > s.queueLimit {
-		return nil, fmt.Errorf("%w: %d pending + %d new > limit %d",
+		return nil, false, fmt.Errorf("%w: %d pending + %d new > limit %d",
 			ErrQueueFull, len(s.pending), len(cells), s.queueLimit)
 	}
 	s.nextSeq++
@@ -219,6 +273,7 @@ func (s *Scheduler) enqueue(spec JobSpec, cells []CellSpec) (*Job, error) {
 		results:  make([]*CellResult, len(cells)),
 		ready:    make([]chan struct{}, len(cells)),
 		terminal: make(chan struct{}),
+		changed:  make(chan struct{}),
 		ctx:      ctx,
 		cancel:   cancel,
 	}
@@ -226,12 +281,15 @@ func (s *Scheduler) enqueue(spec JobSpec, cells []CellSpec) (*Job, error) {
 		job.ready[i] = make(chan struct{})
 	}
 	s.jobs[job.id] = job
+	if idemKey != "" {
+		s.idem[idemKey] = idemEntry{jobID: job.id, specHash: specHash}
+	}
 	for i := range cells {
 		heap.Push(&s.pending, task{job: job, index: i})
 	}
 	s.pruneJobsLocked()
 	s.cond.Broadcast()
-	return job, nil
+	return job, false, nil
 }
 
 // pruneJobsLocked evicts the oldest terminal jobs once the registry
@@ -252,12 +310,26 @@ func (s *Scheduler) pruneJobsLocked() {
 		}
 	}
 	sort.Slice(terminal, func(i, k int) bool { return terminal[i].seq < terminal[k].seq })
+	evicted := false
 	for _, j := range terminal {
 		if excess <= 0 {
 			break
 		}
 		delete(s.jobs, j.id)
+		evicted = true
 		excess--
+	}
+	if !evicted {
+		return
+	}
+	// Idempotency entries whose job was just evicted are dead: a replay
+	// could no longer return the job, so forget the key (the resubmit
+	// will enqueue fresh — and, with caching, replay from the cell
+	// cache anyway).
+	for k, e := range s.idem {
+		if _, ok := s.jobs[e.jobID]; !ok {
+			delete(s.idem, k)
+		}
 	}
 }
 
@@ -274,16 +346,63 @@ func (s *Scheduler) Job(id string) (*Job, error) {
 
 // Jobs returns status snapshots of all known jobs in submission order.
 func (s *Scheduler) Jobs() []JobStatus {
+	return s.JobsFiltered(JobsFilter{})
+}
+
+// JobsFilter narrows and pages the jobs listing. The zero value selects
+// everything.
+type JobsFilter struct {
+	// State keeps only jobs currently in this state ("" = all).
+	State JobState
+	// AfterSeq keeps only jobs submitted after the job with this
+	// sequence number (0 = from the beginning). Sequence numbers are
+	// encoded in job IDs; ParseJobSeq recovers them, so a listing page
+	// resumes from its last row's ID even if that job has since been
+	// evicted.
+	AfterSeq int64
+	// Limit bounds the page size (0 = unbounded).
+	Limit int
+}
+
+// ParseJobSeq recovers the submission sequence number from a job ID
+// (the ?after= pagination cursor).
+func ParseJobSeq(id string) (int64, error) {
+	rest, ok := strings.CutPrefix(id, "job-")
+	if !ok {
+		return 0, fmt.Errorf("%w: %q is not a job ID", ErrUnknownJob, id)
+	}
+	seq, err := strconv.ParseInt(rest, 10, 64)
+	if err != nil || seq < 0 {
+		return 0, fmt.Errorf("%w: %q is not a job ID", ErrUnknownJob, id)
+	}
+	return seq, nil
+}
+
+// JobsFiltered returns status snapshots of the jobs selected by f, in
+// submission order. Filtering by state sees each job's state at
+// snapshot time; pagination is by submission sequence, so pages are
+// stable under concurrent submits (new jobs only ever land after every
+// existing cursor).
+func (s *Scheduler) JobsFiltered(f JobsFilter) []JobStatus {
 	s.mu.Lock()
 	jobs := make([]*Job, 0, len(s.jobs))
 	for _, j := range s.jobs {
-		jobs = append(jobs, j)
+		if j.seq > f.AfterSeq {
+			jobs = append(jobs, j)
+		}
 	}
 	s.mu.Unlock()
 	sort.Slice(jobs, func(i, k int) bool { return jobs[i].seq < jobs[k].seq })
-	out := make([]JobStatus, len(jobs))
-	for i, j := range jobs {
-		out[i] = j.Status()
+	out := make([]JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		st := j.Status()
+		if f.State != "" && st.State != f.State {
+			continue
+		}
+		out = append(out, st)
+		if f.Limit > 0 && len(out) == f.Limit {
+			break
+		}
 	}
 	return out
 }
@@ -484,6 +603,7 @@ type Job struct {
 	done      int
 	cacheHits int
 	terminal  chan struct{} // closed on done/failed/cancelled
+	changed   chan struct{} // closed and replaced on every observable change
 }
 
 // ID returns the job's identifier.
@@ -502,6 +622,11 @@ func (j *Job) NumCells() int { return len(j.cells) }
 func (j *Job) Status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	return j.statusLocked()
+}
+
+// statusLocked builds the snapshot; caller holds j.mu.
+func (j *Job) statusLocked() JobStatus {
 	st := JobStatus{
 		ID:         j.id,
 		State:      j.state,
@@ -516,6 +641,35 @@ func (j *Job) Status() JobStatus {
 	return st
 }
 
+// notifyLocked wakes every Watch subscriber; caller holds j.mu.
+func (j *Job) notifyLocked() {
+	close(j.changed)
+	j.changed = make(chan struct{})
+}
+
+// Watch returns a status snapshot plus a channel that is closed at the
+// next observable change (state transition or cell completion). The
+// SSE event stream is a loop over Watch: snapshot, emit what is new,
+// block on the channel. A subscriber that loops until the snapshot is
+// terminal observes every transition.
+func (j *Job) Watch() (JobStatus, <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.statusLocked(), j.changed
+}
+
+// Result returns cell i's result if it has already been computed,
+// without blocking (the non-blocking complement of WaitCell, for
+// event-stream drains).
+func (j *Job) Result(i int) (*CellResult, bool) {
+	if i < 0 || i >= len(j.cells) {
+		return nil, false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.results[i], j.results[i] != nil
+}
+
 // Cancel moves the job to the cancelled state (if not already terminal)
 // and stops its remaining cells; running trials notice via context.
 func (j *Job) Cancel() {
@@ -527,6 +681,7 @@ func (j *Job) Cancel() {
 	j.state = JobCancelled
 	j.err = context.Canceled
 	close(j.terminal)
+	j.notifyLocked()
 	j.mu.Unlock()
 	j.cancel()
 	if j.sched != nil {
@@ -585,6 +740,7 @@ func (j *Job) startCell() bool {
 	switch j.state {
 	case JobQueued:
 		j.state = JobRunning
+		j.notifyLocked()
 		return true
 	case JobRunning:
 		return true
@@ -604,11 +760,13 @@ func (j *Job) completeCell(i int, res *CellResult, cached bool) {
 			j.cacheHits++
 		}
 		close(j.ready[i])
+		j.notifyLocked()
 	}
 	finished := j.done == len(j.cells) && j.state == JobRunning
 	if finished {
 		j.state = JobDone
 		close(j.terminal)
+		j.notifyLocked()
 	}
 	j.mu.Unlock()
 }
@@ -623,6 +781,7 @@ func (j *Job) fail(i int, err error) {
 	j.state = JobFailed
 	j.err = fmt.Errorf("cell %d (%s): %w", i, j.cells[i].Key(), err)
 	close(j.terminal)
+	j.notifyLocked()
 	j.mu.Unlock()
 	j.cancel()
 	if j.sched != nil {
