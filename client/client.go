@@ -213,9 +213,12 @@ func decodeError(resp *http.Response) error {
 	}
 }
 
-// Health checks the server's liveness endpoint.
-func (c *Client) Health(ctx context.Context) error {
-	return c.doJSON(ctx, http.MethodGet, "/healthz", nil, nil, nil)
+// Health checks the server's liveness endpoint and returns its build
+// identity (uptime, Go version, VCS revision).
+func (c *Client) Health(ctx context.Context) (api.Health, error) {
+	var h api.Health
+	err := c.doJSON(ctx, http.MethodGet, "/healthz", nil, nil, &h)
+	return h, err
 }
 
 // Metrics returns the scheduler + cache metrics snapshot.

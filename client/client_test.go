@@ -351,8 +351,8 @@ func TestCacheStatsAndMetrics(t *testing.T) {
 		Workers: 2, Results: service.NewResultCache(64), Graphs: service.NewGraphCache(8),
 	})
 	ctx := context.Background()
-	if err := c.Health(ctx); err != nil {
-		t.Fatal(err)
+	if h, err := c.Health(ctx); err != nil || h.Status != "ok" {
+		t.Fatalf("health = %+v, %v", h, err)
 	}
 	if _, err := c.RunCells(ctx, smallGrid().Cells()); err != nil {
 		t.Fatal(err)

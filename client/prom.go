@@ -1,0 +1,38 @@
+package client
+
+import (
+	"context"
+	"io"
+	"net/http"
+
+	"rumor/internal/obs"
+)
+
+// PromMetrics scrapes GET /metrics and returns the parsed Prometheus
+// exposition: families keyed by name, with typed lookup helpers
+// (Scrape.Value, Scrape.Sum). It is the programmatic twin of pointing
+// a Prometheus server at the daemon — tests and the CLI's -metrics-out
+// use it to read latency histograms and cache counters without string
+// munging. The endpoint exists only when the daemon runs with
+// observability enabled (the default for cmd/rumord); a 404 comes back
+// as an *api.Error.
+func (c *Client) PromMetrics(ctx context.Context) (obs.Scrape, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/metrics", nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer drain(resp)
+	return obs.ParseText(resp.Body)
+}
+
+// PromMetricsText returns the raw Prometheus text exposition bytes —
+// for callers that dump a scrape to a file (rumorsim -metrics-out)
+// rather than query it.
+func (c *Client) PromMetricsText(ctx context.Context) ([]byte, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/metrics", nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}

@@ -1,0 +1,84 @@
+package client_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"rumor/client"
+	"rumor/internal/api"
+	"rumor/internal/obs"
+	"rumor/internal/service"
+)
+
+// TestPromMetricsScrape drives a full instrumented daemon through the
+// SDK and reads the run back out of the typed scrape: the parsed
+// families must agree with what the workload did, and the raw-text
+// twin must parse to the same shape.
+func TestPromMetricsScrape(t *testing.T) {
+	reg := obs.NewRegistry()
+	observ := service.NewObservability(reg, nil)
+	sched := service.NewScheduler(service.SchedulerConfig{
+		Workers: 2, Results: service.NewResultCache(64), Graphs: service.NewGraphCache(8),
+		Obs: observ,
+	})
+	ts := httptest.NewServer(service.NewServer(sched, service.WithObservability(observ)))
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = sched.Shutdown(ctx)
+	})
+	c, err := client.New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	if _, err := c.RunCells(ctx, smallGrid().Cells()); err != nil {
+		t.Fatal(err)
+	}
+	scrape, err := c.PromMetrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := scrape.Sum("rumor_scheduler_cells_total"); n != 8 {
+		t.Errorf("scraped cells_total sum = %v, want 8", n)
+	}
+	if v, ok := scrape.Value("rumor_scheduler_workers", nil); !ok || v != 2 {
+		t.Errorf("scraped workers = %v, %v, want 2", v, ok)
+	}
+	if _, ok := scrape["rumor_http_requests_total"]; !ok {
+		t.Errorf("scrape missing the HTTP request family; got %v", scrape.Names())
+	}
+
+	raw, err := c.PromMetricsText(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reparsed, err := obs.ParseText(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("PromMetricsText bytes are not valid exposition: %v", err)
+	}
+	if got, want := reparsed.Names(), scrape.Names(); len(got) != len(want) {
+		t.Errorf("raw scrape has %d families, typed scrape %d", len(got), len(want))
+	}
+}
+
+// TestPromMetricsWithoutObservability: a daemon running without the
+// metrics registry has no /metrics route; the SDK surfaces the 404 as
+// a typed *api.Error rather than a decode failure.
+func TestPromMetricsWithoutObservability(t *testing.T) {
+	c, _ := newService(t, service.SchedulerConfig{Workers: 1})
+	_, err := c.PromMetrics(context.Background())
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("PromMetrics on a plain daemon = %v, want *api.Error", err)
+	}
+	if apiErr.HTTPStatus != 404 {
+		t.Errorf("status = %d, want 404", apiErr.HTTPStatus)
+	}
+}

@@ -17,6 +17,11 @@
 //	experiments -quick -cache        # serve repeated cells from the result LRU
 //	experiments -quick -cache-dir D  # persistent cache: warm replay survives restarts
 //	experiments -quick -bench B.json # cold vs warm suite timing to B.json
+//	experiments -quick -metrics-out M.prom
+//	                                 # dump a Prometheus snapshot of the
+//	                                 # run's latency histograms and cache
+//	                                 # counters (with -server, scrape the
+//	                                 # daemon's /metrics instead)
 //	experiments -quick -server http://localhost:8080
 //	                                 # run every cell on a rumord daemon via
 //	                                 # the client SDK; verdicts and output are
@@ -26,17 +31,20 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"rumor/client"
 	"rumor/internal/cachestore"
 	"rumor/internal/experiments"
+	"rumor/internal/obs"
 	"rumor/internal/service"
 )
 
@@ -66,15 +74,16 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		quick    = fs.Bool("quick", false, "reduced sizes and trial counts")
-		runID    = fs.String("run", "", "run a single experiment (E1..E15)")
-		seed     = fs.Uint64("seed", 0, "root seed (0 = default)")
-		workers  = fs.Int("workers", 0, "parallel cells in flight (0 = all cores)")
-		markdown = fs.String("md", "", "also write a Markdown report to this file")
-		cache    = fs.Bool("cache", false, "serve repeated cells from a result LRU (rumord's cache tier)")
-		cacheDir = fs.String("cache-dir", "", "persistent cell-result store directory: cells computed by any prior run (or a rumord with the same dir) replay from disk")
-		bench    = fs.String("bench", "", "run the suite twice (cold, then warm cache) and write timing JSON to this file")
-		server   = fs.String("server", "", "run every cell on a rumord server at this base URL via the client SDK (reducers still run locally; output is byte-identical to the in-process path)")
+		quick      = fs.Bool("quick", false, "reduced sizes and trial counts")
+		runID      = fs.String("run", "", "run a single experiment (E1..E15)")
+		seed       = fs.Uint64("seed", 0, "root seed (0 = default)")
+		workers    = fs.Int("workers", 0, "parallel cells in flight (0 = all cores)")
+		markdown   = fs.String("md", "", "also write a Markdown report to this file")
+		cache      = fs.Bool("cache", false, "serve repeated cells from a result LRU (rumord's cache tier)")
+		cacheDir   = fs.String("cache-dir", "", "persistent cell-result store directory: cells computed by any prior run (or a rumord with the same dir) replay from disk")
+		bench      = fs.String("bench", "", "run the suite twice (cold, then warm cache) and write timing JSON to this file")
+		server     = fs.String("server", "", "run every cell on a rumord server at this base URL via the client SDK (reducers still run locally; output is byte-identical to the in-process path)")
+		metricsOut = fs.String("metrics-out", "", "write a Prometheus metrics snapshot to this file after the suite (\"-\" = stderr); with -server, scrapes the daemon")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -93,11 +102,30 @@ func run(args []string, stdout io.Writer) error {
 			Out:    stdout,
 			Runner: remote,
 		}
-		return runSuite(cfg, *runID, *markdown, stdout)
+		suiteErr := runSuite(cfg, *runID, *markdown, stdout)
+		if suiteErr != nil && !errors.Is(suiteErr, errVerdictFailed) {
+			return suiteErr
+		}
+		if *metricsOut != "" {
+			if err := writeMetricsSnapshot(*metricsOut, nil, remote); err != nil {
+				return err
+			}
+		}
+		return suiteErr
+	}
+	// A suite run with -metrics-out carries the same instruments the
+	// rumord daemon exports, so an experiment batch leaves behind a
+	// scrape-compatible record of its cell latencies and cache traffic.
+	var reg *obs.Registry
+	if *metricsOut != "" {
+		reg = obs.NewRegistry()
 	}
 	// -cache-dir supplies its own tiered result cache below, so only
 	// -cache/-bench ask NewLocalRunner for the plain LRU tier.
 	runner := experiments.NewLocalRunner(*workers, *cache || *bench != "")
+	if reg != nil {
+		runner.Obs = service.NewObservability(reg, nil)
+	}
 	if *cacheDir != "" {
 		store, err := cachestore.Open(cachestore.Options{
 			Dir:        *cacheDir,
@@ -119,10 +147,53 @@ func run(args []string, stdout io.Writer) error {
 		Out:     stdout,
 		Runner:  runner,
 	}
+	var suiteErr error
 	if *bench != "" {
-		return runBench(*bench, cfg, stdout)
+		suiteErr = runBench(*bench, cfg, stdout)
+	} else {
+		suiteErr = runSuite(cfg, *runID, *markdown, stdout)
 	}
-	return runSuite(cfg, *runID, *markdown, stdout)
+	if suiteErr != nil && !errors.Is(suiteErr, errVerdictFailed) {
+		return suiteErr
+	}
+	// A FAILED verdict is still a completed suite: the snapshot (with
+	// its error counters) is most useful exactly then.
+	if *metricsOut != "" {
+		if err := writeMetricsSnapshot(*metricsOut, reg, nil); err != nil {
+			return err
+		}
+	}
+	return suiteErr
+}
+
+// writeMetricsSnapshot dumps a Prometheus text snapshot after the
+// suite: the local registry's state, or — when the cells ran on a
+// daemon — a scrape of its /metrics. path "-" writes to stderr (stdout
+// carries the verdict report).
+func writeMetricsSnapshot(path string, reg *obs.Registry, runner service.CellRunner) error {
+	var data []byte
+	if reg != nil {
+		var buf strings.Builder
+		if err := reg.WriteText(&buf); err != nil {
+			return err
+		}
+		data = []byte(buf.String())
+	} else {
+		c, ok := runner.(*client.Client)
+		if !ok {
+			return fmt.Errorf("-metrics-out: no metrics source for this runner")
+		}
+		var err error
+		data, err = c.PromMetricsText(context.Background())
+		if err != nil {
+			return fmt.Errorf("-metrics-out: scraping daemon: %w", err)
+		}
+	}
+	if path == "-" {
+		_, err := os.Stderr.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 // runSuite runs one experiment (runID != "") or the whole suite on

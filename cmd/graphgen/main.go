@@ -1,11 +1,15 @@
 // Command graphgen generates and inspects the graph families used in the
 // experiments: it prints structural statistics (size, degrees, diameter)
-// and optionally exports the instance as a text edge list.
+// and optionally exports the instance as a text edge list. Structured
+// timing logs (build, analysis, export durations) go to stderr;
+// -log-format=json makes them machine-readable and -log-level=warn
+// silences them.
 //
 // Examples:
 //
 //	graphgen -graph powerlaw -n 5000
 //	graphgen -graph diamond -n 4096 -out diamond.edges
+//	graphgen -graph hypercube -n 65536 -log-format json -log-level debug
 //	graphgen -list
 package main
 
@@ -14,10 +18,12 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"rumor"
 	"rumor/internal/graph"
 	"rumor/internal/harness"
+	"rumor/internal/obs"
 	"rumor/internal/stats"
 )
 
@@ -37,8 +43,15 @@ func run(args []string) error {
 		out     = fs.String("out", "", "write edge list to this file")
 		list    = fs.Bool("list", false, "list available families and exit")
 		exact   = fs.Bool("exact-diameter", false, "compute the exact diameter (O(n·m)) instead of a double-sweep lower bound")
+
+		logFormat = fs.String("log-format", "text", "structured log format for timing output: json|text")
+		logLevel  = fs.String("log-level", "info", "log level: debug|info|warn|error")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
 		return err
 	}
 	if *list {
@@ -55,10 +68,14 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	start := time.Now()
 	g, err := fam.Build(*n, *seed)
 	if err != nil {
 		return err
 	}
+	logger.Info("graph built", "family", fam.Name, "n", g.NumNodes(), "m", g.NumEdges(),
+		"seed", *seed, "duration_ms", float64(time.Since(start).Microseconds())/1000)
+	start = time.Now()
 	deg := graph.Degrees(g)
 	var diam int32
 	diamLabel := "diameter(double-sweep-lb)"
@@ -68,6 +85,8 @@ func run(args []string) error {
 	} else {
 		diam = graph.DiameterLowerBound(g)
 	}
+	logger.Info("analysis done", "exact_diameter", *exact,
+		"duration_ms", float64(time.Since(start).Microseconds())/1000)
 	tab := stats.NewTable("property", "value")
 	tab.AddRow("name", g.Name())
 	tab.AddRow("nodes", g.NumNodes())
@@ -87,6 +106,7 @@ func run(args []string) error {
 		return err
 	}
 	if *out != "" {
+		start = time.Now()
 		f, err := os.Create(*out)
 		if err != nil {
 			return err
@@ -98,6 +118,8 @@ func run(args []string) error {
 		if err := f.Close(); err != nil {
 			return err
 		}
+		logger.Info("edge list written", "path", *out, "edges", g.NumEdges(),
+			"duration_ms", float64(time.Since(start).Microseconds())/1000)
 		fmt.Printf("wrote %s\n", *out)
 	}
 	return nil

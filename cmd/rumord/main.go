@@ -19,6 +19,13 @@
 //	curl -sN localhost:8080/v1/experiments/e11 -d '{"quick": true}'
 //	curl -s localhost:8080/v1/cache
 //	curl -s localhost:8080/metricsz
+//	curl -s localhost:8080/metrics
+//
+// GET /metrics serves the Prometheus text exposition (latency
+// histograms, per-route request counters, queue and cache series);
+// /metricsz keeps the original JSON snapshot. -log-format=json|text
+// selects the structured log encoding, and -pprof mounts
+// net/http/pprof under /debug/pprof/ for live profiling.
 //
 // With -cache-dir the completed-cell cache gains a persistent tier
 // (internal/cachestore): results survive restarts, so a rebooted
@@ -35,9 +42,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -45,6 +52,7 @@ import (
 
 	"rumor/internal/cachestore"
 	"rumor/internal/experiments"
+	"rumor/internal/obs"
 	"rumor/internal/service"
 )
 
@@ -71,10 +79,20 @@ func run(args []string) error {
 		cacheDir     = fs.String("cache-dir", "", "persistent cell-result store directory (empty = in-memory only); results survive restarts")
 		jobRetention = fs.Int("job-retention", 256, "terminal jobs kept for status/result queries")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "max time to drain on shutdown")
+		logFormat    = fs.String("log-format", "text", "structured log format: json|text")
+		logLevel     = fs.String("log-level", "info", "log level: debug|info|warn|error")
+		pprofOn      = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		return err
+	}
+	reg := obs.NewRegistry()
+	observ := service.NewObservability(reg, logger)
 
 	var results service.ResultStore
 	var tiered *service.TieredResultCache
@@ -84,14 +102,17 @@ func run(args []string) error {
 			store, err := cachestore.Open(cachestore.Options{
 				Dir:        *cacheDir,
 				KeyVersion: service.CellKeyVersion,
-				Logf:       log.Printf,
+				Logf: func(format string, args ...interface{}) {
+					logger.Info(fmt.Sprintf(format, args...))
+				},
+				Metrics: cachestore.NewMetrics(reg),
 			})
 			if err != nil {
 				return fmt.Errorf("opening cache store: %w", err)
 			}
 			st := store.Stats()
-			log.Printf("rumord: cache store %s: %d records in %d segments (%d bytes)",
-				*cacheDir, st.Records, st.Segments, st.Bytes)
+			logger.Info("cache store opened", "dir", *cacheDir,
+				"records", st.Records, "segments", st.Segments, "bytes", st.Bytes)
 			tiered = service.NewTieredResultCache(lru, store)
 			// Close is idempotent; this backstop flushes the
 			// write-behind queue even when run exits through a fatal
@@ -115,16 +136,31 @@ func run(args []string) error {
 		JobRetention: *jobRetention,
 		Results:      results,
 		Graphs:       graphs,
+		Obs:          observ,
 	})
-	api := service.NewServer(sched)
+	api := service.NewServer(sched, service.WithObservability(observ))
 	experiments.Mount(api, sched)
-	srv := &http.Server{Addr: *addr, Handler: api}
+	handler := http.Handler(api)
+	if *pprofOn {
+		// Explicit handler registrations rather than the package's
+		// DefaultServeMux side effects, so profiling is opt-in and the
+		// API mux stays authoritative for every other path.
+		outer := http.NewServeMux()
+		outer.HandleFunc("/debug/pprof/", pprof.Index)
+		outer.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		outer.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		outer.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		outer.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		outer.Handle("/", api)
+		handler = outer
+	}
+	srv := &http.Server{Addr: *addr, Handler: handler}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	log.Printf("rumord: listening on %s", ln.Addr())
+	logger.Info("listening", "addr", ln.Addr().String(), "pprof", *pprofOn)
 	if onListen != nil {
 		onListen(ln.Addr())
 	}
@@ -141,24 +177,24 @@ func run(args []string) error {
 	case <-ctx.Done():
 	}
 
-	log.Printf("rumord: draining (timeout %s)", *drainTimeout)
+	logger.Info("draining", "timeout", drainTimeout.String())
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(drainCtx); err != nil {
-		log.Printf("rumord: http shutdown: %v", err)
+		logger.Warn("http shutdown", "error", err.Error())
 	}
 	if err := sched.Shutdown(drainCtx); err != nil {
-		log.Printf("rumord: scheduler drain cut short: %v", err)
+		logger.Warn("scheduler drain cut short", "error", err.Error())
 	} else {
-		log.Printf("rumord: drained cleanly")
+		logger.Info("drained cleanly")
 	}
 	// Flush the persistent tier after the drain so every result the
 	// drained cells produced is durable before the process exits.
 	if tiered != nil {
 		if err := tiered.Close(); err != nil {
-			log.Printf("rumord: cache store close: %v", err)
+			logger.Warn("cache store close", "error", err.Error())
 		} else {
-			log.Printf("rumord: cache store flushed")
+			logger.Info("cache store flushed")
 		}
 	}
 	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {

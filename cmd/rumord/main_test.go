@@ -151,8 +151,8 @@ func TestRumordServesAndDrainsOnSIGTERM(t *testing.T) {
 	c, errCh := startRumord(t, "-workers", "2", "-drain-timeout", "30s")
 	ctx := context.Background()
 
-	if err := c.Health(ctx); err != nil {
-		t.Fatalf("healthz: %v", err)
+	if h, err := c.Health(ctx); err != nil || h.Status != "ok" || h.GoVersion == "" {
+		t.Fatalf("healthz = %+v, %v", h, err)
 	}
 
 	spec := service.JobSpec{

@@ -25,6 +25,7 @@ import (
 	"rumor/client"
 	"rumor/internal/core"
 	"rumor/internal/harness"
+	"rumor/internal/obs"
 	"rumor/internal/service"
 	"rumor/internal/stats"
 )
@@ -39,22 +40,23 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("rumorsim", flag.ContinueOnError)
 	var (
-		graphName = fs.String("graph", "hypercube", "graph family: "+strings.Join(harness.FamilyNames(), ", "))
-		n         = fs.Int("n", 1024, "target graph size")
-		sweep     = fs.String("sweep", "", "comma-separated sizes (overrides -n)")
-		protoName = fs.String("protocol", "push-pull", "protocol: push, pull, push-pull")
-		timing    = fs.String("timing", "both", "timing model: sync, async, both")
-		trials    = fs.Int("trials", 100, "trials per measurement")
-		seed      = fs.Uint64("seed", 1, "root RNG seed")
-		source    = fs.Int("source", 0, "source node")
-		workers   = fs.Int("workers", 0, "parallel workers (0 = all cores)")
-		loss      = fs.Float64("loss", 0, "per-contact loss probability in [0, 1)")
-		view      = fs.String("view", "", "async process view: global-clock, per-node-clocks, per-edge-clocks")
-		csv       = fs.Bool("csv", false, "emit CSV instead of an aligned table")
-		useCache  = fs.Bool("cache", false, "serve repeated cells from a result LRU (rumord's cache tier)")
-		server    = fs.String("server", "", "run the cells on a rumord server at this base URL (typed client SDK) instead of in-process")
-		curve     = fs.Bool("curve", false, "emit the mean spreading curve (informed fraction vs time) instead of summary rows")
-		curvePts  = fs.Int("curve-points", 40, "number of grid points for -curve")
+		graphName  = fs.String("graph", "hypercube", "graph family: "+strings.Join(harness.FamilyNames(), ", "))
+		n          = fs.Int("n", 1024, "target graph size")
+		sweep      = fs.String("sweep", "", "comma-separated sizes (overrides -n)")
+		protoName  = fs.String("protocol", "push-pull", "protocol: push, pull, push-pull")
+		timing     = fs.String("timing", "both", "timing model: sync, async, both")
+		trials     = fs.Int("trials", 100, "trials per measurement")
+		seed       = fs.Uint64("seed", 1, "root RNG seed")
+		source     = fs.Int("source", 0, "source node")
+		workers    = fs.Int("workers", 0, "parallel workers (0 = all cores)")
+		loss       = fs.Float64("loss", 0, "per-contact loss probability in [0, 1)")
+		view       = fs.String("view", "", "async process view: global-clock, per-node-clocks, per-edge-clocks")
+		csv        = fs.Bool("csv", false, "emit CSV instead of an aligned table")
+		useCache   = fs.Bool("cache", false, "serve repeated cells from a result LRU (rumord's cache tier)")
+		server     = fs.String("server", "", "run the cells on a rumord server at this base URL (typed client SDK) instead of in-process")
+		curve      = fs.Bool("curve", false, "emit the mean spreading curve (informed fraction vs time) instead of summary rows")
+		curvePts   = fs.Int("curve-points", 40, "number of grid points for -curve")
+		metricsOut = fs.String("metrics-out", "", "write a Prometheus metrics snapshot to this file after the run (\"-\" = stderr); with -server, scrapes the daemon")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -100,7 +102,16 @@ func run(args []string) error {
 	// and async of one sweep size share one built instance) and -cache
 	// additionally turns on the completed-cell result LRU; on a server
 	// the daemon's own tiers apply.
-	runner, err := buildRunner(*server, *workers, *useCache)
+	// With -metrics-out a local run carries its own registry (the same
+	// instruments rumord exports), so a CLI sweep's latency histograms
+	// and cache counters land in a scrape-compatible snapshot.
+	var reg *obs.Registry
+	var observ *service.Observability
+	if *metricsOut != "" && *server == "" {
+		reg = obs.NewRegistry()
+		observ = service.NewObservability(reg, nil)
+	}
+	runner, err := buildRunner(*server, *workers, *useCache, observ)
 	if err != nil {
 		return err
 	}
@@ -147,15 +158,53 @@ func run(args []string) error {
 		addRow(tab, res, cellTimings[i], proto)
 	}
 	if *csv {
-		return tab.WriteCSV(os.Stdout)
+		err = tab.WriteCSV(os.Stdout)
+	} else {
+		err = tab.Render(os.Stdout)
 	}
-	return tab.Render(os.Stdout)
+	if err != nil {
+		return err
+	}
+	if *metricsOut != "" {
+		return writeMetricsSnapshot(*metricsOut, reg, runner)
+	}
+	return nil
+}
+
+// writeMetricsSnapshot dumps a Prometheus text snapshot after the run:
+// the local registry's state, or — when the cells ran on a daemon —
+// a scrape of the daemon's /metrics. path "-" writes to stderr (stdout
+// carries the result table).
+func writeMetricsSnapshot(path string, reg *obs.Registry, runner service.CellRunner) error {
+	var data []byte
+	if reg != nil {
+		var buf strings.Builder
+		if err := reg.WriteText(&buf); err != nil {
+			return err
+		}
+		data = []byte(buf.String())
+	} else {
+		c, ok := runner.(*client.Client)
+		if !ok {
+			return fmt.Errorf("-metrics-out: no metrics source for this runner")
+		}
+		var err error
+		data, err = c.PromMetricsText(context.Background())
+		if err != nil {
+			return fmt.Errorf("-metrics-out: scraping daemon: %w", err)
+		}
+	}
+	if path == "-" {
+		_, err := os.Stderr.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 // buildRunner picks the cell runner: the rumord server at serverURL
 // via the SDK, or the in-process executor (cells serial, trials
 // parallel — the historical CLI parallelism shape).
-func buildRunner(serverURL string, workers int, useCache bool) (service.CellRunner, error) {
+func buildRunner(serverURL string, workers int, useCache bool, observ *service.Observability) (service.CellRunner, error) {
 	if serverURL != "" {
 		if useCache {
 			return nil, fmt.Errorf("-cache is in-process only; with -server, caching is the daemon's (-result-cache/-cache-dir)")
@@ -170,6 +219,7 @@ func buildRunner(serverURL string, workers int, useCache bool) (service.CellRunn
 		TrialWorkers: trialWorkers,
 		CellWorkers:  1,
 		Graphs:       service.NewGraphCache(0),
+		Obs:          observ,
 	}
 	if useCache {
 		exec.Results = service.NewResultCache(0)

@@ -90,6 +90,10 @@ const (
 	// IdempotencyReplayedHeader is set to "true" on a submit response
 	// served from the idempotency map rather than a fresh enqueue.
 	IdempotencyReplayedHeader = "Idempotency-Replayed"
+	// RequestIDHeader carries the request correlation ID. Clients may
+	// set it to thread their own ID through the server's logs; the
+	// server echoes it (or a generated one) on every response.
+	RequestIDHeader = "X-Request-Id"
 )
 
 // Server-sent event names of GET /v1/jobs/{id}/events.
@@ -186,6 +190,20 @@ func WriteSSE(w io.Writer, event, id string, data []byte) error {
 	}
 	_, err := fmt.Fprintf(w, "data: %s\n\n", data)
 	return err
+}
+
+// Health is the GET /healthz payload: liveness plus build identity, so
+// a fleet operator can tell which revision each node runs without
+// shelling in. Status is always "ok" when the handler answers at all;
+// the build fields come from debug.ReadBuildInfo and are empty when the
+// binary was built without VCS stamping (e.g. `go test` binaries).
+type Health struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	GoVersion     string  `json:"go_version"`
+	Revision      string  `json:"revision,omitempty"`
+	// Dirty reports a build from a modified working tree (vcs.modified).
+	Dirty bool `json:"dirty,omitempty"`
 }
 
 // ExperimentInfo is one row of the GET /v1/experiments listing.

@@ -37,6 +37,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Format is the on-disk record format version. Any change to the
@@ -87,6 +88,11 @@ type Options struct {
 	NoSync bool
 	// Logf receives recovery and compaction log lines; nil discards.
 	Logf func(format string, args ...interface{})
+	// Metrics instruments the store (flush latency, torn-tail
+	// recoveries, compactions, plus scrape-time mirrors of Stats); nil
+	// disables it. Create it with NewMetrics before Open so recovery is
+	// already instrumented.
+	Metrics *Metrics
 }
 
 // Stats is a point-in-time snapshot of store counters. All fields are
@@ -269,6 +275,9 @@ func Open(opts Options) (*Store, error) {
 		s.closeFiles()
 		return nil, err
 	}
+	if opts.Metrics != nil {
+		opts.Metrics.track(s)
+	}
 	go s.flusher()
 	return s, nil
 }
@@ -386,6 +395,7 @@ func (s *Store) recoverSegment(id int, active bool) error {
 				return fmt.Errorf("cachestore: truncating torn tail of %s: %w", path, err)
 			}
 			s.st.ReclaimedBytes += reclaimed
+			s.opts.Metrics.incTornTail()
 			s.logf("cachestore: %s: %v at offset %d; truncated, reclaimed %d bytes", segName(id), bad, off, reclaimed)
 		} else {
 			// A sealed segment is never appended to again; count the
@@ -650,6 +660,8 @@ func (s *Store) shouldCompactLocked() bool {
 // writeBatch appends a batch of queued records to the active segment
 // and fsyncs once. Only the flusher calls it.
 func (s *Store) writeBatch(batch []queued) {
+	start := time.Now()
+	defer func() { s.opts.Metrics.observeFlush(time.Since(start)) }()
 	s.mu.Lock()
 	seg := s.segs[s.active]
 	s.mu.Unlock()
@@ -868,6 +880,7 @@ func (s *Store) runCompaction() {
 	}
 	s.cond.Broadcast()
 	s.mu.Unlock()
+	s.opts.Metrics.incCompaction()
 	s.logf("cachestore: compacted %d segments (%d bytes) into %s (%d bytes, %d records)",
 		len(oldSegs), oldBytes, segName(id), off, len(newLocs))
 }

@@ -39,15 +39,21 @@ type RunRequest = api.RunExperimentRequest
 // RunCells does — which is exactly how cmd/experiments -server runs the
 // suite.
 func Mount(srv *service.Server, sched *service.Scheduler) {
-	srv.Mount("experiments", Handler(sched))
+	srv.Mount("experiments", handler(sched, srv.TrackStream))
 }
 
 // Handler returns the /v1/experiments resource handler (for mounting
-// via Server.Mount, or standalone in tests).
+// via Server.Mount, or standalone in tests). Mount prefers the internal
+// constructor so the run stream counts on the server's active-streams
+// gauge; a standalone Handler has no gauge to count on.
 func Handler(sched *service.Scheduler) http.Handler {
+	return handler(sched, nil)
+}
+
+func handler(sched *service.Scheduler, track func(kind string) func()) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/experiments", listHandler)
-	mux.HandleFunc("POST /v1/experiments/{id}", runHandler(sched))
+	mux.HandleFunc("POST /v1/experiments/{id}", runHandler(sched, track))
 	return mux
 }
 
@@ -65,7 +71,7 @@ func listHandler(w http.ResponseWriter, _ *http.Request) {
 	api.WriteJSON(w, http.StatusOK, infos)
 }
 
-func runHandler(sched *service.Scheduler) http.HandlerFunc {
+func runHandler(sched *service.Scheduler, track func(kind string) func()) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		e, err := ByID(r.PathValue("id"))
 		if err != nil {
@@ -86,6 +92,9 @@ func runHandler(sched *service.Scheduler) http.HandlerFunc {
 		if err != nil {
 			service.WriteSchedulerError(w, err)
 			return
+		}
+		if track != nil {
+			defer track("ndjson")()
 		}
 
 		w.Header().Set("Content-Type", "application/x-ndjson")

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRequestIDRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	if got := RequestID(ctx); got != "" {
+		t.Fatalf("bare context has request ID %q", got)
+	}
+	ctx = WithRequestID(ctx, "r42")
+	if got := RequestID(ctx); got != "r42" {
+		t.Fatalf("RequestID = %q, want r42", got)
+	}
+}
+
+func TestNextRequestIDUnique(t *testing.T) {
+	a, b := NextRequestID(), NextRequestID()
+	if a == b || a == "" {
+		t.Fatalf("NextRequestID not unique: %q %q", a, b)
+	}
+}
+
+func TestLoggerInjectsRequestID(t *testing.T) {
+	var sb strings.Builder
+	log, err := NewLogger(&sb, "json", "info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := WithRequestID(context.Background(), "r7")
+	log.InfoContext(ctx, "hello", "k", "v")
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &rec); err != nil {
+		t.Fatalf("log line is not JSON: %v\n%s", err, sb.String())
+	}
+	if rec["request_id"] != "r7" || rec["k"] != "v" || rec["msg"] != "hello" {
+		t.Fatalf("log record missing fields: %v", rec)
+	}
+}
+
+func TestLoggerTextFormatAndLevel(t *testing.T) {
+	var sb strings.Builder
+	log, err := NewLogger(&sb, "text", "warn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("dropped")
+	log.Warn("kept")
+	out := sb.String()
+	if strings.Contains(out, "dropped") || !strings.Contains(out, "kept") {
+		t.Fatalf("level filtering wrong:\n%s", out)
+	}
+}
+
+func TestLoggerRejectsUnknownFormatAndLevel(t *testing.T) {
+	if _, err := NewLogger(&strings.Builder{}, "xml", ""); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+	if _, err := NewLogger(&strings.Builder{}, "json", "loud"); err == nil {
+		t.Fatal("unknown level accepted")
+	}
+}

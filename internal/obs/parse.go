@@ -1,0 +1,286 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line: a sample name (which for
+// histograms carries the _bucket/_sum/_count suffix), its label set,
+// and the value.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Family is one parsed metric family: the # HELP / # TYPE metadata and
+// every sample that belongs to it, in exposition order.
+type Family struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []Sample
+}
+
+// Scrape is a parsed Prometheus text exposition, keyed by family name.
+// It is what client.PromMetrics returns and what the validity tests
+// assert over.
+type Scrape map[string]*Family
+
+// ParseText parses the Prometheus text exposition format (the output
+// of Registry.WriteText, or any compliant exporter). It validates
+// metric-name syntax, requires every sample to follow a # TYPE line of
+// its family (histogram samples attach through their _bucket/_sum/
+// _count suffixes), and rejects malformed label sets and values.
+func ParseText(r io.Reader) (Scrape, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	out := make(Scrape)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), " \t")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parseMeta(line, out); err != nil {
+				return nil, fmt.Errorf("obs: line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", lineNo, err)
+		}
+		fam := familyFor(out, s.Name)
+		if fam == nil {
+			return nil, fmt.Errorf("obs: line %d: sample %q has no preceding # TYPE", lineNo, s.Name)
+		}
+		fam.Samples = append(fam.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseMeta handles # HELP and # TYPE lines (other comments are
+// ignored, per the format).
+func parseMeta(line string, out Scrape) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+		return nil // plain comment
+	}
+	name := fields[2]
+	if !NameRE.MatchString(name) {
+		return fmt.Errorf("invalid metric name %q", name)
+	}
+	fam := out[name]
+	if fam == nil {
+		fam = &Family{Name: name}
+		out[name] = fam
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) == 4 {
+			fam.Help = strings.NewReplacer(`\\`, `\`, `\n`, "\n").Replace(fields[3])
+		}
+	case "TYPE":
+		if len(fields) != 4 {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		switch fields[3] {
+		case TypeCounter, TypeGauge, TypeHistogram, "summary", "untyped":
+			fam.Type = fields[3]
+		default:
+			return fmt.Errorf("unknown metric type %q", fields[3])
+		}
+	}
+	return nil
+}
+
+// familyFor resolves the family a sample belongs to: its exact name,
+// or — for histogram series — the name with the _bucket/_sum/_count
+// suffix stripped.
+func familyFor(out Scrape, sample string) *Family {
+	if f, ok := out[sample]; ok && f.Type != "" {
+		return f
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(sample, suffix)
+		if base == sample {
+			continue
+		}
+		if f, ok := out[base]; ok && (f.Type == TypeHistogram || f.Type == "summary") {
+			return f
+		}
+	}
+	return nil
+}
+
+// parseSample parses one `name{a="b",...} value` line.
+func parseSample(line string) (Sample, error) {
+	nameEnd := strings.IndexAny(line, "{ ")
+	if nameEnd < 0 {
+		return Sample{}, fmt.Errorf("malformed sample %q", line)
+	}
+	s := Sample{Name: line[:nameEnd]}
+	if !NameRE.MatchString(s.Name) {
+		return Sample{}, fmt.Errorf("invalid sample name %q", s.Name)
+	}
+	rest := line[nameEnd:]
+	if rest[0] == '{' {
+		labels, tail, err := parseLabels(rest)
+		if err != nil {
+			return Sample{}, fmt.Errorf("sample %q: %w", s.Name, err)
+		}
+		s.Labels = labels
+		rest = tail
+	}
+	rest = strings.TrimSpace(rest)
+	// Ignore an optional trailing timestamp (we never emit one).
+	if i := strings.IndexByte(rest, ' '); i >= 0 {
+		rest = rest[:i]
+	}
+	v, err := parseValue(rest)
+	if err != nil {
+		return Sample{}, fmt.Errorf("sample %q: %w", s.Name, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels parses a {k="v",...} block, returning the remainder of
+// the line after the closing brace.
+func parseLabels(in string) (map[string]string, string, error) {
+	labels := make(map[string]string)
+	i := 1 // past '{'
+	for {
+		for i < len(in) && (in[i] == ' ' || in[i] == ',') {
+			i++
+		}
+		if i < len(in) && in[i] == '}' {
+			return labels, in[i+1:], nil
+		}
+		eq := strings.IndexByte(in[i:], '=')
+		if eq < 0 {
+			return nil, "", fmt.Errorf("unterminated label set")
+		}
+		key := in[i : i+eq]
+		if !LabelRE.MatchString(key) {
+			return nil, "", fmt.Errorf("invalid label name %q", key)
+		}
+		i += eq + 1
+		if i >= len(in) || in[i] != '"' {
+			return nil, "", fmt.Errorf("label %q value is not quoted", key)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(in) {
+				return nil, "", fmt.Errorf("unterminated value for label %q", key)
+			}
+			c := in[i]
+			if c == '\\' {
+				if i+1 >= len(in) {
+					return nil, "", fmt.Errorf("dangling escape in label %q", key)
+				}
+				switch in[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, "", fmt.Errorf("bad escape \\%c in label %q", in[i+1], key)
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				i++
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		labels[key] = val.String()
+	}
+}
+
+// parseValue parses a sample value, accepting the +Inf/-Inf/NaN
+// spellings.
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(+1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad value %q", s)
+	}
+	return v, nil
+}
+
+// Value returns the sample with the given name whose label set equals
+// labels exactly (nil matches the empty label set).
+func (sc Scrape) Value(sample string, labels map[string]string) (float64, bool) {
+	fam := familyFor(sc, sample)
+	if fam == nil {
+		return 0, false
+	}
+	for _, s := range fam.Samples {
+		if s.Name != sample || len(s.Labels) != len(labels) {
+			continue
+		}
+		match := true
+		for k, v := range labels {
+			if s.Labels[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Sum adds every sample of the given name across label sets —
+// convenient for "did this family move at all" assertions.
+func (sc Scrape) Sum(sample string) (total float64, n int) {
+	fam := familyFor(sc, sample)
+	if fam == nil {
+		return 0, 0
+	}
+	for _, s := range fam.Samples {
+		if s.Name == sample {
+			total += s.Value
+			n++
+		}
+	}
+	return total, n
+}
+
+// Names returns the parsed family names, sorted.
+func (sc Scrape) Names() []string {
+	names := make([]string, 0, len(sc))
+	for name := range sc {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

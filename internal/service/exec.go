@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"rumor/internal/graph"
 	"rumor/internal/stats"
@@ -41,6 +42,11 @@ type Executor struct {
 	// local batch runs — the scheduler's worker pool is its equivalent
 	// for daemon runs.
 	CellWorkers int
+	// Obs instruments cell execution (per-kind latency and outcome
+	// counters); nil disables it. Because the scheduler's workers and
+	// local RunCells both funnel through Run, one instrument covers the
+	// daemon and the CLI alike.
+	Obs *Observability
 }
 
 // Run executes one cell (or serves it from cache) and returns its
@@ -56,6 +62,7 @@ func (e *Executor) Run(ctx context.Context, index int, cell CellSpec) (*CellResu
 		if cached, ok := e.Results.Get(key); ok {
 			res := *cached
 			res.Index = index
+			e.Obs.observeCell(cell.kind(), "cached", 0)
 			return &res, true, nil
 		}
 	}
@@ -63,8 +70,10 @@ func (e *Executor) Run(ctx context.Context, index int, cell CellSpec) (*CellResu
 		return nil, false, err
 	}
 
+	start := time.Now()
 	kind, err := KindByName(cell.kind())
 	if err != nil {
+		e.Obs.observeCell(cell.kind(), "error", 0)
 		return nil, false, err
 	}
 	var g *graph.Graph
@@ -75,6 +84,7 @@ func (e *Executor) Run(ctx context.Context, index int, cell CellSpec) (*CellResu
 			g, err = BuildGraph(cell)
 		}
 		if err != nil {
+			e.Obs.observeCell(cell.kind(), "error", 0)
 			return nil, false, fmt.Errorf("service: building %s(%d): %w", cell.Family, cell.N, err)
 		}
 	}
@@ -85,6 +95,10 @@ func (e *Executor) Run(ctx context.Context, index int, cell CellSpec) (*CellResu
 	}
 	kr, err := kind.Run(ctx, cell, g, workers)
 	if err != nil {
+		if ctx.Err() == nil {
+			// A context abort is a cancellation, not a kind failure.
+			e.Obs.observeCell(cell.kind(), "error", 0)
+		}
 		return nil, false, err
 	}
 	res := &CellResult{
@@ -104,6 +118,7 @@ func (e *Executor) Run(ctx context.Context, index int, cell CellSpec) (*CellResu
 	if e.Results != nil {
 		e.Results.Put(key, res)
 	}
+	e.Obs.observeCell(cell.kind(), "computed", time.Since(start))
 	out := *res
 	out.Index = index
 	return &out, false, nil

@@ -5,9 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"strconv"
+	"time"
 
 	"rumor/internal/api"
+	"rumor/internal/obs"
 )
 
 // Server exposes the scheduler as the resource-oriented v1 HTTP API:
@@ -45,11 +49,27 @@ import (
 type Server struct {
 	sched *Scheduler
 	mux   *http.ServeMux
+	obs   *Observability
+}
+
+// ServerOption customises NewServer.
+type ServerOption func(*Server)
+
+// WithObservability attaches the operability layer: GET /metrics serves
+// o's registry as Prometheus text, every request is measured (duration,
+// status, in-flight, active streams) and logged with a correlation ID.
+// Without this option the server behaves exactly as before the layer
+// existed.
+func WithObservability(o *Observability) ServerOption {
+	return func(s *Server) { s.obs = o }
 }
 
 // NewServer wraps the scheduler in the HTTP API.
-func NewServer(sched *Scheduler) *Server {
+func NewServer(sched *Scheduler, opts ...ServerOption) *Server {
 	s := &Server{sched: sched, mux: http.NewServeMux()}
+	for _, opt := range opts {
+		opt(s)
+	}
 	s.mux.HandleFunc("POST /v1/jobs", s.submit)
 	s.mux.HandleFunc("GET /v1/jobs", s.list)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.status)
@@ -59,11 +79,94 @@ func NewServer(sched *Scheduler) *Server {
 	s.mux.HandleFunc("GET /v1/cache", s.cache)
 	s.mux.HandleFunc("GET /healthz", s.healthz)
 	s.mux.HandleFunc("GET /metricsz", s.metricsz)
+	if s.obs != nil {
+		s.mux.Handle("GET /metrics", obs.Handler(s.obs.Reg))
+	}
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. With observability attached it is
+// the instrumentation middleware: request-ID correlation, per-route
+// duration and status counters, the in-flight gauge, and one access log
+// line per request.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.obs == nil {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	start := time.Now()
+	id := r.Header.Get(api.RequestIDHeader)
+	if id == "" {
+		id = obs.NextRequestID()
+	}
+	w.Header().Set(api.RequestIDHeader, id)
+	r = r.WithContext(obs.WithRequestID(r.Context(), id))
+	// The route label is the mux pattern (e.g. "GET /v1/jobs/{id}"), not
+	// the raw path — raw paths would explode label cardinality with every
+	// job ID.
+	route := "unmatched"
+	if _, pattern := s.mux.Handler(r); pattern != "" {
+		route = pattern
+	}
+	s.obs.httpInFlight.Inc()
+	sw := &statusWriter{ResponseWriter: w}
+	s.mux.ServeHTTP(sw, r)
+	s.obs.httpInFlight.Dec()
+	elapsed := time.Since(start)
+	s.obs.httpRequests.With(route, r.Method, strconv.Itoa(sw.status())).Inc()
+	s.obs.httpDuration.With(route).Observe(elapsed.Seconds())
+	if l := s.obs.Log; l != nil {
+		l.InfoContext(r.Context(), "http request",
+			"method", r.Method, "path", r.URL.Path, "route", route,
+			"status", sw.status(), "duration_ms", float64(elapsed.Microseconds())/1000)
+	}
+}
+
+// TrackStream marks a live result stream (kind "ndjson" or "sse") on
+// the active-streams gauge and returns its release. Mounted resources
+// that stream (the experiment endpoints) call it so their streams count
+// alongside the job streams; it is a no-op without observability.
+func (s *Server) TrackStream(kind string) func() {
+	return s.obs.trackStream(kind)
+}
+
+// statusWriter records the response status for the metrics middleware.
+// It implements http.Flusher unconditionally (delegating when the
+// underlying writer supports it) because the streaming handlers detect
+// flush support through this wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// status returns the recorded status, defaulting to 200 for handlers
+// that never called WriteHeader.
+func (w *statusWriter) status() int {
+	if w.code == 0 {
+		return http.StatusOK
+	}
+	return w.code
+}
 
 // Mount attaches a handler under the versioned resource /v1/{resource}:
 // both the exact path and its subtree route to h, which does its own
@@ -239,6 +342,7 @@ func (s *Server) results(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	defer s.obs.trackStream("ndjson")()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
@@ -280,6 +384,7 @@ func (s *Server) events(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	defer s.obs.trackStream("sse")()
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
@@ -343,7 +448,22 @@ func (s *Server) events(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
-	api.WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	h := api.Health{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.sched.started).Seconds(),
+		GoVersion:     runtime.Version(),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, kv := range bi.Settings {
+			switch kv.Key {
+			case "vcs.revision":
+				h.Revision = kv.Value
+			case "vcs.modified":
+				h.Dirty = kv.Value == "true"
+			}
+		}
+	}
+	api.WriteJSON(w, http.StatusOK, h)
 }
 
 func (s *Server) metricsz(w http.ResponseWriter, _ *http.Request) {

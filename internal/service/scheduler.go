@@ -58,12 +58,16 @@ type SchedulerConfig struct {
 	// and closes it after Shutdown drains.
 	Results ResultStore
 	Graphs  *GraphCache
+	// Obs instruments the scheduler and executor (queue wait, cell
+	// latency, rejections, job lifecycle logs); nil disables it.
+	Obs *Observability
 }
 
 // task is one pending cell of one job.
 type task struct {
-	job   *Job
-	index int // cell index within the job
+	job        *Job
+	index      int       // cell index within the job
+	enqueuedAt time.Time // when the task joined the pending heap
 }
 
 // taskHeap orders tasks by (priority desc, job submission seq asc, cell
@@ -112,6 +116,8 @@ type Scheduler struct {
 	cellsRun   int64 // cells computed (cache misses)
 	cellsHit   int64 // cells served from the result cache
 	cellErrors int64
+
+	obs *Observability // nil-safe; see Observability
 }
 
 // NewScheduler starts the worker pool and returns the scheduler.
@@ -133,6 +139,7 @@ func NewScheduler(cfg SchedulerConfig) *Scheduler {
 			Results:      cfg.Results,
 			Graphs:       cfg.Graphs,
 			TrialWorkers: cfg.TrialWorkers,
+			Obs:          cfg.Obs,
 		},
 		workers:    workers,
 		queueLimit: queueLimit,
@@ -140,7 +147,9 @@ func NewScheduler(cfg SchedulerConfig) *Scheduler {
 		jobs:       make(map[string]*Job),
 		idem:       make(map[string]idemEntry),
 		started:    time.Now(),
+		obs:        cfg.Obs,
 	}
+	cfg.Obs.observeScheduler(s)
 	s.cond = sync.NewCond(&s.mu)
 	for i := 0; i < workers; i++ {
 		s.wg.Add(1)
@@ -257,6 +266,11 @@ func (s *Scheduler) enqueue(spec JobSpec, cells []CellSpec, idemKey string) (*Jo
 		}
 	}
 	if len(s.pending)+len(cells) > s.queueLimit {
+		s.obs.incRejection()
+		if l := s.obs.logger(); l != nil {
+			l.Warn("job rejected: queue full",
+				"pending", len(s.pending), "cells", len(cells), "limit", s.queueLimit)
+		}
 		return nil, false, fmt.Errorf("%w: %d pending + %d new > limit %d",
 			ErrQueueFull, len(s.pending), len(cells), s.queueLimit)
 	}
@@ -284,11 +298,17 @@ func (s *Scheduler) enqueue(spec JobSpec, cells []CellSpec, idemKey string) (*Jo
 	if idemKey != "" {
 		s.idem[idemKey] = idemEntry{jobID: job.id, specHash: specHash}
 	}
+	now := time.Now()
 	for i := range cells {
-		heap.Push(&s.pending, task{job: job, index: i})
+		heap.Push(&s.pending, task{job: job, index: i, enqueuedAt: now})
 	}
 	s.pruneJobsLocked()
 	s.cond.Broadcast()
+	if l := s.obs.logger(); l != nil {
+		l.Info("job submitted",
+			"job_id", job.id, "cells", len(cells), "priority", spec.Priority,
+			"queue_depth", len(s.pending))
+	}
 	return job, false, nil
 }
 
@@ -421,6 +441,7 @@ func (s *Scheduler) worker() {
 		}
 		t := heap.Pop(&s.pending).(task)
 		s.mu.Unlock()
+		s.obs.observeQueueWait(time.Since(t.enqueuedAt))
 		s.runTask(t)
 	}
 }
@@ -685,6 +706,10 @@ func (j *Job) Cancel() {
 	j.mu.Unlock()
 	j.cancel()
 	if j.sched != nil {
+		j.sched.obs.incCancellation()
+		if l := j.sched.obs.logger(); l != nil {
+			l.Info("job cancelled", "job_id", j.id)
+		}
 		j.sched.purgeJob(j)
 	}
 }
@@ -763,12 +788,19 @@ func (j *Job) completeCell(i int, res *CellResult, cached bool) {
 		j.notifyLocked()
 	}
 	finished := j.done == len(j.cells) && j.state == JobRunning
+	var hits int
 	if finished {
 		j.state = JobDone
+		hits = j.cacheHits
 		close(j.terminal)
 		j.notifyLocked()
 	}
 	j.mu.Unlock()
+	if finished && j.sched != nil {
+		if l := j.sched.obs.logger(); l != nil {
+			l.Info("job done", "job_id", j.id, "cells", len(j.cells), "cache_hits", hits)
+		}
+	}
 }
 
 // fail moves the job to failed (first error wins) and cancels the rest.
@@ -785,6 +817,9 @@ func (j *Job) fail(i int, err error) {
 	j.mu.Unlock()
 	j.cancel()
 	if j.sched != nil {
+		if l := j.sched.obs.logger(); l != nil {
+			l.Warn("job failed", "job_id", j.id, "cell", i, "error", err.Error())
+		}
 		j.sched.purgeJob(j)
 	}
 }
