@@ -43,9 +43,12 @@ import (
 
 	"rumor/client"
 	"rumor/internal/cachestore"
+	"rumor/internal/core"
 	"rumor/internal/experiments"
+	"rumor/internal/graph"
 	"rumor/internal/obs"
 	"rumor/internal/service"
+	"rumor/internal/xrand"
 )
 
 // newServerRunner builds the SDK-backed cell runner for -server (test
@@ -82,6 +85,7 @@ func run(args []string, stdout io.Writer) error {
 		cache      = fs.Bool("cache", false, "serve repeated cells from a result LRU (rumord's cache tier)")
 		cacheDir   = fs.String("cache-dir", "", "persistent cell-result store directory: cells computed by any prior run (or a rumord with the same dir) replay from disk")
 		bench      = fs.String("bench", "", "run the suite twice (cold, then warm cache) and write timing JSON to this file")
+		benchLarge = fs.Bool("bench-large", false, "with -bench: also time single sync cells on 10^6- and 10^7-node random graphs (adds minutes and ~2GB)")
 		server     = fs.String("server", "", "run every cell on a rumord server at this base URL via the client SDK (reducers still run locally; output is byte-identical to the in-process path)")
 		metricsOut = fs.String("metrics-out", "", "write a Prometheus metrics snapshot to this file after the suite (\"-\" = stderr); with -server, scrapes the daemon")
 	)
@@ -149,7 +153,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 	var suiteErr error
 	if *bench != "" {
-		suiteErr = runBench(*bench, cfg, stdout)
+		suiteErr = runBench(*bench, cfg, *benchLarge, stdout)
 	} else {
 		suiteErr = runSuite(cfg, *runID, *markdown, stdout)
 	}
@@ -242,11 +246,12 @@ func runSuite(cfg experiments.Config, runID, markdown string, stdout io.Writer) 
 	return nil
 }
 
-// benchReport is the schema of the -bench output (BENCH_2.json): the
+// benchReport is the schema of the -bench output (BENCH_3.json): the
 // wall time of one full suite run against a cold result cache and one
-// against the warm cache left by the first, with the cache counters and
-// a verdict-equality check (warm results must be byte-identical — the
-// caches only change speed).
+// against the warm cache left by the first, with the cache counters, a
+// verdict-equality check (warm results must be byte-identical — the
+// caches only change speed), the cold run's engine throughput, and —
+// with -bench-large — single-cell timings at 10^6 and 10^7 nodes.
 type benchReport struct {
 	Benchmark         string             `json:"benchmark"`
 	Mode              string             `json:"mode"`
@@ -256,13 +261,30 @@ type benchReport struct {
 	ColdSeconds       float64            `json:"cold_seconds"`
 	WarmSeconds       float64            `json:"warm_seconds"`
 	Speedup           float64            `json:"speedup"`
+	ColdCellsPerSec   float64            `json:"cold_cells_per_sec"`
+	EngineUpdates     int64              `json:"engine_node_updates"`
+	UpdatesPerSec     float64            `json:"node_updates_per_sec"`
 	VerdictsIdentical bool               `json:"verdicts_identical"`
 	ResultCache       service.CacheStats `json:"result_cache"`
 	GraphCache        service.CacheStats `json:"graph_cache"`
+	LargeN            []largeNTiming     `json:"large_n,omitempty"`
 	GeneratedAt       string             `json:"generated_at"`
 }
 
-func runBench(path string, cfg experiments.Config, stdout io.Writer) error {
+// largeNTiming times one synchronous push-pull cell on a large G(n,p)
+// graph: streamed CSR construction, then a full spread from node 0.
+type largeNTiming struct {
+	N             int     `json:"n"`
+	M             int     `json:"m"`
+	Graph         string  `json:"graph"`
+	BuildSeconds  float64 `json:"build_seconds"`
+	RunSeconds    float64 `json:"run_seconds"`
+	Rounds        int     `json:"rounds"`
+	Updates       int64   `json:"updates"`
+	UpdatesPerSec float64 `json:"updates_per_sec"`
+}
+
+func runBench(path string, cfg experiments.Config, large bool, stdout io.Writer) error {
 	runner, ok := cfg.Runner.(*service.Executor)
 	if !ok || runner.Results == nil {
 		runner = experiments.NewLocalRunner(cfg.Workers, true)
@@ -281,6 +303,7 @@ func runBench(path string, cfg experiments.Config, stdout io.Writer) error {
 		return err
 	}
 	coldDur := time.Since(start)
+	coldUpdates := runner.EngineUpdates()
 
 	start = time.Now()
 	warm, err := experiments.RunAll(cfg)
@@ -311,10 +334,22 @@ func runBench(path string, cfg experiments.Config, stdout io.Writer) error {
 		ColdSeconds:       coldDur.Seconds(),
 		WarmSeconds:       warmDur.Seconds(),
 		Speedup:           coldDur.Seconds() / warmDur.Seconds(),
+		ColdCellsPerSec:   float64(cells) / coldDur.Seconds(),
+		EngineUpdates:     coldUpdates,
+		UpdatesPerSec:     float64(coldUpdates) / coldDur.Seconds(),
 		VerdictsIdentical: identical,
 		ResultCache:       runner.Results.Stats(),
 		GraphCache:        runner.Graphs.Stats(),
 		GeneratedAt:       time.Now().UTC().Format(time.RFC3339),
+	}
+	if large {
+		for _, n := range []int{1_000_000, 10_000_000} {
+			timing, err := timeLargeCell(n, stdout)
+			if err != nil {
+				return err
+			}
+			report.LargeN = append(report.LargeN, timing)
+		}
 	}
 	f, err := os.Create(path)
 	if err != nil {
@@ -329,10 +364,43 @@ func runBench(path string, cfg experiments.Config, stdout io.Writer) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "suite (%s): cold %.2fs, warm %.2fs (%.1fx), verdicts identical: %v; wrote %s\n",
-		mode, report.ColdSeconds, report.WarmSeconds, report.Speedup, identical, path)
+	fmt.Fprintf(stdout, "suite (%s): cold %.2fs (%.0f cells/sec, %.2gM updates/sec), warm %.2fs (%.1fx), verdicts identical: %v; wrote %s\n",
+		mode, report.ColdSeconds, report.ColdCellsPerSec, report.UpdatesPerSec/1e6,
+		report.WarmSeconds, report.Speedup, identical, path)
 	if !identical {
 		return fmt.Errorf("warm-cache suite run diverged from cold run (determinism violation)")
 	}
 	return nil
+}
+
+// timeLargeCell builds a mean-degree-20 G(n,p) graph with the streamed
+// CSR builder and times one synchronous push-pull spread on it — the
+// scale check behind the repo's "10^7 nodes on one machine" claim.
+func timeLargeCell(n int, stdout io.Writer) (largeNTiming, error) {
+	p := 20.0 / float64(n)
+	start := time.Now()
+	g, err := graph.GNP(n, p, xrand.New(7))
+	if err != nil {
+		return largeNTiming{}, err
+	}
+	buildDur := time.Since(start)
+	start = time.Now()
+	res, err := core.RunSync(g, 0, core.SyncConfig{Protocol: core.PushPull}, xrand.New(42))
+	if err != nil {
+		return largeNTiming{}, err
+	}
+	runDur := time.Since(start)
+	t := largeNTiming{
+		N:             g.NumNodes(),
+		M:             g.NumEdges(),
+		Graph:         g.Name(),
+		BuildSeconds:  buildDur.Seconds(),
+		RunSeconds:    runDur.Seconds(),
+		Rounds:        res.Rounds,
+		Updates:       res.Updates,
+		UpdatesPerSec: float64(res.Updates) / runDur.Seconds(),
+	}
+	fmt.Fprintf(stdout, "large-n: %s built in %.1fs, spread in %d rounds / %.1fs (%.2gM updates/sec)\n",
+		g.Name(), t.BuildSeconds, t.Rounds, t.RunSeconds, t.UpdatesPerSec/1e6)
+	return t, nil
 }

@@ -5,6 +5,17 @@ package rumor_test
 // so these values must never change unless an engine's RNG consumption
 // order is deliberately altered — in which case this file documents the
 // behaviour change.
+//
+// RNG-consumption changes to date:
+//
+//   - Throughput rework (bitset/batched-RNG/ziggurat): the synchronous
+//     engines batch each round's raw draws and reduce them by Lemire's
+//     multiply-shift (previously one masked/rejected Uint64n call per
+//     contact), and the asynchronous engines draw Exp via the ziggurat
+//     method (previously inverse-CDF, one uniform per draw). Same
+//     distributions — verified by the reference-oracle and statistical
+//     equivalence tests in internal/core — but different streams, so the
+//     pinned values below were recomputed.
 
 import (
 	"math"
@@ -27,9 +38,9 @@ func TestGoldenRuns(t *testing.T) {
 		asyncSteps int64
 		ppxRounds  int
 	}{
-		{"hypercube6", 42, 9, 5.6729019810, 337, 7},
-		{"star64", 7, 1, 3.3947322506, 201, 1},
-		{"cycle48", 13, 31, 16.8181783582, 793, 24},
+		{"hypercube6", 42, 9, 4.2228340669, 292, 7},
+		{"star64", 7, 1, 6.3711811086, 395, 1},
+		{"cycle48", 13, 32, 16.0440362184, 768, 24},
 	}
 	for _, c := range cases {
 		c := c

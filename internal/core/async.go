@@ -49,12 +49,23 @@ func RunAsync(g *graph.Graph, src graph.NodeID, cfg AsyncConfig, rng *xrand.RNG)
 	if maxSteps <= 0 {
 		maxSteps = defaultMaxSteps(g.NumNodes())
 	}
+	// With uniform clock rates (no crash schedule) every view reduces to
+	// the Gillespie direct-method stepper: one Exp draw for the tick time
+	// and one uniform draw for the actor, no event heap. Crash schedules
+	// keep the heap-based engines, whose clock-stopping semantics are the
+	// reference for the stepper's thinning (see AsyncStepper).
 	switch view {
 	case GlobalClock:
-		return runAsyncGlobal(g, src, cfg, prob, maxSteps, rng)
+		return runAsyncFast(g, src, cfg, maxSteps, rng)
 	case PerNodeClocks:
+		if len(cfg.Crashes) == 0 {
+			return runAsyncFast(g, src, cfg, maxSteps, rng)
+		}
 		return runAsyncPerNode(g, src, cfg, prob, maxSteps, rng)
 	default:
+		if len(cfg.Crashes) == 0 {
+			return runAsyncFast(g, src, cfg, maxSteps, rng)
+		}
 		return runAsyncPerEdge(g, src, cfg, prob, maxSteps, rng)
 	}
 }
@@ -66,6 +77,7 @@ type asyncRun struct {
 	cfg        AsyncConfig
 	prob       float64
 	crashes    *crashTracker
+	sources    []graph.NodeID
 	// checkEvery throttles the progress-possibility scan needed when
 	// crashes may strand the rumor; 0 disables the scan.
 	checkEvery int64
@@ -88,20 +100,36 @@ func newAsyncRun(g *graph.Graph, src graph.NodeID, cfg AsyncConfig, prob float64
 		cfg:        cfg,
 		prob:       prob,
 		crashes:    crashes,
+		sources:    sources,
 	}
 	if crashes != nil {
 		a.checkEvery = int64(2*n) + 16
 	}
+	a.startTrial()
+	return a, nil
+}
+
+// reset re-initializes the run for a fresh trial, reusing storage.
+func (a *asyncRun) reset() {
+	a.st.reset(a.sources, a.st.reachable)
+	if a.crashes != nil {
+		a.crashes.reset()
+	}
+	a.halted = false
+	a.startTrial()
+}
+
+// startTrial stamps the sources into informedAt and notifies the observer.
+func (a *asyncRun) startTrial() {
 	for i := range a.informedAt {
 		a.informedAt[i] = -1
 	}
-	for _, s := range sources {
+	for _, s := range a.sources {
 		a.informedAt[s] = 0
-		if cfg.Observer != nil {
-			cfg.Observer.OnInformed(0, s, -1)
+		if a.cfg.Observer != nil {
+			a.cfg.Observer.OnInformed(0, s, -1)
 		}
 	}
-	return a, nil
 }
 
 // tick advances the crash schedule to time t and periodically re-checks
@@ -124,7 +152,7 @@ func (a *asyncRun) contact(t float64, v, w graph.NodeID, rng *xrand.RNG) {
 	if !aliveIn(a.crashes, v) || !aliveIn(a.crashes, w) {
 		return
 	}
-	vInf, wInf := a.st.informed[v], a.st.informed[w]
+	vInf, wInf := a.st.informed.get(v), a.st.informed.get(w)
 	if vInf == wInf {
 		return
 	}
@@ -171,12 +199,11 @@ func budgetErr(steps int64, cfg AsyncConfig, g *graph.Graph) error {
 	return fmt.Errorf("%w: %d steps (async %v on %v)", ErrBudget, steps, cfg.Protocol, g)
 }
 
-func runAsyncGlobal(g *graph.Graph, src graph.NodeID, cfg AsyncConfig, prob float64, maxSteps int64, rng *xrand.RNG) (*AsyncResult, error) {
+func runAsyncFast(g *graph.Graph, src graph.NodeID, cfg AsyncConfig, maxSteps int64, rng *xrand.RNG) (*AsyncResult, error) {
 	stepper, err := NewAsyncStepper(g, src, cfg, rng)
 	if err != nil {
 		return nil, err
 	}
-	_ = prob // normalized again inside the stepper
 	for stepper.Step() {
 		if stepper.Steps() >= maxSteps && !stepper.Finished() {
 			return stepper.Result(), budgetErr(stepper.Steps(), cfg, g)

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+
+	"rumor/internal/graph"
+	"rumor/internal/xrand"
+)
+
+// Benchmarks report node-updates/sec — a node update is one simulated
+// contact decision (one batched draw consumed), the unit BENCH_3 tracks.
+
+func benchSync(b *testing.B, g *graph.Graph, cfg SyncConfig) {
+	root := xrand.New(1)
+	s, err := NewSyncStepper(g, 0, cfg, root.Child(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var updates int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Reset(root.Child(uint64(i)))
+		for s.Step() {
+		}
+		updates += s.Updates()
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(updates)/secs, "updates/sec")
+	}
+}
+
+func benchAsync(b *testing.B, g *graph.Graph, cfg AsyncConfig) {
+	root := xrand.New(1)
+	s, err := NewAsyncStepper(g, 0, cfg, root.Child(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var steps int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Reset(root.Child(uint64(i)))
+		for s.Step() {
+		}
+		steps += s.Steps()
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(steps)/secs, "updates/sec")
+	}
+}
+
+func BenchmarkSyncPushPullHypercube14(b *testing.B) {
+	benchSync(b, mustGraph(graph.Hypercube(14)), SyncConfig{Protocol: PushPull})
+}
+
+func BenchmarkSyncPushComplete4096(b *testing.B) {
+	benchSync(b, mustGraph(graph.Complete(4096)), SyncConfig{Protocol: Push})
+}
+
+func BenchmarkSyncPushPullGNP(b *testing.B) {
+	g, err := graph.GNPConnected(1<<13, 0.002, xrand.New(9), 50)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchSync(b, g, SyncConfig{Protocol: PushPull})
+}
+
+func BenchmarkAsyncGlobalHypercube14(b *testing.B) {
+	benchAsync(b, mustGraph(graph.Hypercube(14)), AsyncConfig{Protocol: PushPull})
+}
+
+func BenchmarkAsyncPerEdgeHypercube14(b *testing.B) {
+	benchAsync(b, mustGraph(graph.Hypercube(14)), AsyncConfig{Protocol: PushPull, View: PerEdgeClocks})
+}
+
+func BenchmarkReferenceSyncHypercube10(b *testing.B) {
+	g := mustGraph(graph.Hypercube(10))
+	var updates int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := RunSyncReference(g, 0, SyncConfig{Protocol: PushPull}, xrand.New(uint64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		updates += r.Updates
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(updates)/secs, "updates/sec")
+	}
+}

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"math/bits"
+
+	"rumor/internal/graph"
+)
+
+// bitSet is a fixed-size bit vector over node IDs, packed 64 per word.
+// Compared to a []bool it is 8x denser (the informed set of a 10^7-node
+// graph fits in ~1.2 MB of cache-resident words) and clears via memclr,
+// which is what makes per-trial arena reuse cheap.
+type bitSet struct {
+	words []uint64
+}
+
+// reset sizes the set to n bits, all clear, reusing storage when it is
+// large enough.
+func (b *bitSet) reset(n int) {
+	w := (n + 63) >> 6
+	if cap(b.words) < w {
+		b.words = make([]uint64, w)
+		return
+	}
+	b.words = b.words[:w]
+	clear(b.words)
+}
+
+func (b *bitSet) get(i graph.NodeID) bool {
+	return b.words[uint32(i)>>6]&(1<<(uint32(i)&63)) != 0
+}
+
+func (b *bitSet) set(i graph.NodeID) {
+	b.words[uint32(i)>>6] |= 1 << (uint32(i) & 63)
+}
+
+func (b *bitSet) clearBit(i graph.NodeID) {
+	b.words[uint32(i)>>6] &^= 1 << (uint32(i) & 63)
+}
+
+// count returns the number of set bits.
+func (b *bitSet) count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}

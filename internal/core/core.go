@@ -172,6 +172,10 @@ type SyncResult struct {
 	NumInformed int
 	// Complete reports whether every node in the graph was informed.
 	Complete bool
+	// Updates is the number of node-step operations executed (push plus
+	// pull contact draws over all rounds) — the work unit reported by the
+	// throughput benchmarks.
+	Updates int64
 }
 
 // AsyncResult reports an asynchronous run.
@@ -301,54 +305,68 @@ func validateCommon(g *graph.Graph, src graph.NodeID, p Protocol, prob float64) 
 // spreadState tracks the informed set, first-informer tree, and the
 // uninformed boundary (uninformed nodes with at least one informed
 // neighbor, needed by pull-based engines and by early termination).
+//
+// The informed and boundary-membership sets are bit vectors, and every
+// slice is an arena sized to the graph once: reset re-initializes the
+// state for a fresh trial on the same graph without allocating, which is
+// what lets steppers run a whole cell's trials on one set of buffers.
 type spreadState struct {
 	g          *graph.Graph
-	informed   []bool
+	informed   bitSet
 	parent     []graph.NodeID
 	order      []graph.NodeID // nodes in informing order; order[0] = source
 	infNbrs    []int32        // per-node count of informed neighbors
 	boundary   []graph.NodeID // lazily compacted; may contain stale entries
-	inBoundary []bool
+	inBoundary bitSet
 	num        int
-	reachable  int // size of the source's connected component
+	reachable  int // size of the sources' union of connected components
 }
 
 func newSpreadState(g *graph.Graph, src graph.NodeID) *spreadState {
-	n := g.NumNodes()
-	s := &spreadState{
-		g:          g,
-		informed:   make([]bool, n),
-		parent:     make([]graph.NodeID, n),
-		order:      make([]graph.NodeID, 0, n),
-		infNbrs:    make([]int32, n),
-		inBoundary: make([]bool, n),
+	return newSpreadStateMulti(g, []graph.NodeID{src})
+}
+
+// reset re-initializes the state for a new trial with the given sources.
+// reachable is the size of the union of the sources' components (a pure
+// function of (g, sources), so callers cache it across trials).
+func (s *spreadState) reset(sources []graph.NodeID, reachable int) {
+	n := s.g.NumNodes()
+	s.informed.reset(n)
+	s.inBoundary.reset(n)
+	if cap(s.parent) < n {
+		s.parent = make([]graph.NodeID, n)
+		s.infNbrs = make([]int32, n)
+		s.order = make([]graph.NodeID, 0, n)
+		s.boundary = make([]graph.NodeID, 0, n)
 	}
+	s.parent = s.parent[:n]
 	for i := range s.parent {
 		s.parent[i] = -1
 	}
-	dist := graph.BFS(g, src)
-	for _, d := range dist {
-		if d >= 0 {
-			s.reachable++
-		}
+	s.infNbrs = s.infNbrs[:n]
+	clear(s.infNbrs)
+	s.order = s.order[:0]
+	s.boundary = s.boundary[:0]
+	s.num = 0
+	s.reachable = reachable
+	for _, src := range sources {
+		s.markInformed(src, -1)
 	}
-	s.markInformed(src, -1)
-	return s
 }
 
 // markInformed adds v to the informed set and maintains boundary counts.
 func (s *spreadState) markInformed(v, from graph.NodeID) {
-	if s.informed[v] {
+	if s.informed.get(v) {
 		return
 	}
-	s.informed[v] = true
+	s.informed.set(v)
 	s.parent[v] = from
 	s.order = append(s.order, v)
 	s.num++
 	for _, w := range s.g.Neighbors(v) {
 		s.infNbrs[w]++
-		if !s.informed[w] && !s.inBoundary[w] {
-			s.inBoundary[w] = true
+		if !s.informed.get(w) && !s.inBoundary.get(w) {
+			s.inBoundary.set(w)
 			s.boundary = append(s.boundary, w)
 		}
 	}
@@ -358,10 +376,10 @@ func (s *spreadState) markInformed(v, from graph.NodeID) {
 func (s *spreadState) compactBoundary() {
 	live := s.boundary[:0]
 	for _, v := range s.boundary {
-		if !s.informed[v] {
+		if !s.informed.get(v) {
 			live = append(live, v)
 		} else {
-			s.inBoundary[v] = false
+			s.inBoundary.clearBit(v)
 		}
 	}
 	s.boundary = live
@@ -376,7 +394,7 @@ func (s *spreadState) randomInformedNeighbor(v graph.NodeID, rng *xrand.RNG) gra
 	k := s.infNbrs[v]
 	target := rng.Int32n(k)
 	for _, w := range s.g.Neighbors(v) {
-		if s.informed[w] {
+		if s.informed.get(w) {
 			if target == 0 {
 				return w
 			}

@@ -75,6 +75,14 @@ func aliveIn(c *crashTracker, v graph.NodeID) bool {
 	return c == nil || !c.crashed[v]
 }
 
+// reset restores the tracker to its initial (pre-simulation) state,
+// reusing storage.
+func (c *crashTracker) reset() {
+	clear(c.crashed)
+	c.next = 0
+	c.n = 0
+}
+
 // progressPossible reports whether any transmission can still occur:
 // some alive uninformed node has an alive informed neighbor. It compacts
 // the boundary as a side effect.
@@ -85,7 +93,7 @@ func progressPossible(st *spreadState, c *crashTracker) bool {
 			continue
 		}
 		for _, w := range st.g.Neighbors(v) {
-			if st.informed[w] && aliveIn(c, w) {
+			if st.informed.get(w) && aliveIn(c, w) {
 				return true
 			}
 		}
@@ -113,46 +121,32 @@ func gatherSources(g *graph.Graph, src graph.NodeID, extra []graph.NodeID) ([]gr
 // newSpreadStateMulti is newSpreadState for a set of sources: all are
 // informed at time 0 and reachability is taken from their union.
 func newSpreadStateMulti(g *graph.Graph, sources []graph.NodeID) *spreadState {
+	s := &spreadState{g: g}
+	s.reset(sources, reachableFrom(g, sources))
+	return s
+}
+
+// reachableFrom returns the size of the union of the sources' connected
+// components (multi-source BFS).
+func reachableFrom(g *graph.Graph, sources []graph.NodeID) int {
 	n := g.NumNodes()
-	s := &spreadState{
-		g:          g,
-		informed:   make([]bool, n),
-		parent:     make([]graph.NodeID, n),
-		order:      make([]graph.NodeID, 0, n),
-		infNbrs:    make([]int32, n),
-		inBoundary: make([]bool, n),
-	}
-	for i := range s.parent {
-		s.parent[i] = -1
-	}
-	// Multi-source BFS for the reachable-set size.
-	dist := make([]int32, n)
-	for i := range dist {
-		dist[i] = -1
-	}
+	var visited bitSet
+	visited.reset(n)
 	queue := make([]graph.NodeID, 0, n)
 	for _, src := range sources {
-		if dist[src] < 0 {
-			dist[src] = 0
+		if !visited.get(src) {
+			visited.set(src)
 			queue = append(queue, src)
 		}
 	}
 	for head := 0; head < len(queue); head++ {
 		u := queue[head]
 		for _, v := range g.Neighbors(u) {
-			if dist[v] < 0 {
-				dist[v] = dist[u] + 1
+			if !visited.get(v) {
+				visited.set(v)
 				queue = append(queue, v)
 			}
 		}
 	}
-	for _, d := range dist {
-		if d >= 0 {
-			s.reachable++
-		}
-	}
-	for _, src := range sources {
-		s.markInformed(src, -1)
-	}
-	return s
+	return len(queue)
 }

@@ -75,6 +75,7 @@ func RunPPVariant(g *graph.Graph, src graph.NodeID, variant PPVariant, cfg SyncC
 	var newly []pending
 
 	round := 0
+	var updates int64
 	for !st.done() {
 		if round >= maxRounds {
 			res := &SyncResult{
@@ -83,20 +84,23 @@ func RunPPVariant(g *graph.Graph, src graph.NodeID, variant PPVariant, cfg SyncC
 				Parent:      st.parent,
 				NumInformed: st.num,
 				Complete:    st.num == n,
+				Updates:     updates,
 			}
 			return res, fmt.Errorf("%w: %d rounds (%v on %v)", ErrBudget, round, variant, g)
 		}
 		round++
 		newly = newly[:0]
+		updates += int64(len(st.order))
 		// Push half: identical to pp.
 		for _, v := range st.order {
 			w := g.RandomNeighbor(v, rng)
-			if !st.informed[w] && (prob >= 1 || rng.Bernoulli(prob)) {
+			if !st.informed.get(w) && (prob >= 1 || rng.Bernoulli(prob)) {
 				newly = append(newly, pending{w, v})
 			}
 		}
 		// Pull half: modified probabilities of Definitions 5/7.
 		st.compactBoundary()
+		updates += int64(len(st.boundary))
 		for _, v := range st.boundary {
 			k := st.infNbrs[v]
 			deg := g.Degree(v)
@@ -115,7 +119,7 @@ func RunPPVariant(g *graph.Graph, src graph.NodeID, variant PPVariant, cfg SyncC
 			}
 		}
 		for _, p := range newly {
-			if st.informed[p.v] {
+			if st.informed.get(p.v) {
 				continue
 			}
 			st.markInformed(p.v, p.from)
@@ -131,5 +135,6 @@ func RunPPVariant(g *graph.Graph, src graph.NodeID, variant PPVariant, cfg SyncC
 		Parent:      st.parent,
 		NumInformed: st.num,
 		Complete:    st.num == n,
+		Updates:     updates,
 	}, nil
 }

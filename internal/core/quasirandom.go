@@ -77,6 +77,7 @@ func RunQuasirandomSync(g *graph.Graph, src graph.NodeID, cfg SyncConfig, rng *x
 	type pending struct{ v, from graph.NodeID }
 	var newly []pending
 	round := 0
+	var updates int64
 	for !st.done() {
 		if round >= maxRounds {
 			res := &SyncResult{
@@ -85,30 +86,33 @@ func RunQuasirandomSync(g *graph.Graph, src graph.NodeID, cfg SyncConfig, rng *x
 				Parent:      st.parent,
 				NumInformed: st.num,
 				Complete:    st.num == n,
+				Updates:     updates,
 			}
 			return res, fmt.Errorf("%w: %d rounds (quasirandom %v on %v)", ErrBudget, round, cfg.Protocol, g)
 		}
 		round++
 		newly = newly[:0]
 		if doPush {
+			updates += int64(len(st.order))
 			for _, v := range st.order {
 				w := contact(v, round)
-				if !st.informed[w] && (prob >= 1 || rng.Bernoulli(prob)) {
+				if !st.informed.get(w) && (prob >= 1 || rng.Bernoulli(prob)) {
 					newly = append(newly, pending{w, v})
 				}
 			}
 		}
 		if doPull {
 			st.compactBoundary()
+			updates += int64(len(st.boundary))
 			for _, v := range st.boundary {
 				w := contact(v, round)
-				if st.informed[w] && (prob >= 1 || rng.Bernoulli(prob)) {
+				if st.informed.get(w) && (prob >= 1 || rng.Bernoulli(prob)) {
 					newly = append(newly, pending{v, w})
 				}
 			}
 		}
 		for _, p := range newly {
-			if st.informed[p.v] {
+			if st.informed.get(p.v) {
 				continue
 			}
 			st.markInformed(p.v, p.from)
@@ -124,5 +128,6 @@ func RunQuasirandomSync(g *graph.Graph, src graph.NodeID, cfg SyncConfig, rng *x
 		Parent:      st.parent,
 		NumInformed: st.num,
 		Complete:    st.num == n,
+		Updates:     updates,
 	}, nil
 }

@@ -19,6 +19,11 @@ import (
 // laws are statistically indistinguishable, and the benchmark suite
 // quantifies the optimization (the ablation DESIGN.md calls out).
 //
+// The oracle deliberately shares no state machinery with the optimized
+// engines: informed/boundary tracking is plain bool slices and per-draw
+// RNG calls, so a bug in the bitset arenas or batched draw paths cannot
+// hide in both engines at once.
+//
 // Cost is Θ(n) per round regardless of progress, so use it on small
 // graphs only.
 func RunSyncReference(g *graph.Graph, src graph.NodeID, cfg SyncConfig, rng *xrand.RNG) (*SyncResult, error) {
@@ -39,44 +44,99 @@ func RunSyncReference(g *graph.Graph, src graph.NodeID, cfg SyncConfig, rng *xra
 	if err != nil {
 		return nil, err
 	}
-	st := newSpreadStateMulti(g, sources)
+
+	informed := make([]bool, n)
+	parent := make([]graph.NodeID, n)
 	informedAt := make([]int32, n)
-	for i := range informedAt {
+	for i := range parent {
+		parent[i] = -1
 		informedAt[i] = -1
 	}
-	for _, s := range sources {
-		informedAt[s] = 0
+	num := 0
+	inform := func(v, from graph.NodeID, round int) {
+		informed[v] = true
+		parent[v] = from
+		informedAt[v] = int32(round)
+		num++
 		if cfg.Observer != nil {
-			cfg.Observer.OnInformed(0, s, -1)
+			cfg.Observer.OnInformed(float64(round), v, from)
 		}
+	}
+	for _, s := range sources {
+		inform(s, -1, 0)
+	}
+
+	// Reachable-set size via a plain bool-slice BFS (independent of the
+	// engines' bitset machinery).
+	reachable := 0
+	{
+		visited := make([]bool, n)
+		queue := make([]graph.NodeID, 0, n)
+		for _, s := range sources {
+			if !visited[s] {
+				visited[s] = true
+				queue = append(queue, s)
+			}
+		}
+		for head := 0; head < len(queue); head++ {
+			for _, w := range g.Neighbors(queue[head]) {
+				if !visited[w] {
+					visited[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+		reachable = len(queue)
+	}
+
+	// canProgress: some alive uninformed node has an alive informed
+	// neighbor (full scan; the oracle does not track a boundary).
+	canProgress := func() bool {
+		for v := graph.NodeID(0); int(v) < n; v++ {
+			if informed[v] || !aliveIn(crashes, v) {
+				continue
+			}
+			for _, w := range g.Neighbors(v) {
+				if informed[w] && aliveIn(crashes, w) {
+					return true
+				}
+			}
+		}
+		return false
 	}
 
 	doPush := cfg.Protocol == Push || cfg.Protocol == PushPull
 	doPull := cfg.Protocol == Pull || cfg.Protocol == PushPull
 
+	result := func(round int, updates int64) *SyncResult {
+		return &SyncResult{
+			Rounds:      round,
+			InformedAt:  informedAt,
+			Parent:      parent,
+			NumInformed: num,
+			Complete:    num == n,
+			Updates:     updates,
+		}
+	}
+
 	type pending struct{ v, from graph.NodeID }
 	var newly []pending
 	round := 0
-	for !st.done() {
+	var updates int64
+	for num < reachable {
 		if crashes != nil {
 			crashes.advance(float64(round + 1))
-			if !progressPossible(st, crashes) {
+			if !canProgress() {
 				break
 			}
 		}
 		if round >= maxRounds {
-			res := &SyncResult{
-				Rounds:      round,
-				InformedAt:  informedAt,
-				Parent:      st.parent,
-				NumInformed: st.num,
-				Complete:    st.num == n,
-			}
-			return res, fmt.Errorf("%w: %d rounds (reference sync %v on %v)", ErrBudget, round, cfg.Protocol, g)
+			return result(round, updates), fmt.Errorf("%w: %d rounds (reference sync %v on %v)", ErrBudget, round, cfg.Protocol, g)
 		}
 		round++
 		newly = newly[:0]
 		// The literal protocol: all n nodes contact simultaneously.
+		updates += int64(n)
 		for v := graph.NodeID(0); int(v) < n; v++ {
 			if g.Degree(v) == 0 || !aliveIn(crashes, v) {
 				continue
@@ -85,7 +145,7 @@ func RunSyncReference(g *graph.Graph, src graph.NodeID, cfg SyncConfig, rng *xra
 			if !aliveIn(crashes, w) {
 				continue
 			}
-			vInf, wInf := st.informed[v], st.informed[w]
+			vInf, wInf := informed[v], informed[w]
 			if vInf == wInf {
 				continue
 			}
@@ -101,21 +161,11 @@ func RunSyncReference(g *graph.Graph, src graph.NodeID, cfg SyncConfig, rng *xra
 			}
 		}
 		for _, p := range newly {
-			if st.informed[p.v] {
+			if informed[p.v] {
 				continue
 			}
-			st.markInformed(p.v, p.from)
-			informedAt[p.v] = int32(round)
-			if cfg.Observer != nil {
-				cfg.Observer.OnInformed(float64(round), p.v, p.from)
-			}
+			inform(p.v, p.from, round)
 		}
 	}
-	return &SyncResult{
-		Rounds:      round,
-		InformedAt:  informedAt,
-		Parent:      st.parent,
-		NumInformed: st.num,
-		Complete:    st.num == n,
-	}, nil
+	return result(round, updates), nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 
 	"rumor/internal/graph"
@@ -12,7 +13,10 @@ import (
 // record spreading curves, stop at a coverage threshold, or interleave
 // several processes). RunSync is implemented on top of it.
 //
-// A SyncStepper is single-use and not safe for concurrent use.
+// All working storage is arena-allocated against the graph once, and
+// Reset rewinds the stepper to round 0 for a fresh trial without
+// allocating, so a cell's trials reuse one stepper. Not safe for
+// concurrent use.
 type SyncStepper struct {
 	g          *graph.Graph
 	rng        *xrand.RNG
@@ -20,12 +24,15 @@ type SyncStepper struct {
 	informedAt []int32
 	crashes    *crashTracker
 	observer   Observer
+	sources    []graph.NodeID
 	prob       float64
 	doPush     bool
 	doPull     bool
 	round      int
+	updates    int64
 	finished   bool
 	pending    []syncPending
+	draws      []uint64
 }
 
 type syncPending struct{ v, from graph.NodeID }
@@ -53,25 +60,64 @@ func NewSyncStepper(g *graph.Graph, src graph.NodeID, cfg SyncConfig, rng *xrand
 		informedAt: make([]int32, g.NumNodes()),
 		crashes:    crashes,
 		observer:   cfg.Observer,
+		sources:    sources,
 		prob:       prob,
 		doPush:     cfg.Protocol == Push || cfg.Protocol == PushPull,
 		doPull:     cfg.Protocol == Pull || cfg.Protocol == PushPull,
 	}
+	s.startTrial()
+	return s, nil
+}
+
+// Reset rewinds the stepper to round 0 for a new trial driven by rng,
+// reusing all internal storage (steady-state trials allocate nothing).
+// Slices of results snapshotted before the Reset are invalidated: they
+// alias the stepper's arenas and will be overwritten.
+func (s *SyncStepper) Reset(rng *xrand.RNG) {
+	s.rng = rng
+	s.st.reset(s.sources, s.st.reachable)
+	if s.crashes != nil {
+		s.crashes.reset()
+	}
+	s.round = 0
+	s.updates = 0
+	s.finished = false
+	s.pending = s.pending[:0]
+	s.startTrial()
+}
+
+// startTrial stamps the sources into informedAt and notifies the observer.
+func (s *SyncStepper) startTrial() {
 	for i := range s.informedAt {
 		s.informedAt[i] = -1
 	}
-	for _, src := range sources {
+	for _, src := range s.sources {
 		s.informedAt[src] = 0
 		if s.observer != nil {
 			s.observer.OnInformed(0, src, -1)
 		}
 	}
-	return s, nil
+}
+
+// fillDraws returns a buffer of k raw 64-bit draws from the stepper's
+// generator, reusing the stepper's draw arena.
+func (s *SyncStepper) fillDraws(k int) []uint64 {
+	if cap(s.draws) < k {
+		s.draws = make([]uint64, k)
+	}
+	d := s.draws[:k]
+	s.rng.Fill(d)
+	return d
 }
 
 // Step executes one round and returns true, or returns false without
 // executing anything if the process can make no further progress (all
 // reachable nodes informed, or crashes isolated the rumor).
+//
+// Neighbor draws are batched: the round's raw 64-bit values are filled
+// into one buffer up front and reduced to each caller's degree by
+// Lemire's multiply-shift, so the generator state stays in registers and
+// the reduction needs no division.
 func (s *SyncStepper) Step() bool {
 	if s.finished {
 		return false
@@ -90,31 +136,41 @@ func (s *SyncStepper) Step() bool {
 	s.round++
 	round := int32(s.round)
 	s.pending = s.pending[:0]
+	g := s.g
 	if s.doPush {
-		for _, v := range s.st.order {
-			if !aliveIn(s.crashes, v) {
+		order := s.st.order
+		draws := s.fillDraws(len(order))
+		s.updates += int64(len(order))
+		for i, v := range order {
+			deg := uint64(g.Degree(v))
+			if deg == 0 || !aliveIn(s.crashes, v) {
 				continue
 			}
-			w := s.g.RandomNeighbor(v, s.rng)
-			if !s.st.informed[w] && aliveIn(s.crashes, w) && (s.prob >= 1 || s.rng.Bernoulli(s.prob)) {
+			w := g.Neighbor(v, int32(s.rng.Uint64nFrom(draws[i], deg)))
+			if !s.st.informed.get(w) && aliveIn(s.crashes, w) && (s.prob >= 1 || s.rng.Bernoulli(s.prob)) {
 				s.pending = append(s.pending, syncPending{w, v})
 			}
 		}
 	}
 	if s.doPull {
 		s.st.compactBoundary()
-		for _, v := range s.st.boundary {
+		boundary := s.st.boundary
+		draws := s.fillDraws(len(boundary))
+		s.updates += int64(len(boundary))
+		for i, v := range boundary {
 			if !aliveIn(s.crashes, v) {
 				continue
 			}
-			w := s.g.RandomNeighbor(v, s.rng)
-			if s.st.informed[w] && aliveIn(s.crashes, w) && (s.prob >= 1 || s.rng.Bernoulli(s.prob)) {
+			// Boundary nodes have an informed neighbor, so deg >= 1.
+			deg := uint64(g.Degree(v))
+			w := g.Neighbor(v, int32(s.rng.Uint64nFrom(draws[i], deg)))
+			if s.st.informed.get(w) && aliveIn(s.crashes, w) && (s.prob >= 1 || s.rng.Bernoulli(s.prob)) {
 				s.pending = append(s.pending, syncPending{v, w})
 			}
 		}
 	}
 	for _, p := range s.pending {
-		if s.st.informed[p.v] {
+		if s.st.informed.get(p.v) {
 			continue
 		}
 		s.st.markInformed(p.v, p.from)
@@ -133,14 +189,18 @@ func (s *SyncStepper) Round() int { return s.round }
 func (s *SyncStepper) NumInformed() int { return s.st.num }
 
 // Informed reports whether v currently knows the rumor.
-func (s *SyncStepper) Informed(v graph.NodeID) bool { return s.st.informed[v] }
+func (s *SyncStepper) Informed(v graph.NodeID) bool { return s.st.informed.get(v) }
 
 // Finished reports whether no further progress is possible.
 func (s *SyncStepper) Finished() bool {
 	return s.finished || s.st.done()
 }
 
-// Result snapshots the current state as a SyncResult.
+// Updates returns the number of node-step operations executed so far.
+func (s *SyncStepper) Updates() int64 { return s.updates }
+
+// Result snapshots the current state as a SyncResult. The slices alias
+// the stepper's arenas: they are valid until the next Reset.
 func (s *SyncStepper) Result() *SyncResult {
 	return &SyncResult{
 		Rounds:      s.round,
@@ -148,52 +208,108 @@ func (s *SyncStepper) Result() *SyncResult {
 		Parent:      s.st.parent,
 		NumInformed: s.st.num,
 		Complete:    s.st.num == s.g.NumNodes(),
+		Updates:     s.updates,
 	}
 }
 
 // AsyncStepper advances an asynchronous process one clock tick at a time
-// (global-clock view: each step a uniform node contacts a uniform
-// neighbor after an Exp(n) time increment). RunAsync with the GlobalClock
-// view is implemented on top of it.
+// using the Gillespie direct method for uniform rates: because every
+// clock in a view runs at the same rate, the next event time is one
+// Exp(total rate) draw and the next actor is one uniform draw — no
+// per-event heap. This is exact for all three views:
+//
+//   - GlobalClock / PerNodeClocks: n unit-rate node clocks superpose into
+//     a rate-n process whose ticks select a uniform node.
+//   - PerEdgeClocks: node v's deg(v) edge clocks of rate 1/deg(v) sum to
+//     rate 1, so ticks select a uniform degree-positive node, which then
+//     contacts a uniform neighbor.
+//
+// Crash schedules are handled by thinning: time keeps advancing at the
+// full rate and a crashed actor's ticks are discarded, which leaves every
+// alive clock a unit-rate Poisson process (the same law as stopping the
+// crashed clocks, as the heap-based engines in async.go do).
+//
+// Reset rewinds to time 0 for a fresh trial without allocating.
 type AsyncStepper struct {
 	g        *graph.Graph
 	rng      *xrand.RNG
 	run      *asyncRun
-	n        uint64
+	eligible []graph.NodeID // PerEdgeClocks: degree-positive nodes; nil if all are
+	rate     float64        // total tick rate of the superposed process
+	n        uint64         // size of the actor draw range
 	t        float64
 	steps    int64
 	finished bool
 }
 
 // NewAsyncStepper validates the configuration and prepares the process.
-// MaxSteps and View in cfg are ignored (the caller controls the loop; the
-// view is always GlobalClock).
+// MaxSteps in cfg is ignored — the caller controls the loop. View
+// selects the tick semantics as in RunAsync (0 means GlobalClock).
 func NewAsyncStepper(g *graph.Graph, src graph.NodeID, cfg AsyncConfig, rng *xrand.RNG) (*AsyncStepper, error) {
 	prob, err := validateCommon(g, src, cfg.Protocol, cfg.TransmitProb)
 	if err != nil {
 		return nil, err
 	}
+	view := cfg.View
+	if view == 0 {
+		view = GlobalClock
+	}
+	if !view.valid() {
+		return nil, fmt.Errorf("%w: %d", ErrBadView, int(view))
+	}
 	run, err := newAsyncRun(g, src, cfg, prob)
 	if err != nil {
 		return nil, err
 	}
-	return &AsyncStepper{g: g, rng: rng, run: run, n: uint64(g.NumNodes())}, nil
+	s := &AsyncStepper{g: g, rng: rng, run: run}
+	n := g.NumNodes()
+	if view == PerEdgeClocks {
+		for v := graph.NodeID(0); int(v) < n; v++ {
+			if g.Degree(v) > 0 {
+				s.eligible = append(s.eligible, v)
+			}
+		}
+		s.n = uint64(len(s.eligible))
+		if len(s.eligible) == n {
+			s.eligible = nil // all degree-positive: draw node IDs directly
+		}
+	} else {
+		s.n = uint64(n)
+	}
+	s.rate = float64(s.n)
+	return s, nil
+}
+
+// Reset rewinds the stepper to time 0 for a new trial driven by rng,
+// reusing all internal storage. Results snapshotted before the Reset are
+// invalidated: their slices alias the stepper's arenas.
+func (s *AsyncStepper) Reset(rng *xrand.RNG) {
+	s.rng = rng
+	s.run.reset()
+	s.t = 0
+	s.steps = 0
+	s.finished = false
 }
 
 // Step executes one clock tick and returns true, or returns false without
 // executing anything if no further progress is possible.
 func (s *AsyncStepper) Step() bool {
-	if s.finished || s.run.st.done() {
+	if s.finished || s.run.st.done() || s.n == 0 {
 		s.finished = true
 		return false
 	}
 	s.steps++
-	s.t += s.rng.Exp(float64(s.n))
+	s.t += s.rng.Exp(s.rate)
 	if s.run.tick(s.t, s.steps) {
 		s.finished = true
 		return false
 	}
-	v := graph.NodeID(s.rng.Uint64n(s.n))
+	var v graph.NodeID
+	if s.eligible != nil {
+		v = s.eligible[s.rng.Uint64n(s.n)]
+	} else {
+		v = graph.NodeID(s.rng.Uint64n(s.n))
+	}
 	if s.g.Degree(v) != 0 {
 		w := s.g.RandomNeighbor(v, s.rng)
 		s.run.contact(s.t, v, w, s.rng)
@@ -211,7 +327,7 @@ func (s *AsyncStepper) Steps() int64 { return s.steps }
 func (s *AsyncStepper) NumInformed() int { return s.run.st.num }
 
 // Informed reports whether v currently knows the rumor.
-func (s *AsyncStepper) Informed(v graph.NodeID) bool { return s.run.st.informed[v] }
+func (s *AsyncStepper) Informed(v graph.NodeID) bool { return s.run.st.informed.get(v) }
 
 // Finished reports whether no further progress is possible.
 func (s *AsyncStepper) Finished() bool {

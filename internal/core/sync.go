@@ -7,6 +7,16 @@ import (
 	"rumor/internal/xrand"
 )
 
+// DefaultMaxRounds returns the synchronous round budget RunSync applies
+// when SyncConfig.MaxRounds is zero. Exported so callers driving a
+// SyncStepper loop directly (e.g. the service's pooled steppers) can
+// enforce the same budget.
+func DefaultMaxRounds(n int) int { return defaultMaxRounds(n) }
+
+// DefaultMaxSteps is the asynchronous analogue of DefaultMaxRounds: the
+// step budget RunAsync applies when AsyncConfig.MaxSteps is zero.
+func DefaultMaxSteps(n int) int64 { return defaultMaxSteps(n) }
+
 // defaultMaxRounds returns a generous cap on synchronous rounds: far above
 // any realistic spreading time (which is O(n log n) even for push on the
 // star), yet finite so that buggy or lossy configurations terminate.

@@ -145,6 +145,30 @@ func (q *Queue) Clear() {
 	q.heap = q.heap[:0]
 }
 
+// Reset clears the queue and re-bounds the admitted ID range to
+// [0, maxID), reusing the existing storage when it is large enough. A
+// reset queue is indistinguishable from New(maxID); steppers reuse one
+// queue arena across a cell's trials this way.
+func (q *Queue) Reset(maxID int) {
+	q.Clear()
+	if maxID <= cap(q.pos) {
+		prev := len(q.pos)
+		q.pos = q.pos[:maxID]
+		// Clear only grounds IDs that were queued; positions beyond the
+		// previous bound may hold stale values from an earlier, larger
+		// incarnation.
+		for i := prev; i < maxID; i++ {
+			q.pos[i] = -1
+		}
+		return
+	}
+	pos := make([]int32, maxID)
+	for i := range pos {
+		pos[i] = -1
+	}
+	q.pos = pos
+}
+
 func (q *Queue) swap(i, j int) {
 	q.heap[i], q.heap[j] = q.heap[j], q.heap[i]
 	q.pos[q.heap[i].ID] = int32(i)

@@ -251,3 +251,78 @@ func TestPriorityPanicsOnAbsent(t *testing.T) {
 	}()
 	New(2).Priority(0)
 }
+
+func TestResetReboundsAndReuses(t *testing.T) {
+	q := New(100)
+	for i := int32(0); i < 100; i++ {
+		q.Push(i, float64(100-i))
+	}
+	// Shrink: queue behaves exactly like New(10).
+	q.Reset(10)
+	if q.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", q.Len())
+	}
+	for i := int32(0); i < 10; i++ {
+		if q.Contains(i) {
+			t.Fatalf("stale Contains(%d) after Reset", i)
+		}
+		q.Push(i, float64(i))
+	}
+	// Grow back within capacity: the re-exposed tail must be clean.
+	q.Reset(60)
+	for i := int32(0); i < 60; i++ {
+		if q.Contains(i) {
+			t.Fatalf("stale Contains(%d) after grow Reset", i)
+		}
+	}
+	for i := int32(0); i < 60; i++ {
+		q.Push(i, float64(60-i))
+	}
+	for want := int32(59); want >= 0; want-- {
+		it, ok := q.Pop()
+		if !ok || it.ID != want {
+			t.Fatalf("Pop = %v,%v, want ID %d", it, ok, want)
+		}
+	}
+	// Grow beyond capacity: fresh storage.
+	q.Reset(500)
+	q.Push(499, 1)
+	if it, ok := q.Pop(); !ok || it.ID != 499 {
+		t.Fatalf("Pop after large Reset = %v,%v", it, ok)
+	}
+}
+
+func TestResetMatchesNewRandomized(t *testing.T) {
+	rng := xrand.New(77)
+	reused := New(1)
+	for round := 0; round < 50; round++ {
+		maxID := 1 + rng.Intn(64)
+		reused.Reset(maxID)
+		fresh := New(maxID)
+		for op := 0; op < 200; op++ {
+			id := int32(rng.Intn(maxID))
+			p := rng.Float64()
+			switch rng.Intn(4) {
+			case 0:
+				reused.PushOrUpdate(id, p)
+				fresh.PushOrUpdate(id, p)
+			case 1:
+				reused.DecreaseTo(id, p)
+				fresh.DecreaseTo(id, p)
+			case 2:
+				if reused.Remove(id) != fresh.Remove(id) {
+					t.Fatal("Remove diverged")
+				}
+			case 3:
+				a, okA := reused.Pop()
+				b, okB := fresh.Pop()
+				if okA != okB || a != b {
+					t.Fatalf("Pop diverged: %v,%v vs %v,%v", a, okA, b, okB)
+				}
+			}
+			if reused.Len() != fresh.Len() {
+				t.Fatal("Len diverged")
+			}
+		}
+	}
+}

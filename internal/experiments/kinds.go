@@ -271,32 +271,35 @@ func runLemma8(ctx context.Context, cell service.CellSpec, _ *graph.Graph, _ int
 	// The sampler is inherently sequential (one rejection stream), so
 	// trial parallelism does not apply; determinism comes from the
 	// single TrialSeed-rooted stream.
+	//
+	// The truncation event A = {∀i: Z_i > α_i} is sampled exactly by
+	// memorylessness — Z_i | Z_i > α_i ≡ α_i + Exp(λ) — instead of by
+	// rejection (which would discard a 1 - e^{-λΣα} fraction of
+	// attempts). The argmin conditioning {J = j}, the substance of the
+	// lemma, stays a genuine rejection.
 	rng := xrand.New(cell.TrialSeed)
 	conditional := make([]float64, 0, cell.Trials)
 	zs := make([]float64, k)
 	attempts := 0
 	for len(conditional) < cell.Trials {
-		if err := ctx.Err(); err != nil {
-			return nil, err
+		if attempts&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 		}
 		attempts++
 		if attempts > lemma8MaxAttempts {
 			return nil, fmt.Errorf("experiments: Lemma 8 rejection sampling too slow (%d accepted after %d draws)",
 				len(conditional), attempts)
 		}
-		ok := true
 		argmin := 0
 		for i := 0; i < k; i++ {
-			zs[i] = rng.Exp(lambda)
-			if zs[i] <= alphas[i] {
-				ok = false
-				break
-			}
+			zs[i] = alphas[i] + rng.Exp(lambda)
 			if zs[i] < zs[argmin] {
 				argmin = i
 			}
 		}
-		if !ok || argmin != targetJ {
+		if argmin != targetJ {
 			continue
 		}
 		z := zs[0] - alphas[0]

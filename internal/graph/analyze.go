@@ -5,11 +5,25 @@ import (
 	"math"
 )
 
-// BFS returns the hop distance from src to every vertex, with -1 for
-// unreachable vertices.
-func BFS(g *Graph, src NodeID) []int32 {
+// BFSScratch holds the distance and queue buffers for breadth-first
+// searches, so call sites that run many searches over the same graph
+// (Diameter, connectivity sweeps) allocate once rather than per source.
+// The zero value is ready to use; it grows to fit the largest graph seen.
+type BFSScratch struct {
+	dist  []int32
+	queue []NodeID
+}
+
+// BFS fills the scratch with hop distances from src (-1 for unreachable
+// vertices) and returns the distance slice. The result aliases the
+// scratch and is overwritten by the next call.
+func (s *BFSScratch) BFS(g *Graph, src NodeID) []int32 {
 	n := g.NumNodes()
-	dist := make([]int32, n)
+	if cap(s.dist) < n {
+		s.dist = make([]int32, n)
+		s.queue = make([]NodeID, 0, n)
+	}
+	dist := s.dist[:n]
 	for i := range dist {
 		dist[i] = -1
 	}
@@ -17,7 +31,7 @@ func BFS(g *Graph, src NodeID) []int32 {
 		return dist
 	}
 	dist[src] = 0
-	queue := make([]NodeID, 0, n)
+	queue := s.queue[:0]
 	queue = append(queue, src)
 	for head := 0; head < len(queue); head++ {
 		u := queue[head]
@@ -29,29 +43,13 @@ func BFS(g *Graph, src NodeID) []int32 {
 			}
 		}
 	}
+	s.queue = queue
 	return dist
 }
 
-// IsConnected reports whether the graph is connected. The empty graph and
-// single-vertex graph are connected.
-func IsConnected(g *Graph) bool {
-	n := g.NumNodes()
-	if n <= 1 {
-		return true
-	}
-	dist := BFS(g, 0)
-	for _, d := range dist {
-		if d < 0 {
-			return false
-		}
-	}
-	return true
-}
-
-// Eccentricity returns the maximum hop distance from src to any reachable
-// vertex, and whether all vertices are reachable.
-func Eccentricity(g *Graph, src NodeID) (int32, bool) {
-	dist := BFS(g, src)
+// eccentricity is Eccentricity over a caller-provided scratch.
+func (s *BFSScratch) eccentricity(g *Graph, src NodeID) (int32, bool) {
+	dist := s.BFS(g, src)
 	var ecc int32
 	connected := true
 	for _, d := range dist {
@@ -66,17 +64,50 @@ func Eccentricity(g *Graph, src NodeID) (int32, bool) {
 	return ecc, connected
 }
 
+// BFS returns the hop distance from src to every vertex, with -1 for
+// unreachable vertices. The returned slice is freshly allocated; use
+// BFSScratch.BFS to amortize allocations over repeated searches.
+func BFS(g *Graph, src NodeID) []int32 {
+	var s BFSScratch
+	return s.BFS(g, src)
+}
+
+// IsConnected reports whether the graph is connected. The empty graph and
+// single-vertex graph are connected.
+func IsConnected(g *Graph) bool {
+	n := g.NumNodes()
+	if n <= 1 {
+		return true
+	}
+	var s BFSScratch
+	for _, d := range s.BFS(g, 0) {
+		if d < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Eccentricity returns the maximum hop distance from src to any reachable
+// vertex, and whether all vertices are reachable.
+func Eccentricity(g *Graph, src NodeID) (int32, bool) {
+	var s BFSScratch
+	return s.eccentricity(g, src)
+}
+
 // Diameter returns the exact diameter by running BFS from every vertex.
-// Cost is O(n·m); intended for small and medium graphs. Returns -1 for
+// Cost is O(n·m) time and O(n) scratch space (one shared buffer across
+// all sources); intended for small and medium graphs. Returns -1 for
 // disconnected graphs.
 func Diameter(g *Graph) int32 {
 	n := g.NumNodes()
 	if n == 0 {
 		return 0
 	}
+	var s BFSScratch
 	var diam int32
 	for v := NodeID(0); int(v) < n; v++ {
-		ecc, connected := Eccentricity(g, v)
+		ecc, connected := s.eccentricity(g, v)
 		if !connected {
 			return -1
 		}
@@ -95,7 +126,8 @@ func DiameterLowerBound(g *Graph) int32 {
 	if n == 0 {
 		return 0
 	}
-	dist := BFS(g, 0)
+	var s BFSScratch
+	dist := s.BFS(g, 0)
 	far := NodeID(0)
 	for v, d := range dist {
 		if d < 0 {
@@ -105,7 +137,7 @@ func DiameterLowerBound(g *Graph) int32 {
 			far = NodeID(v)
 		}
 	}
-	ecc, _ := Eccentricity(g, far)
+	ecc, _ := s.eccentricity(g, far)
 	return ecc
 }
 

@@ -1,0 +1,211 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"rumor/internal/xrand"
+)
+
+// naiveBuild constructs the expected CSR via maps, the slow obvious way.
+func naiveBuild(n int, edges [][2]NodeID) (map[NodeID][]NodeID, int) {
+	adj := make(map[NodeID]map[NodeID]bool)
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		if adj[u] == nil {
+			adj[u] = make(map[NodeID]bool)
+		}
+		if adj[v] == nil {
+			adj[v] = make(map[NodeID]bool)
+		}
+		adj[u][v] = true
+		adj[v][u] = true
+	}
+	out := make(map[NodeID][]NodeID, n)
+	m := 0
+	for v := NodeID(0); int(v) < n; v++ {
+		for w := range adj[v] {
+			out[v] = append(out[v], w)
+		}
+		sort.Slice(out[v], func(i, j int) bool { return out[v][i] < out[v][j] })
+		m += len(out[v])
+	}
+	return out, m / 2
+}
+
+func checkAgainstNaive(t *testing.T, g *Graph, n int, edges [][2]NodeID) {
+	t.Helper()
+	want, m := naiveBuild(n, edges)
+	if g.NumNodes() != n {
+		t.Fatalf("NumNodes = %d, want %d", g.NumNodes(), n)
+	}
+	if g.NumEdges() != m {
+		t.Fatalf("NumEdges = %d, want %d", g.NumEdges(), m)
+	}
+	for v := NodeID(0); int(v) < n; v++ {
+		got := g.Neighbors(v)
+		if len(got) != len(want[v]) {
+			t.Fatalf("node %d: %d neighbors, want %d", v, len(got), len(want[v]))
+		}
+		for i := range got {
+			if got[i] != want[v][i] {
+				t.Fatalf("node %d neighbor %d: got %d want %d", v, i, got[i], want[v][i])
+			}
+		}
+	}
+}
+
+func TestStreamedBuildMatchesNaive(t *testing.T) {
+	rng := xrand.New(1234)
+	for _, tc := range []struct{ n, m int }{
+		{0, 0}, {1, 0}, {2, 1}, {5, 4}, {33, 100}, {257, 2000}, {1000, 30000},
+	} {
+		t.Run(fmt.Sprintf("n%d_m%d", tc.n, tc.m), func(t *testing.T) {
+			b := NewBuilder(tc.n)
+			var edges [][2]NodeID
+			for len(edges) < tc.m {
+				u := NodeID(rng.Intn(tc.n))
+				v := NodeID(rng.Intn(tc.n))
+				if u == v {
+					continue
+				}
+				b.AddEdge(u, v)
+				edges = append(edges, [2]NodeID{u, v})
+				// Occasionally re-add the same edge (possibly reversed) to
+				// exercise deduplication.
+				if rng.Bernoulli(0.1) {
+					b.AddEdge(v, u)
+					edges = append(edges, [2]NodeID{v, u})
+				}
+			}
+			if b.NumPendingEdges() != len(edges) {
+				t.Fatalf("NumPendingEdges = %d, want %d", b.NumPendingEdges(), len(edges))
+			}
+			g, err := b.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkAgainstNaive(t, g, tc.n, edges)
+		})
+	}
+}
+
+func TestStreamedBuildCrossesChunkBoundary(t *testing.T) {
+	// More than 2x the chunk capacity, on a graph small enough for the
+	// naive check: forces multiple staging chunks and heavy dedup.
+	n := 300
+	m := 2*builderChunkEdges + 17
+	rng := xrand.New(9)
+	b := NewBuilder(n)
+	var edges [][2]NodeID
+	for i := 0; i < m; i++ {
+		u := NodeID(rng.Intn(n))
+		v := NodeID(rng.Intn(n))
+		if u == v {
+			v = (u + 1) % NodeID(n)
+		}
+		b.AddEdge(u, v)
+		edges = append(edges, [2]NodeID{u, v})
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstNaive(t, g, n, edges)
+}
+
+func TestStreamedBuildErrorsPreserved(t *testing.T) {
+	if _, err := NewBuilder(4).AddEdge(1, 1).Build(); err == nil {
+		t.Fatal("self loop not rejected")
+	}
+	if _, err := NewBuilder(4).AddEdge(0, 4).Build(); err == nil {
+		t.Fatal("out-of-range not rejected")
+	}
+	if _, err := NewBuilder(-1).Build(); err == nil {
+		t.Fatal("negative n not rejected")
+	}
+	// Errors stick: edges after an error are ignored, first error wins.
+	b := NewBuilder(4).AddEdge(9, 0).AddEdge(0, 1)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("deferred error lost")
+	}
+}
+
+func mustG(t testing.TB) func(*Graph, error) *Graph {
+	return func(g *Graph, err error) *Graph {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+}
+
+func TestBFSScratchReuse(t *testing.T) {
+	var s BFSScratch
+	// Same scratch across graphs of different sizes, interleaved: each
+	// result must match a fresh BFS.
+	must := mustG(t)
+	graphs := []*Graph{
+		must(Cycle(7)), must(Hypercube(4)), must(Star(33)),
+		must(Cycle(100)), must(Star(3)),
+	}
+	for _, g := range graphs {
+		for src := NodeID(0); int(src) < g.NumNodes(); src += NodeID(g.NumNodes()/3 + 1) {
+			got := s.BFS(g, src)
+			want := BFS(g, src)
+			if len(got) != len(want) {
+				t.Fatalf("%s src=%d: len %d want %d", g, src, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s src=%d dist[%d]: got %d want %d", g, src, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestDiameterUnchangedByScratchReuse(t *testing.T) {
+	must := mustG(t)
+	for _, g := range []*Graph{must(Cycle(9)), must(Hypercube(5)), must(Star(17))} {
+		// Diameter via per-source fresh eccentricity (the old code path).
+		n := g.NumNodes()
+		var slow int32
+		for v := NodeID(0); int(v) < n; v++ {
+			ecc, ok := Eccentricity(g, v)
+			if !ok {
+				t.Fatalf("%s disconnected", g)
+			}
+			if ecc > slow {
+				slow = ecc
+			}
+		}
+		if got := Diameter(g); got != slow {
+			t.Fatalf("%s: Diameter=%d, per-source max=%d", g, got, slow)
+		}
+	}
+}
+
+func BenchmarkBuildGNP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g, err := GNP(1<<14, 12.0/(1<<14), xrand.New(7))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if g.NumNodes() != 1<<14 {
+			b.Fatal("bad build")
+		}
+	}
+}
+
+func BenchmarkDiameterScratch(b *testing.B) {
+	g := mustG(b)(Hypercube(9))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d := Diameter(g); d != 9 {
+			b.Fatalf("diameter %d", d)
+		}
+	}
+}

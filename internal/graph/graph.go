@@ -8,6 +8,7 @@ package graph
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 
 	"rumor/internal/xrand"
@@ -151,12 +152,23 @@ func (g *Graph) String() string {
 // Builder accumulates edges and produces an immutable Graph. Adding the
 // same undirected edge twice is tolerated (deduplicated at Build); self
 // loops are rejected immediately.
+//
+// Edges are staged in fixed-size chunks rather than one growing slice, so
+// recording m edges never re-copies the whole edge list, and Build
+// releases each chunk as soon as it has been scattered into the CSR
+// arrays — the peak footprint stays near the final graph size even at
+// n = 10^7.
 type Builder struct {
-	n     int
-	edges [][2]NodeID
-	name  string
-	err   error
+	n      int
+	chunks [][][2]NodeID
+	m      int // total edges recorded
+	name   string
+	err    error
 }
+
+// builderChunkEdges is the capacity of every staging chunk after the
+// first (the first chunk grows by appending, so small graphs stay small).
+const builderChunkEdges = 1 << 15
 
 // NewBuilder returns a builder for a graph on n vertices (n >= 0).
 func NewBuilder(n int) *Builder {
@@ -187,69 +199,76 @@ func (b *Builder) AddEdge(u, v NodeID) *Builder {
 		b.err = fmt.Errorf("%w: {%d,%d} with n=%d", ErrOutOfRange, u, v, b.n)
 		return b
 	}
-	if u > v {
-		u, v = v, u
+	last := len(b.chunks) - 1
+	if last < 0 {
+		b.chunks = append(b.chunks, make([][2]NodeID, 0, 16))
+		last = 0
+	} else if len(b.chunks[last]) >= builderChunkEdges {
+		b.chunks = append(b.chunks, make([][2]NodeID, 0, builderChunkEdges))
+		last++
 	}
-	b.edges = append(b.edges, [2]NodeID{u, v})
+	b.chunks[last] = append(b.chunks[last], [2]NodeID{u, v})
+	b.m++
 	return b
 }
 
 // NumPendingEdges returns the number of edges recorded so far (before
 // deduplication).
-func (b *Builder) NumPendingEdges() int { return len(b.edges) }
+func (b *Builder) NumPendingEdges() int { return b.m }
 
 // Build produces the immutable graph, deduplicating parallel edges.
+//
+// Construction is streamed: a degree-counting pass over the staged
+// chunks, a prefix sum into the offsets array, a scatter pass that frees
+// each chunk once consumed, then a per-vertex sort+dedup that compacts
+// the adjacency array in place. No global edge sort, no doubling copy.
 func (b *Builder) Build() (*Graph, error) {
 	if b.err != nil {
 		return nil, b.err
 	}
-	sort.Slice(b.edges, func(i, j int) bool {
-		if b.edges[i][0] != b.edges[j][0] {
-			return b.edges[i][0] < b.edges[j][0]
-		}
-		return b.edges[i][1] < b.edges[j][1]
-	})
-	// Deduplicate in place.
-	uniq := b.edges[:0]
-	for i, e := range b.edges {
-		if i > 0 && e == b.edges[i-1] {
-			continue
-		}
-		uniq = append(uniq, e)
-	}
-	deg := make([]int64, b.n)
-	for _, e := range uniq {
-		deg[e[0]]++
-		deg[e[1]]++
-	}
 	offsets := make([]int64, b.n+1)
+	for _, c := range b.chunks {
+		for _, e := range c {
+			offsets[e[0]+1]++
+			offsets[e[1]+1]++
+		}
+	}
 	for v := 0; v < b.n; v++ {
-		offsets[v+1] = offsets[v] + deg[v]
+		offsets[v+1] += offsets[v]
 	}
 	adj := make([]NodeID, offsets[b.n])
 	cursor := make([]int64, b.n)
 	copy(cursor, offsets[:b.n])
-	for _, e := range uniq {
-		adj[cursor[e[0]]] = e[1]
-		cursor[e[0]]++
-		adj[cursor[e[1]]] = e[0]
-		cursor[e[1]]++
+	for i, c := range b.chunks {
+		for _, e := range c {
+			adj[cursor[e[0]]] = e[1]
+			cursor[e[0]]++
+			adj[cursor[e[1]]] = e[0]
+			cursor[e[1]]++
+		}
+		b.chunks[i] = nil // consumed; release before the sort pass
 	}
-	g := &Graph{offsets: offsets, adj: adj, name: b.name}
-	// Adjacency lists must be sorted: since edges were processed in
-	// (u, v) sorted order, each u-list received v's ascending, but each
-	// v-list received u's ascending too (u iterates ascending). Both are
-	// already sorted; assert cheaply in debug builds via a linear check.
+	b.chunks = nil
+	// Sort each adjacency list and drop duplicate edges, compacting in
+	// place: the write cursor never passes the read position.
+	var w int64
 	for v := 0; v < b.n; v++ {
-		nbrs := g.Neighbors(NodeID(v))
-		for i := 1; i < len(nbrs); i++ {
-			if nbrs[i-1] >= nbrs[i] {
-				sort.Slice(nbrs, func(a, c int) bool { return nbrs[a] < nbrs[c] })
-				break
+		start, end := offsets[v], offsets[v+1]
+		seg := adj[start:end]
+		slices.Sort(seg)
+		offsets[v] = w
+		last := NodeID(-1)
+		for _, x := range seg {
+			if x != last {
+				adj[w] = x
+				w++
+				last = x
 			}
 		}
 	}
-	return g, nil
+	offsets[b.n] = w
+	adj = adj[:w:w]
+	return &Graph{offsets: offsets, adj: adj, name: b.name}, nil
 }
 
 // MustBuild is Build for graphs constructed from trusted static inputs;

@@ -47,7 +47,16 @@ type Executor struct {
 	// local RunCells both funnel through Run, one instrument covers the
 	// daemon and the CLI alike.
 	Obs *Observability
+
+	// engineUpdates accumulates KindResult.Work across computed cells:
+	// total engine node updates this executor has simulated. Mirrored
+	// to rumor_engine_node_updates_total.
+	engineUpdates atomic.Int64
 }
+
+// EngineUpdates returns the total engine node updates simulated by
+// cells computed (not cache-served) through this executor.
+func (e *Executor) EngineUpdates() int64 { return e.engineUpdates.Load() }
 
 // Run executes one cell (or serves it from cache) and returns its
 // result re-indexed to index. The bool reports whether the result came
@@ -101,6 +110,8 @@ func (e *Executor) Run(ctx context.Context, index int, cell CellSpec) (*CellResu
 		}
 		return nil, false, err
 	}
+	e.engineUpdates.Add(kr.Work)
+	e.Obs.addEngineUpdates(kr.Work)
 	res := &CellResult{
 		Cell:     cell,
 		Key:      key,

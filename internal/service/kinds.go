@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"rumor/internal/core"
 	"rumor/internal/graph"
@@ -30,6 +31,11 @@ type KindResult struct {
 	Series map[string][]float64
 	// Values holds named scalar outputs.
 	Values map[string]float64
+	// Work counts the engine node updates (simulated contact decisions
+	// or clock ticks) the cell consumed — the throughput unit exported
+	// as rumor_engine_node_updates_total. Zero when a kind does not
+	// track it.
+	Work int64
 }
 
 // CellKind is a registered measurement: how to validate a cell spec's
@@ -210,6 +216,11 @@ func runTimeCell(ctx context.Context, cell CellSpec, g *graph.Graph, trialWorker
 	}
 
 	r := harness.Runner{Trials: cell.Trials, Seed: cell.TrialSeed, Workers: trialWorkers}
+	// Steppers are pooled across trials: Reset reuses the bitset and
+	// draw arenas, so steady-state trials allocate nothing. The pool
+	// is per-cell, so pooled steppers always match (g, src, cfg).
+	var pool sync.Pool
+	var work atomic.Int64
 	var times []float64
 	switch cell.Timing {
 	case TimingSync:
@@ -223,6 +234,7 @@ func runTimeCell(ctx context.Context, cell CellSpec, g *graph.Graph, trialWorker
 			ExtraSources: extra,
 			Crashes:      crashes,
 		}
+		maxRounds := core.DefaultMaxRounds(g.NumNodes())
 		times, err = r.Run(func(t int, rng *xrand.RNG) (float64, error) {
 			if err := ctx.Err(); err != nil {
 				return 0, err
@@ -235,11 +247,25 @@ func runTimeCell(ctx context.Context, cell CellSpec, g *graph.Graph, trialWorker
 			case cell.Quasirandom:
 				res, err = core.RunQuasirandomSync(g, src, cfg, rng)
 			default:
-				res, err = core.RunSync(g, src, cfg, rng)
+				var s *core.SyncStepper
+				if v := pool.Get(); v != nil {
+					s = v.(*core.SyncStepper)
+					s.Reset(rng)
+				} else if s, err = core.NewSyncStepper(g, src, cfg, rng); err != nil {
+					return 0, err
+				}
+				defer pool.Put(s)
+				for s.Step() {
+					if s.Round() >= maxRounds && !s.Finished() {
+						return 0, fmt.Errorf("%w: %d rounds (sync %v on %v)", core.ErrBudget, s.Round(), cfg.Protocol, g)
+					}
+				}
+				res = s.Result()
 			}
 			if err != nil {
 				return 0, err
 			}
+			work.Add(res.Updates)
 			if requireComplete && !res.Complete {
 				return 0, fmt.Errorf("service: graph %v is disconnected; spreading time undefined", g)
 			}
@@ -263,14 +289,35 @@ func runTimeCell(ctx context.Context, cell CellSpec, g *graph.Graph, trialWorker
 			ExtraSources: extra,
 			Crashes:      crashes,
 		}
+		// Crash schedules route through RunAsync, which picks the
+		// heap-based engine for the non-uniform clock views.
+		useStepper := len(crashes) == 0
+		maxSteps := core.DefaultMaxSteps(g.NumNodes())
 		times, err = r.Run(func(t int, rng *xrand.RNG) (float64, error) {
 			if err := ctx.Err(); err != nil {
 				return 0, err
 			}
-			res, err := core.RunAsync(g, src, cfg, rng)
-			if err != nil {
+			var res *core.AsyncResult
+			var err error
+			if useStepper {
+				var s *core.AsyncStepper
+				if v := pool.Get(); v != nil {
+					s = v.(*core.AsyncStepper)
+					s.Reset(rng)
+				} else if s, err = core.NewAsyncStepper(g, src, cfg, rng); err != nil {
+					return 0, err
+				}
+				defer pool.Put(s)
+				for s.Step() {
+					if s.Steps() >= maxSteps && !s.Finished() {
+						return 0, fmt.Errorf("%w: %d steps (async %v on %v)", core.ErrBudget, s.Steps(), cfg.Protocol, g)
+					}
+				}
+				res = s.Result()
+			} else if res, err = core.RunAsync(g, src, cfg, rng); err != nil {
 				return 0, err
 			}
+			work.Add(res.Steps)
 			if requireComplete && !res.Complete {
 				return 0, fmt.Errorf("service: graph %v is disconnected; spreading time undefined", g)
 			}
@@ -290,7 +337,7 @@ func runTimeCell(ctx context.Context, cell CellSpec, g *graph.Graph, trialWorker
 	for i, frac := range fracs {
 		cov[CoverageName(frac)] = meanOrUnreached(coverage[i])
 	}
-	return &KindResult{Times: times, Coverage: cov}, nil
+	return &KindResult{Times: times, Coverage: cov, Work: work.Load()}, nil
 }
 
 // meanOrUnreached averages a coverage series, collapsing to -1 if any

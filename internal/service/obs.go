@@ -37,6 +37,7 @@ type Observability struct {
 	rejections    *obs.Counter
 	cancellations *obs.Counter
 	jobsByState   *obs.GaugeVec // state
+	engineUpdates *obs.Counter  // node updates simulated by computed cells
 
 	// Cache tiers (collect-mirrored from CacheStats snapshots).
 	cacheHits       *obs.CounterVec // cache, tier
@@ -79,6 +80,8 @@ func NewObservability(reg *obs.Registry, log *slog.Logger) *Observability {
 		"Jobs moved to the cancelled state.")
 	o.jobsByState = reg.NewGaugeVec("rumor_scheduler_jobs",
 		"Known jobs by current state.", "state")
+	o.engineUpdates = reg.NewCounter("rumor_engine_node_updates_total",
+		"Engine node updates (simulated contact decisions and clock ticks) across computed cells — the throughput unit of the BENCH suites.")
 	o.cacheHits = reg.NewCounterVec("rumor_cache_hits_total",
 		"Cache hits by cache (result, graph) and serving tier (mem, disk).",
 		"cache", "tier")
@@ -119,6 +122,14 @@ func (o *Observability) observeCell(kind string, outcome string, d time.Duration
 	if outcome == "computed" {
 		o.cellDuration.With(kind).Observe(d.Seconds())
 	}
+}
+
+// addEngineUpdates counts engine node updates from one computed cell.
+func (o *Observability) addEngineUpdates(n int64) {
+	if o == nil || n == 0 {
+		return
+	}
+	o.engineUpdates.Add(float64(n))
 }
 
 // incRejection counts one backpressure rejection.

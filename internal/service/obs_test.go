@@ -189,6 +189,15 @@ func TestMetricsExpositionLifecycle(t *testing.T) {
 		t.Errorf("cell duration observations = %v, want 8 (computed cells only)", n)
 	}
 
+	// Engine throughput: the 8 computed cells simulated node updates
+	// and the counter moved by exactly the executor's accumulated
+	// total; the cache-served resubmit added nothing.
+	if n, ok := after.Value("rumor_engine_node_updates_total", nil); !ok || n <= 0 {
+		t.Errorf("rumor_engine_node_updates_total = %v, %v, want > 0", n, ok)
+	} else if b, _ := before.Value("rumor_engine_node_updates_total", nil); n <= b {
+		t.Errorf("rumor_engine_node_updates_total did not move: %v -> %v", b, n)
+	}
+
 	// Caches: the resubmit hit the result tier; the sync/async timing
 	// pairs share built graphs.
 	if n, ok := after.Value("rumor_cache_hits_total", map[string]string{"cache": "result", "tier": "mem"}); !ok || n != 8 {
