@@ -1,0 +1,104 @@
+package client
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestWaitCapsShift pins the backoff schedule, in particular that huge
+// attempt counts can never wrap the shift past zero into a small
+// positive delay that slips under the maxWait clamp (the pre-fix bug:
+// 100ms << 62 is a positive ~51ms).
+func TestWaitCapsShift(t *testing.T) {
+	c := &Client{backoff: 100 * time.Millisecond, maxWait: 2 * time.Second}
+	cases := []struct {
+		attempt int
+		want    time.Duration
+	}{
+		{0, 100 * time.Millisecond},
+		{1, 200 * time.Millisecond},
+		{2, 400 * time.Millisecond},
+		{4, 1600 * time.Millisecond},
+		{5, 2 * time.Second}, // 3.2s clamps to the ceiling
+		{10, 2 * time.Second},
+		{62, 2 * time.Second}, // unchecked shift wraps to +51ms here
+		{63, 2 * time.Second}, // ... and to 0 here
+		{64, 2 * time.Second},
+		{1 << 20, 2 * time.Second},
+	}
+	for _, tc := range cases {
+		if got := c.wait(tc.attempt); got != tc.want {
+			t.Errorf("wait(%d) = %v, want %v", tc.attempt, got, tc.want)
+		}
+	}
+
+	// A 1ns initial delay needs ~61 doublings to cross a huge ceiling:
+	// the loop must still terminate and clamp, never wrap negative.
+	c = &Client{backoff: 1, maxWait: time.Duration(1) << 62}
+	for _, attempt := range []int{62, 63, 100, 1 << 20} {
+		if got := c.wait(attempt); got != c.maxWait {
+			t.Errorf("wait(%d) with 1ns backoff = %v, want ceiling %v", attempt, got, c.maxWait)
+		}
+	}
+
+	// Degenerate config: zero backoff falls through to the ceiling.
+	c = &Client{backoff: 0, maxWait: time.Second}
+	if got := c.wait(3); got != time.Second {
+		t.Errorf("wait with zero backoff = %v, want 1s", got)
+	}
+}
+
+// TestRetryAfterParsing pins the Retry-After grammar: strict
+// delta-seconds, then the HTTP-date form, then the computed backoff.
+// Garbage-suffixed values like "5xyz" must not parse as five seconds
+// (the pre-fix Sscanf accepted them).
+func TestRetryAfterParsing(t *testing.T) {
+	c := &Client{backoff: 100 * time.Millisecond, maxWait: 2 * time.Second}
+	resp := func(v string) *http.Response {
+		h := make(http.Header)
+		if v != "" {
+			h.Set("Retry-After", v)
+		}
+		return &http.Response{Header: h}
+	}
+
+	cases := []struct {
+		header string
+		want   time.Duration
+	}{
+		{"", 100 * time.Millisecond},                           // absent: backoff(0)
+		{"3", 3 * time.Second},                                 // delta-seconds
+		{"0", 0},                                               // immediate retry
+		{" 2 ", 2 * time.Second},                               // tolerate surrounding space
+		{"5xyz", 100 * time.Millisecond},                       // garbage suffix: NOT 5s
+		{"-7", 100 * time.Millisecond},                         // negative: backoff
+		{"1.5", 100 * time.Millisecond},                        // fractional is not in the grammar
+		{"soon", 100 * time.Millisecond},                       // not a date either
+		{"5 5", 100 * time.Millisecond},                        // two tokens
+		{"\t6\n", 6 * time.Second},                             // trimmed whitespace
+		{"99999999999999999999999999", 100 * time.Millisecond}, // overflow
+	}
+	for _, tc := range cases {
+		if got := c.retryAfter(resp(tc.header), 0); got != tc.want {
+			t.Errorf("retryAfter(%q) = %v, want %v", tc.header, got, tc.want)
+		}
+	}
+
+	// HTTP-date in the future: a positive delay no longer than the
+	// stated horizon (it shrinks by the time elapsed since formatting).
+	future := time.Now().Add(30 * time.Second).UTC().Format(http.TimeFormat)
+	if got := c.retryAfter(resp(future), 0); got <= 0 || got > 30*time.Second {
+		t.Errorf("retryAfter(future date) = %v, want (0, 30s]", got)
+	}
+	// HTTP-date in the past: retry immediately, never a negative sleep.
+	past := time.Now().Add(-time.Hour).UTC().Format(http.TimeFormat)
+	if got := c.retryAfter(resp(past), 0); got != 0 {
+		t.Errorf("retryAfter(past date) = %v, want 0", got)
+	}
+
+	// The fallback honours the attempt count.
+	if got := c.retryAfter(resp("nonsense"), 3); got != 800*time.Millisecond {
+		t.Errorf("retryAfter fallback attempt 3 = %v, want 800ms", got)
+	}
+}

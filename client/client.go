@@ -27,6 +27,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
@@ -111,22 +112,36 @@ func sleep(ctx context.Context, d time.Duration) error {
 }
 
 // wait returns the backoff delay for the attempt-th consecutive
-// failure (attempt counts from 0).
+// failure (attempt counts from 0). The delay doubles per attempt but
+// stops doubling once it reaches the ceiling: a single unchecked
+// `backoff << attempt` wraps past zero for large attempts and can land
+// on a small positive value that slips under the ceiling clamp.
 func (c *Client) wait(attempt int) time.Duration {
-	d := c.backoff << attempt
-	if d > c.maxWait || d <= 0 {
+	d := c.backoff
+	for ; attempt > 0 && d > 0 && d < c.maxWait; attempt-- {
+		d <<= 1
+	}
+	if d <= 0 || d > c.maxWait {
 		d = c.maxWait
 	}
 	return d
 }
 
-// retryAfter honours a 429's Retry-After (seconds form), falling back
-// to the computed backoff.
+// retryAfter honours a 429's Retry-After — the delta-seconds form
+// parsed strictly (a garbage-suffixed value like "5xyz" is not five
+// seconds), then the HTTP-date form — falling back to the computed
+// backoff when the header is absent or unparseable.
 func (c *Client) retryAfter(resp *http.Response, attempt int) time.Duration {
-	if raw := resp.Header.Get("Retry-After"); raw != "" {
-		var secs int
-		if _, err := fmt.Sscanf(raw, "%d", &secs); err == nil && secs >= 0 {
-			return time.Duration(secs) * time.Second
+	if raw := strings.TrimSpace(resp.Header.Get("Retry-After")); raw != "" {
+		if secs, err := strconv.Atoi(raw); err == nil {
+			if secs >= 0 {
+				return time.Duration(secs) * time.Second
+			}
+		} else if at, err := http.ParseTime(raw); err == nil {
+			if d := time.Until(at); d > 0 {
+				return d
+			}
+			return 0
 		}
 	}
 	return c.wait(attempt)

@@ -84,3 +84,80 @@ func (b *cutBody) Read(p []byte) (int, error) {
 }
 
 func (b *cutBody) Close() error { return b.rc.Close() }
+
+// ErrPeerDown is the transport error every request to a killed peer
+// returns.
+var ErrPeerDown = errors.New("clienttest: peer is down")
+
+// PeerDownTransport simulates a peer daemon SIGKILLed mid-stream: the
+// first response from Host whose URL path contains Match is truncated
+// after After body bytes, and from that moment every request to Host —
+// including the reconnects a resuming client issues — fails with
+// ErrPeerDown. Unlike CutOnceTransport the peer never heals, so retry
+// budgets drain and callers must fail the peer over, not resume it.
+// Requests to other hosts pass through untouched, which is what a
+// shard coordinator's surviving peers need.
+type PeerDownTransport struct {
+	// Base is the underlying transport; nil means
+	// http.DefaultTransport.
+	Base http.RoundTripper
+	// Host is the "host:port" of the peer to kill (compare
+	// url.URL.Host).
+	Host string
+	// Match is the URL path substring selecting the stream to cut
+	// (e.g. "/results").
+	Match string
+	// After is how many body bytes to deliver before the kill.
+	After int64
+
+	mu     sync.Mutex
+	down   bool
+	denied atomic.Int64
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *PeerDownTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if req.URL.Host != t.Host {
+		return t.base().RoundTrip(req)
+	}
+	t.mu.Lock()
+	if t.down {
+		t.mu.Unlock()
+		t.denied.Add(1)
+		return nil, ErrPeerDown
+	}
+	if !strings.Contains(req.URL.Path, t.Match) {
+		t.mu.Unlock()
+		return t.base().RoundTrip(req)
+	}
+	// The matched stream is the kill point: mark the peer down before
+	// releasing the lock so no concurrent request slips through, then
+	// hand the caller a body that dies after its byte budget.
+	t.down = true
+	t.mu.Unlock()
+	resp, err := t.base().RoundTrip(req)
+	if err != nil {
+		return resp, err
+	}
+	resp.Body = &cutBody{rc: resp.Body, remaining: t.After}
+	return resp, nil
+}
+
+// Down reports whether the peer has been killed yet.
+func (t *PeerDownTransport) Down() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.down
+}
+
+// Denied reports how many requests were refused after the kill — a
+// failover test asserts it is positive (the client really did try the
+// dead peer again before giving up on it).
+func (t *PeerDownTransport) Denied() int64 { return t.denied.Load() }
+
+func (t *PeerDownTransport) base() http.RoundTripper {
+	if t.Base != nil {
+		return t.Base
+	}
+	return http.DefaultTransport
+}

@@ -32,10 +32,22 @@ func newResultStream(body io.ReadCloser) *ResultStream {
 	return &ResultStream{body: body, sc: sc}
 }
 
+// terminalStreamError marks a decode-side stream failure: the row
+// itself is unreadable (larger than the scanner cap, malformed JSON),
+// so reconnecting replays the same bytes and deterministically
+// re-fails. StreamResults returns it immediately instead of burning
+// the retry budget on a doomed reconnect loop.
+type terminalStreamError struct{ err error }
+
+func (e terminalStreamError) Error() string { return e.err.Error() }
+func (e terminalStreamError) Unwrap() error { return e.err }
+
 // Next returns the next cell result. It returns io.EOF when the server
 // completed the stream, an *api.Error when the stream ended with a
-// terminal error row (job failed or cancelled), and other errors on
-// transport failures (the caller may resume from the last index).
+// terminal error row (job failed or cancelled), a terminalStreamError
+// when the payload itself is undecodable (resuming cannot help), and
+// other errors on transport failures (the caller may resume from the
+// last index).
 func (s *ResultStream) Next() (*service.CellResult, error) {
 	if s.done {
 		return nil, io.EOF
@@ -43,6 +55,9 @@ func (s *ResultStream) Next() (*service.CellResult, error) {
 	if !s.sc.Scan() {
 		s.done = true
 		if err := s.sc.Err(); err != nil {
+			if errors.Is(err, bufio.ErrTooLong) {
+				return nil, terminalStreamError{fmt.Errorf("client: result row exceeds the scanner cap: %w", err)}
+			}
 			return nil, err
 		}
 		return nil, io.EOF
@@ -56,7 +71,19 @@ func (s *ResultStream) Next() (*service.CellResult, error) {
 	}
 	if err := json.Unmarshal(s.raw, &row); err != nil {
 		s.done = true
-		return nil, fmt.Errorf("client: decoding result row: %w", err)
+		// bufio.Scanner flushes the buffered tail of an errored
+		// connection as a final token, so an undecodable row can be a
+		// transport truncation rather than server garbage. Probe the
+		// scanner: a pending read error means the connection died
+		// mid-row — surface that (retryable, the resume cursor discards
+		// the partial tail); a clean end means the row itself is
+		// malformed, which no reconnect can fix.
+		if !s.sc.Scan() {
+			if terr := s.sc.Err(); terr != nil && !errors.Is(terr, bufio.ErrTooLong) {
+				return nil, terr
+			}
+		}
+		return nil, terminalStreamError{fmt.Errorf("client: decoding result row: %w", err)}
 	}
 	if row.Error != nil {
 		s.done = true
@@ -102,7 +129,10 @@ func (e callbackError) Error() string { return e.err.Error() }
 // delivered row, so rows are delivered exactly once and nothing is
 // recomputed; reconnect attempts are bounded by the client's retry
 // budget (consecutive failures with no progress). Terminal error rows
-// (job failed/cancelled) return as *api.Error.
+// (job failed/cancelled) return as *api.Error, and decode-side
+// failures (a row over the scanner cap, malformed JSON) return
+// immediately without reconnecting — replaying the same bytes cannot
+// succeed.
 func (c *Client) StreamResults(ctx context.Context, id string, after int, fn func(*service.CellResult) error) error {
 	cursor := after
 	failures := 0
@@ -127,6 +157,7 @@ func (c *Client) StreamResults(ctx context.Context, id string, after int, fn fun
 		}()
 		var cb callbackError
 		var apiErr *api.Error
+		var term terminalStreamError
 		switch {
 		case errors.Is(err, io.EOF):
 			return nil
@@ -134,6 +165,10 @@ func (c *Client) StreamResults(ctx context.Context, id string, after int, fn fun
 			return cb.err
 		case errors.As(err, &apiErr):
 			return apiErr
+		case errors.As(err, &term):
+			// Decode-side failure: the same row re-fails on every
+			// reconnect, so surface it instead of retrying.
+			return term.err
 		case ctx.Err() != nil:
 			return ctx.Err()
 		default:

@@ -1,0 +1,87 @@
+package client_test
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rumor/client"
+	"rumor/internal/service"
+)
+
+// streamServer serves one results stream per GET: a valid first row,
+// then the given bad payload, counting connections.
+func streamServer(t *testing.T, badRow string) (*client.Client, *atomic.Int64) {
+	t.Helper()
+	var conns atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasSuffix(r.URL.Path, "/results") {
+			http.NotFound(w, r)
+			return
+		}
+		conns.Add(1)
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_, _ = w.Write([]byte(`{"index":0,"key":"k0"}` + "\n"))
+		_, _ = w.Write([]byte(badRow + "\n"))
+	}))
+	t.Cleanup(ts.Close)
+	c, err := client.New(ts.URL,
+		client.WithRetries(3),
+		client.WithBackoff(time.Millisecond, 5*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, &conns
+}
+
+// TestStreamResultsMalformedRowIsTerminal: a row that cannot decode
+// re-fails identically on every reconnect, so StreamResults must
+// surface the decode error after exactly one connection instead of
+// draining the retry budget.
+func TestStreamResultsMalformedRowIsTerminal(t *testing.T) {
+	c, conns := streamServer(t, `{"index":1,`) // truncated JSON object
+	rows := 0
+	err := c.StreamResults(context.Background(), "job-1", -1, func(res *service.CellResult) error {
+		rows++
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "decoding result row") {
+		t.Fatalf("err = %v, want a decode error", err)
+	}
+	if rows != 1 {
+		t.Errorf("delivered %d rows before the bad one, want 1", rows)
+	}
+	if got := conns.Load(); got != 1 {
+		t.Errorf("opened %d connections, want 1 (decode errors must not reconnect)", got)
+	}
+}
+
+// TestStreamResultsOversizedRowIsTerminal: a row past the scanner cap
+// surfaces bufio.ErrTooLong; pre-fix that was classified as a
+// transport drop and retried into the same wall retries+1 times.
+func TestStreamResultsOversizedRowIsTerminal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("streams a >16MiB row")
+	}
+	// The scanner cap is 16MiB; pad one row past it.
+	huge := `{"index":1,"key":"` + strings.Repeat("a", 17<<20) + `"}`
+	c, conns := streamServer(t, huge)
+	rows := 0
+	err := c.StreamResults(context.Background(), "job-1", -1, func(res *service.CellResult) error {
+		rows++
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "scanner cap") {
+		t.Fatalf("err = %v, want the scanner-cap error", err)
+	}
+	if rows != 1 {
+		t.Errorf("delivered %d rows before the oversized one, want 1", rows)
+	}
+	if got := conns.Load(); got != 1 {
+		t.Errorf("opened %d connections, want 1 (oversized rows must not reconnect)", got)
+	}
+}

@@ -28,6 +28,12 @@
 //	                                 # byte-identical to the in-process path,
 //	                                 # and dropped result streams resume from
 //	                                 # their cursor without recomputation
+//	experiments -quick -peers host-a:8080,host-b:8080,host-c:8080
+//	                                 # shard every cell over a cluster of
+//	                                 # rumord peers by cell key; a peer that
+//	                                 # dies mid-suite has its unfinished cells
+//	                                 # reassigned to the survivors, and the
+//	                                 # output stays byte-identical
 package main
 
 import (
@@ -48,6 +54,7 @@ import (
 	"rumor/internal/graph"
 	"rumor/internal/obs"
 	"rumor/internal/service"
+	"rumor/internal/shard"
 	"rumor/internal/xrand"
 )
 
@@ -56,6 +63,18 @@ import (
 // transport to force a mid-suite stream reconnect).
 var newServerRunner = func(baseURL string) (service.CellRunner, error) {
 	return client.New(baseURL)
+}
+
+// newPeersRunner builds the sharding cell runner for -peers (test hook:
+// fault-injection tests swap in coordinator clients with peer-killing
+// transports to force a mid-suite failover). reg, when non-nil,
+// receives the rumor_shard_* instruments for -metrics-out.
+var newPeersRunner = func(peers []string, reg *obs.Registry) (service.CellRunner, error) {
+	cfg := shard.Config{Peers: peers}
+	if reg != nil {
+		cfg.Metrics = shard.NewMetrics(reg)
+	}
+	return shard.New(cfg)
 }
 
 // errVerdictFailed reports that an experiment contradicted the paper:
@@ -87,10 +106,43 @@ func run(args []string, stdout io.Writer) error {
 		bench      = fs.String("bench", "", "run the suite twice (cold, then warm cache) and write timing JSON to this file")
 		benchLarge = fs.Bool("bench-large", false, "with -bench: also time single sync cells on 10^6- and 10^7-node random graphs (adds minutes and ~2GB)")
 		server     = fs.String("server", "", "run every cell on a rumord server at this base URL via the client SDK (reducers still run locally; output is byte-identical to the in-process path)")
+		peersFlag  = fs.String("peers", "", "comma-separated rumord peer base URLs: shard every cell over the cluster by cell key, with failover (like -server across many daemons; output stays byte-identical)")
 		metricsOut = fs.String("metrics-out", "", "write a Prometheus metrics snapshot to this file after the suite (\"-\" = stderr); with -server, scrapes the daemon")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *peersFlag != "" {
+		if *server != "" || *cache || *cacheDir != "" || *bench != "" {
+			return fmt.Errorf("-peers is incompatible with -server/-cache/-cache-dir/-bench: the coordinator computes nothing locally; caching and timing belong to the peers")
+		}
+		// With -metrics-out the coordinator's own registry is the
+		// snapshot source: the rumor_shard_* families record how the
+		// suite's cells spread (and failed over) across the cluster.
+		var reg *obs.Registry
+		if *metricsOut != "" {
+			reg = obs.NewRegistry()
+		}
+		remote, err := newPeersRunner(strings.Split(*peersFlag, ","), reg)
+		if err != nil {
+			return err
+		}
+		cfg := experiments.Config{
+			Quick:  *quick,
+			Seed:   *seed,
+			Out:    stdout,
+			Runner: remote,
+		}
+		suiteErr := runSuite(cfg, *runID, *markdown, stdout)
+		if suiteErr != nil && !errors.Is(suiteErr, errVerdictFailed) {
+			return suiteErr
+		}
+		if *metricsOut != "" {
+			if err := writeMetricsSnapshot(*metricsOut, reg, nil); err != nil {
+				return err
+			}
+		}
+		return suiteErr
 	}
 	if *server != "" {
 		if *cache || *cacheDir != "" || *bench != "" {

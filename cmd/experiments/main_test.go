@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	neturl "net/url"
 	"os"
 	"path/filepath"
 	"strings"
@@ -16,7 +17,9 @@ import (
 	"rumor/client"
 	"rumor/client/clienttest"
 	"rumor/internal/experiments"
+	"rumor/internal/obs"
 	"rumor/internal/service"
+	"rumor/internal/shard"
 )
 
 func TestRunSingleQuickExperiment(t *testing.T) {
@@ -229,5 +232,114 @@ func TestServerModeSuiteMatchesLocalWithReconnect(t *testing.T) {
 	}
 	if local.String() != remote.String() {
 		t.Errorf("-server suite output diverged from in-process run after forced reconnect")
+	}
+}
+
+// startSuiteCluster spins up n independent rumord surfaces for -peers
+// tests and returns their base URLs.
+func startSuiteCluster(t *testing.T, n int) []string {
+	t.Helper()
+	urls := make([]string, n)
+	for i := range urls {
+		urls[i] = startSuiteServer(t)
+	}
+	return urls
+}
+
+// TestPeersModeSingleExperiment: one experiment sharded over two peers
+// matches the in-process run byte for byte, and -metrics-out dumps the
+// coordinator's rumor_shard_* families.
+func TestPeersModeSingleExperiment(t *testing.T) {
+	urls := startSuiteCluster(t, 2)
+	snap := filepath.Join(t.TempDir(), "shard.prom")
+	var local, remote bytes.Buffer
+	if err := run([]string{"-run", "E12", "-quick"}, &local); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-run", "E12", "-quick",
+		"-peers", strings.Join(urls, ","), "-metrics-out", snap}, &remote); err != nil {
+		t.Fatal(err)
+	}
+	if local.String() != remote.String() {
+		t.Errorf("-peers output diverged\nlocal:\n%s\nsharded:\n%s", local.String(), remote.String())
+	}
+	data, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"rumor_shard_peers 2", "rumor_shard_cells_total"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("metrics snapshot missing %q", want)
+		}
+	}
+}
+
+func TestPeersModeFlagConflicts(t *testing.T) {
+	for _, args := range [][]string{
+		{"-peers", "http://localhost:1", "-server", "http://localhost:2"},
+		{"-peers", "http://localhost:1", "-cache"},
+		{"-peers", "http://localhost:1", "-cache-dir", "/tmp/x"},
+		{"-peers", "http://localhost:1", "-bench", "/tmp/b.json"},
+		{"-peers", " , "},
+	} {
+		if err := run(args, io.Discard); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+// TestPeersModeSuiteSurvivesPeerKill is the churn acceptance check at
+// suite scale: the quick E1–E15 suite shards over three peers, one peer
+// is killed mid-suite (stream cut, then every request refused), and the
+// suite still finishes with output byte-identical to the in-process
+// run — the coordinator reassigns the dead peer's cells to survivors.
+func TestPeersModeSuiteSurvivesPeerKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick suite twice")
+	}
+	urls := startSuiteCluster(t, 3)
+	victim, err := neturl.Parse(urls[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	kill := &clienttest.PeerDownTransport{Host: victim.Host, Match: "/results", After: 900}
+	old := newPeersRunner
+	newPeersRunner = func(peers []string, reg *obs.Registry) (service.CellRunner, error) {
+		cfg := shard.Config{
+			Peers: peers,
+			ClientOptions: []client.Option{
+				client.WithHTTPClient(&http.Client{Transport: kill}),
+				client.WithRetries(2),
+				client.WithBackoff(time.Millisecond, 5*time.Millisecond),
+			},
+		}
+		if reg != nil {
+			cfg.Metrics = shard.NewMetrics(reg)
+		}
+		return shard.New(cfg)
+	}
+	t.Cleanup(func() { newPeersRunner = old })
+
+	var local, remote bytes.Buffer
+	if err := run([]string{"-quick"}, &local); err != nil {
+		t.Fatal(err)
+	}
+	snap := filepath.Join(t.TempDir(), "shard.prom")
+	if err := run([]string{"-quick", "-peers", strings.Join(urls, ","), "-metrics-out", snap}, &remote); err != nil {
+		t.Fatalf("sharded suite did not survive the peer kill: %v", err)
+	}
+	if !kill.Down() {
+		t.Fatal("the victim peer was never killed: the fixture did not engage")
+	}
+	if local.String() != remote.String() {
+		t.Errorf("-peers suite output diverged from in-process run after a peer kill")
+	}
+	data, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "rumor_shard_reassignments_total") ||
+		strings.Contains(string(data), "rumor_shard_reassignments_total 0\n") {
+		t.Error("metrics snapshot records no reassignments after the kill")
 	}
 }

@@ -42,11 +42,13 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -54,6 +56,7 @@ import (
 	"rumor/internal/experiments"
 	"rumor/internal/obs"
 	"rumor/internal/service"
+	"rumor/internal/shard"
 )
 
 // onListen, when non-nil, receives the bound listen address (test hook
@@ -82,6 +85,7 @@ func run(args []string) error {
 		logFormat    = fs.String("log-format", "text", "structured log format: json|text")
 		logLevel     = fs.String("log-level", "info", "log level: debug|info|warn|error")
 		pprofOn      = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		peers        = fs.String("peers", "", "comma-separated rumord peer base URLs (host:port ok); when set, this daemon coordinates: jobs shard over the peers by cell key instead of running locally")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -93,6 +97,28 @@ func run(args []string) error {
 	}
 	reg := obs.NewRegistry()
 	observ := service.NewObservability(reg, logger)
+
+	if *peers != "" {
+		if *cacheDir != "" {
+			return fmt.Errorf("-cache-dir is incompatible with -peers: a coordinator computes nothing locally, so the persistent tier belongs on the peers")
+		}
+		co, err := shard.New(shard.Config{
+			Peers:   strings.Split(*peers, ","),
+			Metrics: shard.NewMetrics(reg),
+			Log:     logger,
+		})
+		if err != nil {
+			return err
+		}
+		logger.Info("coordinating over peers", "peers", co.Peers())
+		sched := service.NewScheduler(service.SchedulerConfig{
+			QueueLimit:   *queueLimit,
+			JobRetention: *jobRetention,
+			Obs:          observ,
+			Remote:       co,
+		})
+		return serve(sched, nil, observ, logger, *addr, *pprofOn, *drainTimeout)
+	}
 
 	var results service.ResultStore
 	var tiered *service.TieredResultCache
@@ -138,10 +164,18 @@ func run(args []string) error {
 		Graphs:       graphs,
 		Obs:          observ,
 	})
+	return serve(sched, tiered, observ, logger, *addr, *pprofOn, *drainTimeout)
+}
+
+// serve mounts the HTTP surface on sched and runs until SIGINT/SIGTERM
+// drains it. tiered, when non-nil, is flushed after the drain. Both the
+// compute mode and the -peers coordinator mode funnel through here: the
+// surfaces are identical, only what is behind the scheduler differs.
+func serve(sched *service.Scheduler, tiered *service.TieredResultCache, observ *service.Observability, logger *slog.Logger, addr string, pprofOn bool, drainTimeout time.Duration) error {
 	api := service.NewServer(sched, service.WithObservability(observ))
 	experiments.Mount(api, sched)
 	handler := http.Handler(api)
-	if *pprofOn {
+	if pprofOn {
 		// Explicit handler registrations rather than the package's
 		// DefaultServeMux side effects, so profiling is opt-in and the
 		// API mux stays authoritative for every other path.
@@ -154,13 +188,13 @@ func run(args []string) error {
 		outer.Handle("/", api)
 		handler = outer
 	}
-	srv := &http.Server{Addr: *addr, Handler: handler}
+	srv := &http.Server{Addr: addr, Handler: handler}
 
-	ln, err := net.Listen("tcp", *addr)
+	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	logger.Info("listening", "addr", ln.Addr().String(), "pprof", *pprofOn)
+	logger.Info("listening", "addr", ln.Addr().String(), "pprof", pprofOn)
 	if onListen != nil {
 		onListen(ln.Addr())
 	}
@@ -178,7 +212,7 @@ func run(args []string) error {
 	}
 
 	logger.Info("draining", "timeout", drainTimeout.String())
-	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(drainCtx); err != nil {
 		logger.Warn("http shutdown", "error", err.Error())

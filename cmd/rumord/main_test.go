@@ -7,13 +7,16 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/httptest"
 	"os"
+	"strings"
 	"syscall"
 	"testing"
 	"time"
 
 	"rumor/client"
 	"rumor/client/clienttest"
+	"rumor/internal/experiments"
 	"rumor/internal/service"
 )
 
@@ -201,6 +204,82 @@ func TestRumordServesAndDrainsOnSIGTERM(t *testing.T) {
 	}
 	if cells != 1 || outcome.ID != "E12" || outcome.Verdict == "" || outcome.Verdict == "FAILED" {
 		t.Fatalf("experiment run: %d cells, outcome %+v", cells, outcome)
+	}
+
+	stopRumord(t, errCh)
+}
+
+// startPeerDaemons spins up n full rumord HTTP surfaces in-process
+// (the same scheduler + server + experiments stack run() builds) and
+// returns their base URLs — peers for the -peers coordinator mode.
+func startPeerDaemons(t *testing.T, n int) []string {
+	t.Helper()
+	urls := make([]string, n)
+	for i := range urls {
+		sched := service.NewScheduler(service.SchedulerConfig{
+			Workers: 2,
+			Results: service.NewResultCache(256),
+			Graphs:  service.NewGraphCache(8),
+		})
+		srv := service.NewServer(sched)
+		experiments.Mount(srv, sched)
+		ts := httptest.NewServer(srv)
+		t.Cleanup(func() {
+			ts.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			_ = sched.Shutdown(ctx)
+		})
+		urls[i] = ts.URL
+	}
+	return urls
+}
+
+// TestRumordShardedEndToEnd: a rumord started with -peers coordinates
+// instead of computing — the job shards over three peer daemons and the
+// NDJSON stream a client reads off the coordinator is byte-identical to
+// a single-node (in-process executor) run of the same cells.
+func TestRumordShardedEndToEnd(t *testing.T) {
+	peers := startPeerDaemons(t, 3)
+	c, errCh := startRumord(t, "-peers", strings.Join(peers, ","))
+	ctx := context.Background()
+
+	spec := service.JobSpec{
+		Families:  []string{"hypercube", "complete", "star", "cycle"},
+		Sizes:     []int{32, 64},
+		Protocols: []string{"push-pull", "push"},
+		Timings:   []string{service.TimingSync, service.TimingAsync},
+		Trials:    6,
+		Seed:      13,
+	}
+	cells := spec.Cells()
+
+	exec := &service.Executor{Graphs: service.NewGraphCache(0)}
+	want, err := exec.RunCells(ctx, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantBytes bytes.Buffer
+	enc := json.NewEncoder(&wantBytes)
+	enc.SetEscapeHTML(false)
+	for _, res := range want {
+		if err := enc.Encode(res); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if wire := submitAndStream(t, c, spec); !bytes.Equal(wire, wantBytes.Bytes()) {
+		t.Errorf("sharded wire stream differs from single-node bytes\nwire:        %s\nsingle-node: %s",
+			wire, wantBytes.Bytes())
+	}
+
+	// The coordinator's own metrics surface must show the shard families.
+	metrics, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metrics.CellsComputed != int64(len(cells)) {
+		t.Errorf("coordinator counted %d cells, want %d", metrics.CellsComputed, len(cells))
 	}
 
 	stopRumord(t, errCh)

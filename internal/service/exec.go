@@ -21,6 +21,18 @@ type CellRunner interface {
 	RunCells(ctx context.Context, cells []CellSpec) ([]*CellResult, error)
 }
 
+// CellStreamer is an optional CellRunner extension for incremental
+// delivery: fn (which may be nil) is invoked as each result completes,
+// in completion order — not canonical order — and the returned slice
+// is the same canonical-order batch RunCells returns. The scheduler's
+// remote-delegation path prefers it so streaming consumers (NDJSON
+// cursors, SSE watchers) observe per-cell progress instead of one
+// burst at batch end.
+type CellStreamer interface {
+	CellRunner
+	StreamCells(ctx context.Context, cells []CellSpec, fn func(*CellResult) error) ([]*CellResult, error)
+}
+
 // Executor runs single cells through the two-tier cache: result hits
 // return immediately, graph hits skip adjacency construction, and
 // misses run the cell's kind. The rumord scheduler workers, the

@@ -61,6 +61,14 @@ type SchedulerConfig struct {
 	// Obs instruments the scheduler and executor (queue wait, cell
 	// latency, rejections, job lifecycle logs); nil disables it.
 	Obs *Observability
+	// Remote, when non-nil, delegates every job's cells to it instead of
+	// the local worker pool — the coordinator mode behind rumord -peers:
+	// the daemon keeps its whole HTTP surface (jobs, result streams, SSE
+	// watchers, idempotent replay) but the cells run on peer daemons. A
+	// Remote that also implements CellStreamer delivers results
+	// incrementally, so cursor streams and watchers observe per-cell
+	// progress exactly as they do against the local pool.
+	Remote CellRunner
 }
 
 // task is one pending cell of one job.
@@ -99,6 +107,7 @@ func (h *taskHeap) Pop() interface{} {
 // per-job cancellation, explicit backpressure, and graceful drain.
 type Scheduler struct {
 	exec       Executor
+	remote     CellRunner // non-nil delegates jobs to peers (see SchedulerConfig.Remote)
 	workers    int
 	queueLimit int
 	retention  int
@@ -141,6 +150,7 @@ func NewScheduler(cfg SchedulerConfig) *Scheduler {
 			TrialWorkers: cfg.TrialWorkers,
 			Obs:          cfg.Obs,
 		},
+		remote:     cfg.Remote,
 		workers:    workers,
 		queueLimit: queueLimit,
 		retention:  retention,
@@ -298,9 +308,18 @@ func (s *Scheduler) enqueue(spec JobSpec, cells []CellSpec, idemKey string) (*Jo
 	if idemKey != "" {
 		s.idem[idemKey] = idemEntry{jobID: job.id, specHash: specHash}
 	}
-	now := time.Now()
-	for i := range cells {
-		heap.Push(&s.pending, task{job: job, index: i, enqueuedAt: now})
+	if s.remote != nil {
+		// Delegated job: cells never touch the local heap — one goroutine
+		// per job drives the remote runner and feeds completions back
+		// through the same Job state machine the workers use, so every
+		// observer (WaitCell, Watch, the NDJSON cursor) is none the wiser.
+		s.wg.Add(1)
+		go s.runRemote(job)
+	} else {
+		now := time.Now()
+		for i := range cells {
+			heap.Push(&s.pending, task{job: job, index: i, enqueuedAt: now})
+		}
 	}
 	s.pruneJobsLocked()
 	s.cond.Broadcast()
@@ -471,6 +490,47 @@ func (s *Scheduler) runTask(t task) {
 		return
 	}
 	job.completeCell(t.index, res, cached)
+}
+
+// runRemote drives one delegated job against the remote runner. A
+// streaming remote (CellStreamer) completes cells as their results
+// land; a plain CellRunner completes them in one burst at the end.
+// Remote results arrive indexed by the job's canonical cell order, so
+// they slot straight into the Job's result array.
+func (s *Scheduler) runRemote(job *Job) {
+	defer s.wg.Done()
+	if !job.startCell() {
+		return // cancelled before the remote run began
+	}
+	deliver := func(res *CellResult) error {
+		if res.Index < 0 || res.Index >= len(job.cells) {
+			return fmt.Errorf("service: remote returned index %d for a %d-cell job", res.Index, len(job.cells))
+		}
+		s.mu.Lock()
+		s.cellsRun++
+		s.mu.Unlock()
+		job.completeCell(res.Index, res, false)
+		return nil
+	}
+	var err error
+	if streamer, ok := s.remote.(CellStreamer); ok {
+		_, err = streamer.StreamCells(job.ctx, job.cells, deliver)
+	} else {
+		var results []*CellResult
+		results, err = s.remote.RunCells(job.ctx, job.cells)
+		for _, res := range results {
+			if err != nil {
+				break
+			}
+			err = deliver(res)
+		}
+	}
+	if err != nil && job.ctx.Err() == nil {
+		s.mu.Lock()
+		s.cellErrors++
+		s.mu.Unlock()
+		job.failJob(err)
+	}
 }
 
 // Metrics is the scheduler's /metricsz snapshot.
@@ -800,6 +860,29 @@ func (j *Job) completeCell(i int, res *CellResult, cached bool) {
 		if l := j.sched.obs.logger(); l != nil {
 			l.Info("job done", "job_id", j.id, "cells", len(j.cells), "cache_hits", hits)
 		}
+	}
+}
+
+// failJob moves the job to failed with a job-level error — a remote
+// delegation failure has no single culprit cell, unlike a worker-pool
+// cell error (see fail).
+func (j *Job) failJob(err error) {
+	j.mu.Lock()
+	if j.state == JobDone || j.state == JobFailed || j.state == JobCancelled {
+		j.mu.Unlock()
+		return
+	}
+	j.state = JobFailed
+	j.err = err
+	close(j.terminal)
+	j.notifyLocked()
+	j.mu.Unlock()
+	j.cancel()
+	if j.sched != nil {
+		if l := j.sched.obs.logger(); l != nil {
+			l.Warn("job failed", "job_id", j.id, "error", err.Error())
+		}
+		j.sched.purgeJob(j)
 	}
 }
 

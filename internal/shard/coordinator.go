@@ -1,0 +1,272 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"rumor/client"
+	"rumor/internal/api"
+	"rumor/internal/service"
+)
+
+// Config configures a Coordinator.
+type Config struct {
+	// Peers are the rumord peer base URLs. A bare "host:port" is
+	// normalized to "http://host:port". At least one peer is required.
+	Peers []string
+	// Replicas is the number of virtual ring points per peer;
+	// 0 selects DefaultReplicas.
+	Replicas int
+	// ClientOptions are applied to every peer's SDK client (custom
+	// transports for fault injection, retry/backoff tuning). The
+	// client's retry budget doubles as the peer-death detector: a peer
+	// whose stream cannot be resumed within the budget is failed over.
+	ClientOptions []client.Option
+	// Metrics instruments the coordinator (rumor_shard_* families);
+	// nil disables.
+	Metrics *Metrics
+	// Log receives reassignment and failover events; nil disables.
+	Log *slog.Logger
+}
+
+// Coordinator shards explicit cell lists over rumord peers. It is safe
+// for concurrent use: each batch works on its own clone of the ring,
+// so one batch's failovers never condemn a peer for later batches (a
+// restarted peer is simply used again).
+type Coordinator struct {
+	ring    *Ring
+	clients map[string]*client.Client
+	obs     *Metrics
+	log     *slog.Logger
+}
+
+// New validates the peer list and returns a coordinator.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Peers) == 0 {
+		return nil, fmt.Errorf("shard: no peers")
+	}
+	co := &Coordinator{
+		ring:    NewRing(cfg.Replicas),
+		clients: make(map[string]*client.Client, len(cfg.Peers)),
+		obs:     cfg.Metrics,
+		log:     cfg.Log,
+	}
+	for _, raw := range cfg.Peers {
+		u := strings.TrimSpace(raw)
+		if u == "" {
+			continue
+		}
+		if !strings.Contains(u, "://") {
+			u = "http://" + u
+		}
+		u = strings.TrimRight(u, "/")
+		if co.ring.Has(u) {
+			return nil, fmt.Errorf("shard: duplicate peer %s", u)
+		}
+		c, err := client.New(u, cfg.ClientOptions...)
+		if err != nil {
+			return nil, fmt.Errorf("shard: peer %q: %w", raw, err)
+		}
+		co.ring.Add(u)
+		co.clients[u] = c
+	}
+	if co.ring.Len() == 0 {
+		return nil, fmt.Errorf("shard: no peers")
+	}
+	co.obs.setPeers(co.ring.Len())
+	return co, nil
+}
+
+// Peers returns the normalized peer URLs, sorted.
+func (co *Coordinator) Peers() []string { return co.ring.Peers() }
+
+// RunCells implements service.CellRunner: the cells run sharded over
+// the peers and come back indexed like the input, byte-identical to
+// what a single daemon (or an in-process Executor) computes for the
+// same specs.
+func (co *Coordinator) RunCells(ctx context.Context, cells []service.CellSpec) ([]*service.CellResult, error) {
+	return co.StreamCells(ctx, cells, nil)
+}
+
+// fatalError marks an error that must abort the whole batch rather
+// than fail over a peer: the coordinator's own delivery callback
+// rejected a result. Wrapping it keeps it distinguishable from the
+// transport errors StreamResults reports on a dead peer.
+type fatalError struct{ err error }
+
+func (e fatalError) Error() string { return e.err.Error() }
+func (e fatalError) Unwrap() error { return e.err }
+
+// isPeerFailure classifies a partition error: transport-shaped
+// failures (connection refused, a resume budget drained against a
+// dead peer) fail the peer over; everything that would reproduce on
+// any peer — a typed API error (bad spec, failed job), a cancelled
+// context, a delivery-callback rejection — aborts the batch.
+func isPeerFailure(err error) bool {
+	var apiErr *api.Error
+	var fatal fatalError
+	switch {
+	case errors.As(err, &fatal),
+		errors.As(err, &apiErr),
+		errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded):
+		return false
+	}
+	return true
+}
+
+// StreamCells implements service.CellStreamer: it partitions the
+// cells over the ring by canonical cell key, runs one idempotent job
+// per peer concurrently, and invokes fn (if non-nil) once per cell as
+// results land — exactly once, even across failovers. When a peer
+// dies mid-batch it is removed from the (batch-local) ring and its
+// unfinished cells are re-partitioned over the survivors; cells the
+// dead peer already delivered are kept, and any cell a dying peer
+// manages to deliver late is deduplicated by the merge (results are
+// content-addressed, so the copies are identical). The batch fails
+// only when every peer has died or a non-transport error occurs.
+func (co *Coordinator) StreamCells(ctx context.Context, cells []service.CellSpec, fn func(*service.CellResult) error) ([]*service.CellResult, error) {
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("shard: no cells")
+	}
+	results := make([]*service.CellResult, len(cells))
+	var mu sync.Mutex // guards results and fn
+	deliver := func(peer string, global int, res *service.CellResult) error {
+		out := *res
+		out.Index = global
+		mu.Lock()
+		defer mu.Unlock()
+		if prev := results[global]; prev != nil {
+			// Double-computed (a reassignment raced a slow delivery):
+			// content-addressing guarantees the copies agree, so keep
+			// the first and count the discard.
+			if prev.Key != out.Key {
+				return fatalError{fmt.Errorf("shard: cell %d key mismatch across peers: %s vs %s", global, prev.Key, out.Key)}
+			}
+			co.obs.incDuplicate()
+			return nil
+		}
+		results[global] = &out
+		co.obs.incCell(peer)
+		if fn != nil {
+			if err := fn(&out); err != nil {
+				return fatalError{err}
+			}
+		}
+		return nil
+	}
+
+	ring := co.ring.Clone()
+	pending := make([]int, len(cells))
+	for i := range cells {
+		pending[i] = i
+	}
+	for round := 0; len(pending) > 0; round++ {
+		if ring.Len() == 0 {
+			return nil, fmt.Errorf("shard: all %d peers failed with %d of %d cells unfinished",
+				len(co.clients), len(pending), len(cells))
+		}
+		// Partition the unfinished cells over the live ring. Keys, not
+		// indices, drive placement, so any coordinator with the same
+		// peer set routes a cell identically.
+		parts := make(map[string][]int, ring.Len())
+		for _, i := range pending {
+			peer, _ := ring.Owner(cells[i].Key())
+			parts[peer] = append(parts[peer], i)
+		}
+		peers := make([]string, 0, len(parts))
+		for p := range parts {
+			peers = append(peers, p)
+		}
+		sort.Strings(peers)
+
+		errs := make([]error, len(peers))
+		var wg sync.WaitGroup
+		for pi, peer := range peers {
+			co.obs.addAssigned(peer, len(parts[peer]))
+			if round > 0 {
+				co.obs.addReassigned(len(parts[peer]))
+			}
+			wg.Add(1)
+			go func(pi int, peer string) {
+				defer wg.Done()
+				errs[pi] = co.runPartition(ctx, peer, cells, parts[peer], deliver)
+			}(pi, peer)
+		}
+		wg.Wait()
+
+		for pi, err := range errs {
+			if err == nil {
+				continue
+			}
+			if !isPeerFailure(err) {
+				if ctx.Err() != nil {
+					return nil, ctx.Err()
+				}
+				var fatal fatalError
+				if errors.As(err, &fatal) {
+					return nil, fatal.err
+				}
+				return nil, fmt.Errorf("shard: peer %s: %w", peers[pi], err)
+			}
+			// The peer died: take it off this batch's ring; its
+			// undelivered cells go back to pending below.
+			ring.Remove(peers[pi])
+			co.obs.incPeerFailure(peers[pi])
+			if co.log != nil {
+				co.log.Warn("shard peer failed, reassigning its unfinished cells",
+					"peer", peers[pi], "error", err.Error(), "survivors", ring.Len())
+			}
+		}
+
+		mu.Lock()
+		live := pending[:0]
+		for _, i := range pending {
+			if results[i] == nil {
+				live = append(live, i)
+			}
+		}
+		pending = live
+		mu.Unlock()
+	}
+	return results, nil
+}
+
+// runPartition runs one peer's share as a single idempotent job:
+// submit keyed by the partition's spec hash (a retry or a second
+// coordinator binds to the same server-side job), then stream the
+// results back with the SDK's cursor resume, re-indexing each
+// partition-local row to its global cell index.
+func (co *Coordinator) runPartition(ctx context.Context, peer string, cells []service.CellSpec, idx []int, deliver func(string, int, *service.CellResult) error) error {
+	sub := make([]service.CellSpec, len(idx))
+	for j, i := range idx {
+		sub[j] = cells[i]
+	}
+	cl := co.clients[peer]
+	start := time.Now()
+	defer func() { co.obs.observeStream(peer, time.Since(start)) }()
+	st, err := cl.SubmitJob(ctx, service.JobSpec{CellList: sub},
+		client.WithIdempotencyKey(client.CellsIdempotencyKey(sub)))
+	if err != nil {
+		return err
+	}
+	return cl.StreamResults(ctx, st.ID, -1, func(res *service.CellResult) error {
+		if res.Index < 0 || res.Index >= len(idx) {
+			return fatalError{fmt.Errorf("shard: peer %s returned index %d for a %d-cell partition", peer, res.Index, len(idx))}
+		}
+		return deliver(peer, idx[res.Index], res)
+	})
+}
+
+// Compile-time checks: the coordinator is a drop-in cell runner with
+// streaming delivery.
+var (
+	_ service.CellRunner   = (*Coordinator)(nil)
+	_ service.CellStreamer = (*Coordinator)(nil)
+)

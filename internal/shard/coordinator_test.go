@@ -1,0 +1,309 @@
+package shard_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sync"
+	"testing"
+	"time"
+
+	"rumor/client"
+	"rumor/client/clienttest"
+	"rumor/internal/api"
+	"rumor/internal/experiments"
+	"rumor/internal/obs"
+	"rumor/internal/service"
+	"rumor/internal/shard"
+)
+
+// startPeers spins up n full rumord HTTP surfaces in-process and
+// returns their base URLs.
+func startPeers(t *testing.T, n int) []string {
+	t.Helper()
+	urls := make([]string, n)
+	for i := range urls {
+		sched := service.NewScheduler(service.SchedulerConfig{
+			Workers: 2,
+			Results: service.NewResultCache(0),
+			Graphs:  service.NewGraphCache(0),
+		})
+		srv := service.NewServer(sched)
+		experiments.Mount(srv, sched)
+		ts := httptest.NewServer(srv)
+		t.Cleanup(func() {
+			ts.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			_ = sched.Shutdown(ctx)
+		})
+		urls[i] = ts.URL
+	}
+	return urls
+}
+
+func testCells(t *testing.T) []service.CellSpec {
+	t.Helper()
+	spec := service.JobSpec{
+		Families:  []string{"hypercube", "complete", "star", "cycle"},
+		Sizes:     []int{32, 64},
+		Protocols: []string{"push-pull", "push"},
+		Timings:   []string{service.TimingSync, service.TimingAsync},
+		Trials:    6,
+		Seed:      13,
+	}
+	return spec.Cells()
+}
+
+// marshalResults renders results the way the NDJSON wire does — the
+// byte-identity unit.
+func marshalResults(t *testing.T, results []*service.CellResult) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	for _, res := range results {
+		if err := enc.Encode(res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// localReference computes the same cells in-process.
+func localReference(t *testing.T, cells []service.CellSpec) []byte {
+	t.Helper()
+	exec := &service.Executor{Graphs: service.NewGraphCache(0)}
+	want, err := exec.RunCells(context.Background(), cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return marshalResults(t, want)
+}
+
+func TestNewValidatesPeers(t *testing.T) {
+	if _, err := shard.New(shard.Config{}); err == nil {
+		t.Error("empty peer list accepted")
+	}
+	if _, err := shard.New(shard.Config{Peers: []string{" ", ""}}); err == nil {
+		t.Error("blank peer list accepted")
+	}
+	if _, err := shard.New(shard.Config{Peers: []string{"http://h:1", "h:1"}}); err == nil {
+		t.Error("duplicate peer (after normalization) accepted")
+	}
+	co, err := shard.New(shard.Config{Peers: []string{"host-a:9101", "http://host-b:9102/"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := co.Peers()
+	want := []string{"http://host-a:9101", "http://host-b:9102"}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("normalized peers = %v, want %v", got, want)
+	}
+}
+
+// TestShardedRunMatchesSingleNode: the tentpole's determinism
+// contract — 3 peers, one batch, byte-identical to the in-process
+// executor, every cell delivered exactly once, and work actually
+// spread over more than one peer.
+func TestShardedRunMatchesSingleNode(t *testing.T) {
+	urls := startPeers(t, 3)
+	reg := obs.NewRegistry()
+	co, err := shard.New(shard.Config{Peers: urls, Metrics: shard.NewMetrics(reg)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := testCells(t)
+
+	var mu sync.Mutex
+	delivered := make(map[int]int)
+	got, err := co.StreamCells(context.Background(), cells, func(res *service.CellResult) error {
+		mu.Lock()
+		delivered[res.Index]++
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cells {
+		if delivered[i] != 1 {
+			t.Errorf("cell %d delivered %d times, want exactly once", i, delivered[i])
+		}
+	}
+	if want, gotB := localReference(t, cells), marshalResults(t, got); !bytes.Equal(want, gotB) {
+		t.Errorf("sharded results differ from single-node run\nlocal:  %s\nshard:  %s", want, gotB)
+	}
+
+	// The ring must have spread the batch: with 32 cells on 3 peers,
+	// at least two peers served results.
+	families, err := obs.ParseText(bytes.NewReader(scrape(t, reg)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := 0
+	var total float64
+	if fam := families["rumor_shard_cells_total"]; fam != nil {
+		for _, s := range fam.Samples {
+			if s.Value > 0 {
+				served++
+				total += s.Value
+			}
+		}
+	}
+	if served < 2 {
+		t.Errorf("only %d peers served cells: ring did not spread the batch", served)
+	}
+	if int(total) != len(cells) {
+		t.Errorf("rumor_shard_cells_total sums to %v, want %d", total, len(cells))
+	}
+}
+
+// scrape renders the registry to Prometheus text.
+func scrape(t *testing.T, reg *obs.Registry) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestFailoverOnPeerKilledMidStream is the churn acceptance test: one
+// peer is SIGKILL-simulated mid-stream (its result stream truncated
+// and every later request refused), and the coordinator must reassign
+// its unfinished cells to the survivors, deliver every cell exactly
+// once, and still produce byte-identical merged output.
+func TestFailoverOnPeerKilledMidStream(t *testing.T) {
+	urls := startPeers(t, 3)
+	victim, err := url.Parse(urls[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	kill := &clienttest.PeerDownTransport{Host: victim.Host, Match: "/results", After: 400}
+	reg := obs.NewRegistry()
+	co, err := shard.New(shard.Config{
+		Peers:   urls,
+		Metrics: shard.NewMetrics(reg),
+		ClientOptions: []client.Option{
+			client.WithHTTPClient(&http.Client{Transport: kill}),
+			client.WithRetries(2),
+			client.WithBackoff(time.Millisecond, 5*time.Millisecond),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := testCells(t)
+
+	var mu sync.Mutex
+	delivered := make(map[int]int)
+	got, err := co.StreamCells(context.Background(), cells, func(res *service.CellResult) error {
+		mu.Lock()
+		delivered[res.Index]++
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("sharded run did not survive the peer kill: %v", err)
+	}
+	if !kill.Down() {
+		t.Fatal("the victim peer was never killed: the fixture did not engage")
+	}
+	if kill.Denied() == 0 {
+		t.Error("no requests were refused after the kill: the client never retried the dead peer")
+	}
+
+	// Exactly-once delivery across the failover.
+	for i := range cells {
+		if delivered[i] != 1 {
+			t.Errorf("cell %d delivered %d times across failover, want exactly once", i, delivered[i])
+		}
+	}
+	// Byte-identical merged output.
+	if want, gotB := localReference(t, cells), marshalResults(t, got); !bytes.Equal(want, gotB) {
+		t.Errorf("post-failover results differ from single-node run")
+	}
+
+	// The instruments must record the event: a peer failure and a
+	// positive reassignment count.
+	families, err := obs.ParseText(bytes.NewReader(scrape(t, reg)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := families.Value("rumor_shard_reassignments_total", nil); !ok || v == 0 {
+		t.Errorf("rumor_shard_reassignments_total = %v, %v; want > 0", v, ok)
+	}
+	if failures, _ := families.Sum("rumor_shard_peer_failures_total"); failures == 0 {
+		t.Error("rumor_shard_peer_failures_total recorded nothing")
+	}
+}
+
+// TestAllPeersDead: when every peer is unreachable the batch fails
+// with a clear error instead of spinning.
+func TestAllPeersDead(t *testing.T) {
+	// A closed listener: connection refused for every request.
+	ts := httptest.NewServer(http.NotFoundHandler())
+	deadURL := ts.URL
+	ts.Close()
+	co, err := shard.New(shard.Config{
+		Peers: []string{deadURL},
+		ClientOptions: []client.Option{
+			client.WithRetries(1),
+			client.WithBackoff(time.Millisecond, 2*time.Millisecond),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := testCells(t)[:2]
+	if _, err := co.RunCells(context.Background(), cells); err == nil {
+		t.Fatal("batch against a dead cluster succeeded")
+	}
+}
+
+// TestBadSpecIsFatalNotFailover: a spec every peer would reject must
+// abort the batch as a typed API error, not burn through the cluster
+// as a chain of "peer failures".
+func TestBadSpecIsFatalNotFailover(t *testing.T) {
+	urls := startPeers(t, 2)
+	co, err := shard.New(shard.Config{Peers: urls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []service.CellSpec{{Family: "no-such-family", N: 8, Protocol: "push", Timing: "sync", Trials: 1}}
+	_, err = co.RunCells(context.Background(), bad)
+	if !api.IsCode(err, api.CodeInvalidSpec) {
+		t.Fatalf("err = %v, want the typed invalid_spec error", err)
+	}
+}
+
+// TestContextCancellation: cancelling the batch context surfaces
+// context.Canceled promptly rather than a failover cascade.
+func TestContextCancellation(t *testing.T) {
+	urls := startPeers(t, 2)
+	co, err := shard.New(shard.Config{Peers: urls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := co.RunCells(ctx, testCells(t)); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestEmptyBatchRejected pins the CellRunner contract shared with the
+// SDK and the executor.
+func TestEmptyBatchRejected(t *testing.T) {
+	co, err := shard.New(shard.Config{Peers: []string{"http://localhost:1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := co.RunCells(context.Background(), nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+}

@@ -1,0 +1,91 @@
+package shard
+
+import (
+	"time"
+
+	"rumor/internal/obs"
+)
+
+// Metrics holds the coordinator's instruments, registered as the
+// rumor_shard_* families. A nil *Metrics disables instrumentation —
+// every method is nil-safe, mirroring service.Observability.
+type Metrics struct {
+	peers         *obs.Gauge        // configured peer count
+	cells         *obs.CounterVec   // peer: results delivered by each peer
+	assigned      *obs.CounterVec   // peer: cells assigned to each peer
+	reassignments *obs.Counter      // cells moved off a failed peer
+	peerFailures  *obs.CounterVec   // peer: partitions failed over
+	duplicates    *obs.Counter      // double-computed results deduplicated
+	streamSecs    *obs.HistogramVec // peer: partition submit→stream-end latency
+}
+
+// NewMetrics registers the shard metric families on reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	m := &Metrics{}
+	m.peers = reg.NewGauge("rumor_shard_peers",
+		"Peer daemons configured on the coordinator's hash ring.")
+	m.cells = reg.NewCounterVec("rumor_shard_cells_total",
+		"Cell results delivered, by the peer that served them.", "peer")
+	m.assigned = reg.NewCounterVec("rumor_shard_assigned_cells_total",
+		"Cells assigned by the hash ring, by peer (reassigned cells count again on their new peer).",
+		"peer")
+	m.reassignments = reg.NewCounter("rumor_shard_reassignments_total",
+		"Unfinished cells reassigned from a failed peer to survivors.")
+	m.peerFailures = reg.NewCounterVec("rumor_shard_peer_failures_total",
+		"Peer partitions failed over (transport death mid-batch), by peer.", "peer")
+	m.duplicates = reg.NewCounter("rumor_shard_duplicate_results_total",
+		"Double-computed cell results discarded by the merge (content-addressing makes them byte-identical).")
+	m.streamSecs = reg.NewHistogramVec("rumor_shard_peer_stream_seconds",
+		"Per-partition latency from submit to the end of the peer's result stream, by peer.",
+		nil, "peer")
+	return m
+}
+
+func (m *Metrics) setPeers(n int) {
+	if m == nil {
+		return
+	}
+	m.peers.Set(float64(n))
+}
+
+func (m *Metrics) addAssigned(peer string, n int) {
+	if m == nil {
+		return
+	}
+	m.assigned.With(peer).Add(float64(n))
+}
+
+func (m *Metrics) incCell(peer string) {
+	if m == nil {
+		return
+	}
+	m.cells.With(peer).Inc()
+}
+
+func (m *Metrics) addReassigned(n int) {
+	if m == nil {
+		return
+	}
+	m.reassignments.Add(float64(n))
+}
+
+func (m *Metrics) incPeerFailure(peer string) {
+	if m == nil {
+		return
+	}
+	m.peerFailures.With(peer).Inc()
+}
+
+func (m *Metrics) incDuplicate() {
+	if m == nil {
+		return
+	}
+	m.duplicates.Inc()
+}
+
+func (m *Metrics) observeStream(peer string, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.streamSecs.With(peer).Observe(d.Seconds())
+}

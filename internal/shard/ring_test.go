@@ -1,0 +1,121 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("cell-key-%04d", i)
+	}
+	return out
+}
+
+func TestRingOwnerDeterministic(t *testing.T) {
+	build := func() *Ring {
+		r := NewRing(0)
+		// Insertion order must not matter.
+		for _, p := range []string{"c", "a", "b"} {
+			r.Add(p)
+		}
+		return r
+	}
+	a, b := build(), build()
+	for _, k := range keys(500) {
+		oa, ok := a.Owner(k)
+		ob, _ := b.Owner(k)
+		if !ok || oa != ob {
+			t.Fatalf("owner of %q differs across identical rings: %q vs %q", k, oa, ob)
+		}
+	}
+	if _, ok := NewRing(0).Owner("k"); ok {
+		t.Error("empty ring claims an owner")
+	}
+}
+
+// TestRingConsistentPlacement is the property failover rests on:
+// removing one peer only moves the keys that peer owned — every other
+// key keeps its owner, so the survivors' idempotent jobs re-bind
+// unchanged.
+func TestRingConsistentPlacement(t *testing.T) {
+	r := NewRing(0)
+	peers := []string{"p0", "p1", "p2", "p3", "p4"}
+	for _, p := range peers {
+		r.Add(p)
+	}
+	ks := keys(2000)
+	before := make(map[string]string, len(ks))
+	for _, k := range ks {
+		before[k], _ = r.Owner(k)
+	}
+	r.Remove("p2")
+	for _, k := range ks {
+		after, ok := r.Owner(k)
+		if !ok {
+			t.Fatalf("no owner for %q after removal", k)
+		}
+		if after == "p2" {
+			t.Fatalf("removed peer still owns %q", k)
+		}
+		if before[k] != "p2" && after != before[k] {
+			t.Fatalf("key %q moved from %q to %q though its owner survived", k, before[k], after)
+		}
+	}
+}
+
+// TestRingBalance: with virtual points, no peer's share of a uniform
+// key population may collapse or explode (a loose 3x bound around the
+// fair share — the ring balances load, it does not perfect it).
+func TestRingBalance(t *testing.T) {
+	r := NewRing(0)
+	n := 4
+	for i := 0; i < n; i++ {
+		r.Add(fmt.Sprintf("peer-%d", i))
+	}
+	ks := keys(8000)
+	counts := make(map[string]int)
+	for _, k := range ks {
+		p, _ := r.Owner(k)
+		counts[p]++
+	}
+	fair := len(ks) / n
+	for p, c := range counts {
+		if c < fair/3 || c > fair*3 {
+			t.Errorf("peer %s owns %d keys (fair share %d): ring badly unbalanced", p, c, fair)
+		}
+	}
+	if len(counts) != n {
+		t.Errorf("only %d of %d peers own keys", len(counts), n)
+	}
+}
+
+func TestRingAddRemoveIdempotent(t *testing.T) {
+	r := NewRing(4)
+	r.Add("a")
+	r.Add("a")
+	if got := len(r.points); got != 4 {
+		t.Errorf("double Add left %d points, want 4", got)
+	}
+	r.Remove("missing")
+	r.Remove("a")
+	r.Remove("a")
+	if r.Len() != 0 || len(r.points) != 0 {
+		t.Errorf("ring not empty after removal: %d peers, %d points", r.Len(), len(r.points))
+	}
+}
+
+func TestRingCloneIsIndependent(t *testing.T) {
+	r := NewRing(0)
+	r.Add("a")
+	r.Add("b")
+	c := r.Clone()
+	c.Remove("a")
+	if !r.Has("a") || r.Len() != 2 {
+		t.Error("mutating the clone changed the original ring")
+	}
+	if c.Has("a") || c.Len() != 1 {
+		t.Error("clone did not remove the peer")
+	}
+}
