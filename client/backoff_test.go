@@ -6,10 +6,10 @@ import (
 	"time"
 )
 
-// TestWaitCapsShift pins the backoff schedule, in particular that huge
-// attempt counts can never wrap the shift past zero into a small
-// positive delay that slips under the maxWait clamp (the pre-fix bug:
-// 100ms << 62 is a positive ~51ms).
+// TestWaitCapsShift pins the deterministic backoff-ceiling schedule,
+// in particular that huge attempt counts can never wrap the shift past
+// zero into a small positive delay that slips under the maxWait clamp
+// (the pre-fix bug: 100ms << 62 is a positive ~51ms).
 func TestWaitCapsShift(t *testing.T) {
 	c := &Client{backoff: 100 * time.Millisecond, maxWait: 2 * time.Second}
 	cases := []struct {
@@ -28,8 +28,8 @@ func TestWaitCapsShift(t *testing.T) {
 		{1 << 20, 2 * time.Second},
 	}
 	for _, tc := range cases {
-		if got := c.wait(tc.attempt); got != tc.want {
-			t.Errorf("wait(%d) = %v, want %v", tc.attempt, got, tc.want)
+		if got := c.backoffCap(tc.attempt); got != tc.want {
+			t.Errorf("backoffCap(%d) = %v, want %v", tc.attempt, got, tc.want)
 		}
 	}
 
@@ -37,15 +37,74 @@ func TestWaitCapsShift(t *testing.T) {
 	// the loop must still terminate and clamp, never wrap negative.
 	c = &Client{backoff: 1, maxWait: time.Duration(1) << 62}
 	for _, attempt := range []int{62, 63, 100, 1 << 20} {
-		if got := c.wait(attempt); got != c.maxWait {
-			t.Errorf("wait(%d) with 1ns backoff = %v, want ceiling %v", attempt, got, c.maxWait)
+		if got := c.backoffCap(attempt); got != c.maxWait {
+			t.Errorf("backoffCap(%d) with 1ns backoff = %v, want ceiling %v", attempt, got, c.maxWait)
 		}
 	}
 
 	// Degenerate config: zero backoff falls through to the ceiling.
 	c = &Client{backoff: 0, maxWait: time.Second}
-	if got := c.wait(3); got != time.Second {
-		t.Errorf("wait with zero backoff = %v, want 1s", got)
+	if got := c.backoffCap(3); got != time.Second {
+		t.Errorf("backoffCap with zero backoff = %v, want 1s", got)
+	}
+}
+
+// TestWaitFullJitterBounds pins the jittered delay to its bounds: for
+// every attempt, wait() is uniform in [0, backoffCap(attempt)] — the
+// extremes of the jitter source map exactly onto the interval ends,
+// and the capped-shift behaviour (attempt >= 62) still bounds the
+// interval by maxWait.
+func TestWaitFullJitterBounds(t *testing.T) {
+	c := &Client{backoff: 100 * time.Millisecond, maxWait: 2 * time.Second}
+	cases := []struct {
+		attempt int
+		cap     time.Duration
+	}{
+		{0, 100 * time.Millisecond},
+		{1, 200 * time.Millisecond},
+		{3, 800 * time.Millisecond},
+		{5, 2 * time.Second},
+		{62, 2 * time.Second}, // the shift cap keeps the interval sane
+		{1 << 20, 2 * time.Second},
+	}
+	for _, tc := range cases {
+		// Jitter source at its minimum: the delay is 0 (full jitter
+		// deliberately allows an immediate retry).
+		c.randInt64n = func(n int64) int64 {
+			if n != int64(tc.cap)+1 {
+				t.Errorf("wait(%d) drew from [0, %d), want [0, %d)", tc.attempt, n, int64(tc.cap)+1)
+			}
+			return 0
+		}
+		if got := c.wait(tc.attempt); got != 0 {
+			t.Errorf("wait(%d) with min jitter = %v, want 0", tc.attempt, got)
+		}
+		// Jitter source at its maximum: the delay is exactly the cap.
+		c.randInt64n = func(n int64) int64 { return n - 1 }
+		if got := c.wait(tc.attempt); got != tc.cap {
+			t.Errorf("wait(%d) with max jitter = %v, want %v", tc.attempt, got, tc.cap)
+		}
+	}
+}
+
+// TestWaitJitterIsActuallyRandom runs the real jitter source and
+// checks the samples stay in bounds and are not all identical — the
+// pre-jitter schedule was fully deterministic, so a restarted
+// coordinator's retries against its peers arrived in lockstep waves.
+func TestWaitJitterIsActuallyRandom(t *testing.T) {
+	c := &Client{backoff: 100 * time.Millisecond, maxWait: 2 * time.Second}
+	const attempt = 3 // cap = 800ms
+	cap := c.backoffCap(attempt)
+	seen := make(map[time.Duration]bool)
+	for i := 0; i < 256; i++ {
+		d := c.wait(attempt)
+		if d < 0 || d > cap {
+			t.Fatalf("wait(%d) = %v outside [0, %v]", attempt, d, cap)
+		}
+		seen[d] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("256 jittered waits produced %d distinct value(s); jitter is not applied", len(seen))
 	}
 }
 
@@ -54,7 +113,14 @@ func TestWaitCapsShift(t *testing.T) {
 // Garbage-suffixed values like "5xyz" must not parse as five seconds
 // (the pre-fix Sscanf accepted them).
 func TestRetryAfterParsing(t *testing.T) {
-	c := &Client{backoff: 100 * time.Millisecond, maxWait: 2 * time.Second}
+	// Pin the jitter source to its maximum so the backoff fallback is
+	// the deterministic cap; the jitter itself is covered by
+	// TestWaitFullJitterBounds.
+	c := &Client{
+		backoff:    100 * time.Millisecond,
+		maxWait:    2 * time.Second,
+		randInt64n: func(n int64) int64 { return n - 1 },
+	}
 	resp := func(v string) *http.Response {
 		h := make(http.Header)
 		if v != "" {

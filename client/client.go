@@ -25,6 +25,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -42,6 +43,10 @@ type Client struct {
 	retries int           // extra attempts for retryable requests
 	backoff time.Duration // first retry delay; doubles per attempt
 	maxWait time.Duration // backoff ceiling
+
+	// randInt64n overrides the jitter source (uniform in [0, n));
+	// nil selects math/rand/v2. Test hook.
+	randInt64n func(n int64) int64
 }
 
 // Option configures a Client.
@@ -62,8 +67,11 @@ func WithRetries(n int) Option {
 	return func(c *Client) { c.retries = n }
 }
 
-// WithBackoff sets the first retry delay and its ceiling; the delay
-// doubles per consecutive failure. Defaults: 100ms, capped at 2s.
+// WithBackoff sets the first retry delay and its ceiling; the ceiling
+// for an attempt doubles per consecutive failure and the actual sleep
+// is full-jittered — uniform in [0, ceiling] — so retries from clients
+// that failed together do not stay synchronized. Defaults: 100ms,
+// capped at 2s.
 func WithBackoff(initial, max time.Duration) Option {
 	return func(c *Client) { c.backoff, c.maxWait = initial, max }
 }
@@ -111,12 +119,13 @@ func sleep(ctx context.Context, d time.Duration) error {
 	}
 }
 
-// wait returns the backoff delay for the attempt-th consecutive
-// failure (attempt counts from 0). The delay doubles per attempt but
-// stops doubling once it reaches the ceiling: a single unchecked
-// `backoff << attempt` wraps past zero for large attempts and can land
-// on a small positive value that slips under the ceiling clamp.
-func (c *Client) wait(attempt int) time.Duration {
+// backoffCap returns the deterministic backoff ceiling for the
+// attempt-th consecutive failure (attempt counts from 0). The delay
+// doubles per attempt but stops doubling once it reaches the ceiling:
+// a single unchecked `backoff << attempt` wraps past zero for large
+// attempts and can land on a small positive value that slips under the
+// ceiling clamp.
+func (c *Client) backoffCap(attempt int) time.Duration {
 	d := c.backoff
 	for ; attempt > 0 && d > 0 && d < c.maxWait; attempt-- {
 		d <<= 1
@@ -125,6 +134,30 @@ func (c *Client) wait(attempt int) time.Duration {
 		d = c.maxWait
 	}
 	return d
+}
+
+// wait returns the actual backoff delay for the attempt-th consecutive
+// failure: full jitter over backoffCap, i.e. uniform in
+// [0, backoffCap(attempt)]. Without jitter every client that failed at
+// the same moment retries at the same moment — a restarted server (or
+// a coordinator whose peers all rebooted) then takes the whole herd's
+// retries in synchronized waves. Full jitter decorrelates them while
+// keeping the same worst-case delay schedule.
+func (c *Client) wait(attempt int) time.Duration {
+	d := c.backoffCap(attempt)
+	if d <= 0 {
+		return 0
+	}
+	return time.Duration(c.rand64n(int64(d) + 1))
+}
+
+// rand64n returns a uniform value in [0, n). The randInt64n hook lets
+// tests pin the jitter bounds.
+func (c *Client) rand64n(n int64) int64 {
+	if c.randInt64n != nil {
+		return c.randInt64n(n)
+	}
+	return rand.Int64N(n)
 }
 
 // retryAfter honours a 429's Retry-After — the delta-seconds form

@@ -53,6 +53,7 @@ import (
 	"rumor/internal/experiments"
 	"rumor/internal/graph"
 	"rumor/internal/obs"
+	peerlist "rumor/internal/peers"
 	"rumor/internal/service"
 	"rumor/internal/shard"
 	"rumor/internal/xrand"
@@ -123,7 +124,11 @@ func run(args []string, stdout io.Writer) error {
 		if *metricsOut != "" {
 			reg = obs.NewRegistry()
 		}
-		remote, err := newPeersRunner(strings.Split(*peersFlag, ","), reg)
+		peerURLs, err := peerlist.ParseURLList(*peersFlag)
+		if err != nil {
+			return fmt.Errorf("-peers: %w", err)
+		}
+		remote, err := newPeersRunner(peerURLs, reg)
 		if err != nil {
 			return err
 		}

@@ -48,13 +48,13 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
-	"strings"
 	"syscall"
 	"time"
 
 	"rumor/internal/cachestore"
 	"rumor/internal/experiments"
 	"rumor/internal/obs"
+	peerlist "rumor/internal/peers"
 	"rumor/internal/service"
 	"rumor/internal/shard"
 )
@@ -102,8 +102,12 @@ func run(args []string) error {
 		if *cacheDir != "" {
 			return fmt.Errorf("-cache-dir is incompatible with -peers: a coordinator computes nothing locally, so the persistent tier belongs on the peers")
 		}
+		peerURLs, err := peerlist.ParseURLList(*peers)
+		if err != nil {
+			return fmt.Errorf("-peers: %w", err)
+		}
 		co, err := shard.New(shard.Config{
-			Peers:   strings.Split(*peers, ","),
+			Peers:   peerURLs,
 			Metrics: shard.NewMetrics(reg),
 			Log:     logger,
 		})

@@ -1,0 +1,70 @@
+package gossip
+
+import (
+	"testing"
+	"time"
+
+	"rumor/internal/xrand"
+)
+
+func TestParseLatency(t *testing.T) {
+	cases := []struct {
+		in   string
+		want LatencySpec
+	}{
+		{"", LatencySpec{}},
+		{"none", LatencySpec{}},
+		{"fixed:5ms", LatencySpec{Dist: LatencyFixed, Mean: 5 * time.Millisecond}},
+		{"exp:10ms", LatencySpec{Dist: LatencyExp, Mean: 10 * time.Millisecond}},
+		{"uniform:2ms", LatencySpec{Dist: LatencyUniform, Mean: 2 * time.Millisecond}},
+	}
+	for _, c := range cases {
+		got, err := ParseLatency(c.in)
+		if err != nil {
+			t.Errorf("ParseLatency(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseLatency(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"exp", "exp:", "exp:-1ms", "exp:0", "warp:1ms", "fixed:10s", "exp:banana"} {
+		if _, err := ParseLatency(bad); err == nil {
+			t.Errorf("ParseLatency(%q) accepted", bad)
+		}
+	}
+}
+
+func TestLatencyValidate(t *testing.T) {
+	if err := (LatencySpec{}).Validate(); err != nil {
+		t.Errorf("zero spec rejected: %v", err)
+	}
+	if err := (LatencySpec{Mean: time.Millisecond}).Validate(); err == nil {
+		t.Error("mean without distribution accepted")
+	}
+	if err := (LatencySpec{Dist: LatencyExp}).Validate(); err == nil {
+		t.Error("exp without mean accepted")
+	}
+	if err := (LatencySpec{Dist: LatencyFixed, Mean: maxLatencyMean + 1}).Validate(); err == nil {
+		t.Error("over-cap mean accepted")
+	}
+}
+
+func TestLatencySampleBounds(t *testing.T) {
+	rng := xrand.New(42)
+	mean := 10 * time.Millisecond
+	for i := 0; i < 1000; i++ {
+		if d := (LatencySpec{Dist: LatencyFixed, Mean: mean}).sample(rng); d != mean {
+			t.Fatalf("fixed sample = %v", d)
+		}
+		if d := (LatencySpec{Dist: LatencyExp, Mean: mean}).sample(rng); d < 0 || d > 4*mean {
+			t.Fatalf("exp sample %v outside [0, %v]", d, 4*mean)
+		}
+		if d := (LatencySpec{Dist: LatencyUniform, Mean: mean}).sample(rng); d < 0 || d >= 2*mean {
+			t.Fatalf("uniform sample %v outside [0, %v)", d, 2*mean)
+		}
+		if d := (LatencySpec{}).sample(rng); d != 0 {
+			t.Fatalf("zero spec sampled %v", d)
+		}
+	}
+}

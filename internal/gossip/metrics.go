@@ -1,0 +1,139 @@
+package gossip
+
+import (
+	"time"
+
+	"rumor/internal/obs"
+)
+
+// Metrics holds the live-cluster instruments, registered as the
+// rumor_gossip_* families. A nil *Metrics disables instrumentation —
+// every method is nil-safe, mirroring shard.Metrics. One Metrics is
+// shared by every node hosted in a process and by the coordinator, so
+// a self-hosted cluster's whole traffic shows up on one registry.
+type Metrics struct {
+	nodes      *obs.Gauge      // nodes currently hosted in this process
+	sent       *obs.CounterVec // method: gossip/control messages sent
+	received   *obs.CounterVec // method: messages dispatched by nodes
+	dropped    *obs.Counter    // loss-injected transmission drops
+	contacts   *obs.Counter    // gossip exchanges initiated (push or pull)
+	dialErrors *obs.Counter    // failed gossip-plane deliveries
+	rounds     *obs.Counter    // synchronous rounds driven
+	runs       *obs.Counter    // live measurement runs completed
+	informed   *obs.Gauge      // informed nodes at the last report
+	runSeconds *obs.Histogram  // live run wall-clock
+	frameBytes *obs.CounterVec // direction (sent|received): wire bytes
+}
+
+// NewMetrics registers the gossip metric families on reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	m := &Metrics{}
+	m.nodes = reg.NewGauge("rumor_gossip_nodes",
+		"Live gossip nodes currently hosted in this process.")
+	m.sent = reg.NewCounterVec("rumor_gossip_messages_sent_total",
+		"Wire messages sent, by method tag.", "method")
+	m.received = reg.NewCounterVec("rumor_gossip_messages_received_total",
+		"Wire messages dispatched by node handlers, by method tag.", "method")
+	m.dropped = reg.NewCounter("rumor_gossip_messages_dropped_total",
+		"Gossip transmissions dropped by the configured loss probability (sender-side injection).")
+	m.contacts = reg.NewCounter("rumor_gossip_contacts_total",
+		"Gossip exchanges initiated by nodes (one per sync-round action or async clock tick that acts).")
+	m.dialErrors = reg.NewCounter("rumor_gossip_dial_errors_total",
+		"Gossip-plane deliveries that failed at the transport (dial/write/read), excluding injected loss.")
+	m.rounds = reg.NewCounter("rumor_gossip_rounds_total",
+		"Synchronous rounds driven by the coordinator.")
+	m.runs = reg.NewCounter("rumor_gossip_live_runs_total",
+		"Live cluster measurement runs completed.")
+	m.informed = reg.NewGauge("rumor_gossip_informed_nodes",
+		"Informed nodes at the coordinator's most recent report sweep.")
+	m.runSeconds = reg.NewHistogram("rumor_gossip_run_seconds",
+		"Wall-clock duration of one live measurement run (startup to full report).",
+		obs.ExpBuckets(0.01, 2, 12))
+	m.frameBytes = reg.NewCounterVec("rumor_gossip_frame_bytes_total",
+		"Wire bytes moved by the envelope codec, by direction.", "direction")
+	return m
+}
+
+func (m *Metrics) nodeUp() {
+	if m == nil {
+		return
+	}
+	m.nodes.Inc()
+}
+
+func (m *Metrics) nodeDown() {
+	if m == nil {
+		return
+	}
+	m.nodes.Dec()
+}
+
+func (m *Metrics) incSent(method string) {
+	if m == nil {
+		return
+	}
+	m.sent.With(method).Inc()
+}
+
+func (m *Metrics) incReceived(method string) {
+	if m == nil {
+		return
+	}
+	m.received.With(method).Inc()
+}
+
+func (m *Metrics) incDropped() {
+	if m == nil {
+		return
+	}
+	m.dropped.Inc()
+}
+
+func (m *Metrics) incContact() {
+	if m == nil {
+		return
+	}
+	m.contacts.Inc()
+}
+
+func (m *Metrics) incDialError() {
+	if m == nil {
+		return
+	}
+	m.dialErrors.Inc()
+}
+
+func (m *Metrics) incRound() {
+	if m == nil {
+		return
+	}
+	m.rounds.Inc()
+}
+
+func (m *Metrics) incRun() {
+	if m == nil {
+		return
+	}
+	m.runs.Inc()
+}
+
+func (m *Metrics) setInformed(n int) {
+	if m == nil {
+		return
+	}
+	m.informed.Set(float64(n))
+}
+
+func (m *Metrics) observeRun(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.runSeconds.Observe(d.Seconds())
+}
+
+func (m *Metrics) addFrameBytes(direction string, n int) {
+	if m == nil {
+		return
+	}
+	m.frameBytes.With(direction).Add(float64(n))
+}

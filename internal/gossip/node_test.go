@@ -1,0 +1,312 @@
+package gossip
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"rumor/internal/obs"
+	"rumor/internal/service"
+)
+
+func testSpec(family string, n int, protocol, timing string) TrialSpec {
+	return TrialSpec{
+		Cell: service.CellSpec{
+			Family:    family,
+			N:         n,
+			Protocol:  protocol,
+			Timing:    timing,
+			Trials:    1,
+			GraphSeed: 7,
+			TrialSeed: 11,
+		},
+		TimeUnit: 2 * time.Millisecond,
+		Poll:     5 * time.Millisecond,
+		MaxWait:  30 * time.Second,
+	}
+}
+
+func runLive(t *testing.T, spec TrialSpec, metrics *Metrics) *TrialResult {
+	t.Helper()
+	g, err := service.BuildGraph(spec.Cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewSelfHost(g.NumNodes(), metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	res, err := c.RunTrial(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func checkFullCoverage(t *testing.T, res *TrialResult) {
+	t.Helper()
+	if res.Informed != res.N {
+		t.Fatalf("informed %d of %d nodes", res.Informed, res.N)
+	}
+	if res.SpreadTime < 0 {
+		t.Fatalf("spread time %v despite full coverage", res.SpreadTime)
+	}
+	q100 := res.Coverage[service.CoverageName(1.0)]
+	if q100 != res.SpreadTime {
+		t.Fatalf("q100 %v != spread time %v", q100, res.SpreadTime)
+	}
+	last := -1.0
+	for _, p := range res.Curve {
+		if p.T < last {
+			t.Fatalf("coverage curve not monotone: %v", res.Curve)
+		}
+		last = p.T
+	}
+	if len(res.Curve) != res.N {
+		t.Fatalf("curve has %d points for %d nodes", len(res.Curve), res.N)
+	}
+}
+
+func TestSyncPushPullComplete(t *testing.T) {
+	res := runLive(t, testSpec("complete", 16, ProtocolPushPull, TimingSync), nil)
+	checkFullCoverage(t, res)
+	if res.Rounds < 1 || res.SpreadTime < 1 {
+		t.Fatalf("rounds = %d, spread = %v", res.Rounds, res.SpreadTime)
+	}
+	if res.Sent == 0 || res.Received == 0 {
+		t.Fatalf("no traffic counted: sent=%d received=%d", res.Sent, res.Received)
+	}
+}
+
+func TestSyncPushCycle(t *testing.T) {
+	res := runLive(t, testSpec("cycle", 8, ProtocolPush, TimingSync), nil)
+	checkFullCoverage(t, res)
+	// A cycle's push time is at least ~n/2 rounds (the rumor walks).
+	if res.SpreadTime < 3 {
+		t.Fatalf("cycle push spread time %v is implausibly small", res.SpreadTime)
+	}
+}
+
+func TestSyncPullComplete(t *testing.T) {
+	res := runLive(t, testSpec("complete", 8, ProtocolPull, TimingSync), nil)
+	checkFullCoverage(t, res)
+}
+
+func TestAsyncPushPullComplete(t *testing.T) {
+	spec := testSpec("complete", 8, ProtocolPushPull, TimingAsync)
+	reg := obs.NewRegistry()
+	metrics := NewMetrics(reg)
+	res := runLive(t, spec, metrics)
+	checkFullCoverage(t, res)
+	if res.Rounds != 0 {
+		t.Fatalf("async trial reports %d sync rounds", res.Rounds)
+	}
+	// Async times are wall-clock stamps in time units; with 8 nodes
+	// they should be positive and bounded by the wait cap.
+	if res.SpreadTime <= 0 {
+		t.Fatalf("async spread time %v", res.SpreadTime)
+	}
+}
+
+func TestSyncWithLossStillCompletes(t *testing.T) {
+	spec := testSpec("complete", 8, ProtocolPushPull, TimingSync)
+	spec.Cell.LossProb = 0.3
+	res := runLive(t, spec, nil)
+	checkFullCoverage(t, res)
+}
+
+func TestThresholdAcceptance(t *testing.T) {
+	spec := testSpec("complete", 8, ProtocolPushPull, TimingSync)
+	spec.Threshold = 2
+	res := runLive(t, spec, nil)
+	checkFullCoverage(t, res)
+	for i, rep := range res.Reports {
+		if i == spec.Cell.Source {
+			continue
+		}
+		if rep.Hearings < 2 {
+			t.Fatalf("node %d informed after %d hearings, threshold 2", i, rep.Hearings)
+		}
+	}
+}
+
+func TestLatencySlowsSyncRounds(t *testing.T) {
+	spec := testSpec("complete", 4, ProtocolPushPull, TimingSync)
+	spec.Latency = LatencySpec{Dist: LatencyFixed, Mean: 20 * time.Millisecond}
+	start := time.Now()
+	res := runLive(t, spec, nil)
+	checkFullCoverage(t, res)
+	// Each round with an informed pusher sleeps >= 20ms on the wire.
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Fatalf("trial with fixed 20ms latency finished in %v", elapsed)
+	}
+}
+
+func TestStartupValidation(t *testing.T) {
+	node := NewNode(nil)
+	if err := node.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	bad := []StartupConfig{
+		{Protocol: "carrier-pigeon", Timing: TimingSync},
+		{Protocol: ProtocolPush, Timing: "warped"},
+		{Protocol: ProtocolPush, Timing: TimingAsync}, // no time unit
+		{Protocol: ProtocolPush, Timing: TimingSync, LossProb: 1.0},
+		{Protocol: ProtocolPush, Timing: TimingSync, LossProb: -0.1},
+		{Protocol: ProtocolPush, Timing: TimingSync, Threshold: -1},
+		{Protocol: ProtocolPush, Timing: TimingSync, Latency: LatencySpec{Dist: "warp", Mean: time.Millisecond}},
+	}
+	for _, cfg := range bad {
+		env, err := NewEnvelope(MethodStartup, CoordinatorFrom, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := CallChecked(node.Addr(), env, time.Second, nil); err == nil {
+			t.Errorf("startup %+v accepted", cfg)
+		}
+	}
+}
+
+func TestUnknownMethodRejected(t *testing.T) {
+	node := NewNode(nil)
+	if err := node.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	env := &Envelope{Method: "teleport", From: CoordinatorFrom}
+	_, err := CallChecked(node.Addr(), env, time.Second, nil)
+	if err == nil || !strings.Contains(err.Error(), "unknown method") {
+		t.Fatalf("err = %v, want unknown method rejection", err)
+	}
+}
+
+func TestControlBeforeStartupRejected(t *testing.T) {
+	node := NewNode(nil)
+	if err := node.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	dist, _ := NewEnvelope(MethodDistribute, CoordinatorFrom, Ack{})
+	if _, err := CallChecked(node.Addr(), dist, time.Second, nil); err == nil {
+		t.Error("distribute before startup accepted")
+	}
+	round, _ := NewEnvelope(MethodRound, CoordinatorFrom, RoundCmd{Round: 1})
+	if _, err := CallChecked(node.Addr(), round, time.Second, nil); err == nil {
+		t.Error("round before startup accepted")
+	}
+}
+
+func TestClusterSizeMismatch(t *testing.T) {
+	c, err := NewSelfHost(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	spec := testSpec("complete", 8, ProtocolPush, TimingSync)
+	if _, err := c.RunTrial(spec); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestAttachRunsTrial(t *testing.T) {
+	// Stand nodes up by hand and attach by address, the remote-process
+	// path gossipd -coordinator -peers uses.
+	const n = 4
+	var addrs []string
+	for i := 0; i < n; i++ {
+		node := NewNode(nil)
+		if err := node.Listen("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		defer node.Close()
+		addrs = append(addrs, node.Addr())
+	}
+	c, err := Attach(addrs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.RunTrial(testSpec("complete", n, ProtocolPushPull, TimingSync))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFullCoverage(t, res)
+}
+
+// TestRepeatedLifecycleNoLeaks drives several full
+// STARTUP→DISTRIBUTE→…→SHUTDOWN cycles (sync and async) on one
+// cluster and verifies the process returns to its goroutine baseline —
+// the acceptance criterion for clean shutdown under the race detector.
+func TestRepeatedLifecycleNoLeaks(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	c, err := NewSelfHost(5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cycle := 0; cycle < 3; cycle++ {
+		for _, timing := range []string{TimingSync, TimingAsync} {
+			spec := testSpec("complete", 5, ProtocolPushPull, timing)
+			spec.Cell.TrialSeed = uint64(100*cycle + len(timing))
+			res, err := c.RunTrial(spec)
+			if err != nil {
+				t.Fatalf("cycle %d %s: %v", cycle, timing, err)
+			}
+			checkFullCoverage(t, res)
+		}
+	}
+	c.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		now := runtime.NumGoroutine()
+		if now <= baseline+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines: baseline %d, now %d\n%s",
+				baseline, now, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func TestMetricsAccounting(t *testing.T) {
+	reg := obs.NewRegistry()
+	metrics := NewMetrics(reg)
+	res := runLive(t, testSpec("complete", 8, ProtocolPushPull, TimingSync), metrics)
+	checkFullCoverage(t, res)
+	scrape, err := obs.ParseText(strings.NewReader(scrapeText(t, reg)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := scrape.Sum("rumor_gossip_live_runs_total"); got != 1 {
+		t.Fatalf("live runs = %v", got)
+	}
+	if got, _ := scrape.Sum("rumor_gossip_contacts_total"); got <= 0 {
+		t.Fatalf("contacts = %v", got)
+	}
+	if got, _ := scrape.Sum("rumor_gossip_messages_sent_total"); got <= 0 {
+		t.Fatalf("sent = %v", got)
+	}
+	if got, _ := scrape.Sum("rumor_gossip_frame_bytes_total"); got <= 0 {
+		t.Fatalf("frame bytes = %v", got)
+	}
+	if got, _ := scrape.Sum("rumor_gossip_nodes"); got != 0 {
+		t.Fatalf("nodes gauge = %v after Close", got)
+	}
+}
+
+func scrapeText(t *testing.T, reg *obs.Registry) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}

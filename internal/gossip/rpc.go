@@ -1,0 +1,71 @@
+package gossip
+
+import (
+	"fmt"
+	"net"
+	"time"
+)
+
+// Call dials addr, sends env as one frame, and reads the single reply
+// frame. Every call is one short-lived connection — at live-cluster
+// scale (tens of nodes on a LAN or loopback) connection reuse buys
+// nothing worth a pool's complexity. metrics may be nil; when set, the
+// wire bytes moved in each direction are counted.
+func Call(addr string, env *Envelope, timeout time.Duration, metrics *Metrics) (*Envelope, error) {
+	d := net.Dialer{Timeout: timeout}
+	conn, err := d.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("gossip: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return nil, err
+	}
+	cc := &countingConn{Conn: conn, metrics: metrics}
+	if err := WriteFrame(cc, env); err != nil {
+		return nil, fmt.Errorf("gossip: send %s to %s: %w", env.Method, addr, err)
+	}
+	reply, err := ReadFrame(cc)
+	if err != nil {
+		return nil, fmt.Errorf("gossip: reply to %s from %s: %w", env.Method, addr, err)
+	}
+	return reply, nil
+}
+
+// CallChecked is Call plus rejection of mismatched or failed replies:
+// the reply must echo env's method and carry no handler error.
+func CallChecked(addr string, env *Envelope, timeout time.Duration, metrics *Metrics) (*Envelope, error) {
+	reply, err := Call(addr, env, timeout, metrics)
+	if err != nil {
+		return nil, err
+	}
+	if reply.Err != "" {
+		return nil, fmt.Errorf("gossip: %s on %s: %s", env.Method, addr, reply.Err)
+	}
+	if reply.Method != env.Method {
+		return nil, fmt.Errorf("gossip: sent %s to %s, reply tagged %s", env.Method, addr, reply.Method)
+	}
+	return reply, nil
+}
+
+// countingConn feeds wire byte counts into the metrics family.
+type countingConn struct {
+	net.Conn
+	metrics *Metrics
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if n > 0 {
+		c.metrics.addFrameBytes("received", n)
+	}
+	return n, err
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	if n > 0 {
+		c.metrics.addFrameBytes("sent", n)
+	}
+	return n, err
+}

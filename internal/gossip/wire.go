@@ -1,0 +1,243 @@
+// Package gossip runs the paper's push/pull protocols on real TCP
+// sockets instead of the simulator: live nodes speak a length-prefixed
+// message envelope with a method-tag dispatcher (gossip plane: push and
+// pull contacts; control plane: STARTUP / DISTRIBUTE / ROUND / REPORT /
+// SHUTDOWN), a coordinator stands a cluster up on the same graph
+// families the simulator uses, injects a rumor, and measures real
+// wall-clock coverage curves. The overlay experiment (E16) closes the
+// loop: the live curve and the simulator's prediction for the identical
+// (graph, protocol, timing) cell are normalized and compared, with the
+// spreading-time ratio as the headline number.
+//
+// Live operation adds exactly the effects the related work studies —
+// asynchronous wakeups, message loss, per-link latency, counter-based
+// acceptance thresholds — so the cluster is both a credibility test for
+// the simulation stack and a scenario space the simulator does not
+// cover.
+package gossip
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Wire methods. The gossip plane (push, pull) is what nodes exchange;
+// the control plane is what the coordinator drives.
+const (
+	// MethodPush delivers the rumor to a neighbor (payload: Rumor).
+	MethodPush = "push"
+	// MethodPull asks a neighbor for the rumor (payload: PullRequest;
+	// reply payload: PullReply).
+	MethodPull = "pull"
+	// MethodStartup configures a node for a trial (payload:
+	// StartupConfig). A second startup resets the node: state from the
+	// previous trial is discarded and its async clock stopped.
+	MethodStartup = "startup"
+	// MethodDistribute injects the rumor (the node becomes the source).
+	MethodDistribute = "distribute"
+	// MethodRound drives one synchronous round (payload: RoundCmd;
+	// reply payload: RoundAck).
+	MethodRound = "round"
+	// MethodReport asks for the node's informed state (reply payload:
+	// Report).
+	MethodReport = "report"
+	// MethodShutdown ends the trial: the async clock stops and the
+	// trial state is dropped. The node keeps serving (a new STARTUP
+	// begins the next trial); a process-level host may additionally
+	// exit on it (gossipd -exit-on-shutdown).
+	MethodShutdown = "shutdown"
+	// MethodPing is a liveness probe.
+	MethodPing = "ping"
+)
+
+// MaxFrame bounds a single wire frame. Envelopes are a method tag plus
+// a small JSON payload; anything larger is a protocol violation, not a
+// big message.
+const MaxFrame = 1 << 20
+
+// CoordinatorFrom is the Envelope.From value used by the coordinator
+// (it is not a graph vertex).
+const CoordinatorFrom = -1
+
+// Envelope is the one wire message: every frame, request or reply,
+// gossip or control, is an Envelope. The receiving dispatcher routes on
+// Method and decodes Payload with the method's registered handler — the
+// flow-go gossip layer's (method, payload) shape.
+type Envelope struct {
+	// Method selects the handler on the receiving node.
+	Method string `json:"method"`
+	// From is the sender's node index (CoordinatorFrom for the
+	// coordinator).
+	From int `json:"from"`
+	// Payload is the method-specific body.
+	Payload json.RawMessage `json:"payload,omitempty"`
+	// Err, on a reply, reports a handler failure.
+	Err string `json:"err,omitempty"`
+}
+
+// NewEnvelope builds an envelope with payload marshalled to JSON
+// (nil payload → empty).
+func NewEnvelope(method string, from int, payload interface{}) (*Envelope, error) {
+	env := &Envelope{Method: method, From: from}
+	if payload != nil {
+		raw, err := json.Marshal(payload)
+		if err != nil {
+			return nil, fmt.Errorf("gossip: marshal %s payload: %w", method, err)
+		}
+		env.Payload = raw
+	}
+	return env, nil
+}
+
+// Decode unmarshals the payload into out.
+func (e *Envelope) Decode(out interface{}) error {
+	if len(e.Payload) == 0 {
+		return fmt.Errorf("gossip: %s: empty payload", e.Method)
+	}
+	if err := json.Unmarshal(e.Payload, out); err != nil {
+		return fmt.Errorf("gossip: %s: decoding payload: %w", e.Method, err)
+	}
+	return nil
+}
+
+// WriteFrame writes env as one length-prefixed frame: a 4-byte
+// big-endian length followed by the JSON envelope.
+func WriteFrame(w io.Writer, env *Envelope) error {
+	body, err := json.Marshal(env)
+	if err != nil {
+		return fmt.Errorf("gossip: marshal envelope: %w", err)
+	}
+	if len(body) > MaxFrame {
+		return fmt.Errorf("gossip: frame of %d bytes exceeds the %d-byte limit", len(body), MaxFrame)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame and decodes the envelope.
+func ReadFrame(r io.Reader) (*Envelope, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 {
+		return nil, fmt.Errorf("gossip: zero-length frame")
+	}
+	if n > MaxFrame {
+		return nil, fmt.Errorf("gossip: frame of %d bytes exceeds the %d-byte limit", n, MaxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("gossip: truncated frame: %w", err)
+	}
+	var env Envelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		return nil, fmt.Errorf("gossip: decoding envelope: %w", err)
+	}
+	if env.Method == "" {
+		return nil, fmt.Errorf("gossip: envelope without a method tag")
+	}
+	return &env, nil
+}
+
+// StartupConfig is the MethodStartup payload: everything a node needs
+// to play its vertex in one trial.
+type StartupConfig struct {
+	// Node is this node's graph vertex index.
+	Node int `json:"node"`
+	// Neighbors are the TCP addresses of the vertex's graph neighbors.
+	Neighbors []string `json:"neighbors"`
+	// Protocol is "push", "pull", or "push-pull" (the service/cell
+	// names).
+	Protocol string `json:"protocol"`
+	// Timing is "sync" (coordinator-driven rounds) or "async" (a
+	// per-node rate-1 exponential clock scaled by TimeUnit).
+	Timing string `json:"timing"`
+	// LossProb is the per-transmission loss probability in [0, 1):
+	// each pushed rumor and each pull reply is dropped independently
+	// with this probability, mirroring the simulator's TransmitProb =
+	// 1 - LossProb.
+	LossProb float64 `json:"loss_prob,omitempty"`
+	// Threshold is the counter-based acceptance rule: the node accepts
+	// the rumor (and starts gossiping it) only after hearing it this
+	// many times. 0 or 1 is the paper's immediate acceptance.
+	Threshold int `json:"threshold,omitempty"`
+	// Seed drives the node's RNG (neighbor choice, loss draws, clock).
+	Seed uint64 `json:"seed"`
+	// TimeUnit is the wall-clock length of one protocol time unit for
+	// async operation (nanoseconds on the wire). An async node's clock
+	// ticks at rate 1 per TimeUnit.
+	TimeUnit time.Duration `json:"time_unit,omitempty"`
+	// Latency injects per-link message latency.
+	Latency LatencySpec `json:"latency,omitempty"`
+}
+
+// Rumor is the MethodPush payload (and the informing half of a pull
+// reply): the rumor plus the round tag that lets sync coverage curves
+// be reconstructed exactly.
+type Rumor struct {
+	// Round is the synchronous round the transmission belongs to
+	// (0 for the injection, -1 in async operation, where wall-clock
+	// timestamps measure the curve instead).
+	Round int32 `json:"round"`
+}
+
+// PullRequest is the MethodPull payload.
+type PullRequest struct {
+	// Round is the caller's current synchronous round (-1 async).
+	Round int32 `json:"round"`
+}
+
+// PullReply answers a pull: Informed reports whether the rumor came
+// back (false when the callee is uninformed or the reply transmission
+// was lost).
+type PullReply struct {
+	Informed bool `json:"informed"`
+}
+
+// RoundCmd is the MethodRound payload.
+type RoundCmd struct {
+	// Round is the 1-based round number being driven.
+	Round int32 `json:"round"`
+}
+
+// RoundAck answers a round command with the node's informed state
+// after its contacts for the round completed.
+type RoundAck struct {
+	Informed bool `json:"informed"`
+}
+
+// Report is the MethodReport reply payload.
+type Report struct {
+	// Node is the reporting vertex.
+	Node int `json:"node"`
+	// Informed reports acceptance (hearings reached the threshold).
+	Informed bool `json:"informed"`
+	// Hearings counts how many times the rumor was heard.
+	Hearings int `json:"hearings"`
+	// InformedRound is the sync round in which the node accepted the
+	// rumor (0 for the source, -1 if not yet informed or async).
+	InformedRound int32 `json:"informed_round"`
+	// InformedAtUnixNano is the wall-clock acceptance time (0 if not
+	// informed). Async coverage curves are computed from these stamps
+	// relative to the source's.
+	InformedAtUnixNano int64 `json:"informed_at_unix_nano,omitempty"`
+	// Sent, Received, and Dropped count this node's gossip-plane
+	// messages in the current trial (drops are loss injections on the
+	// sending side).
+	Sent     int64 `json:"sent"`
+	Received int64 `json:"received"`
+	Dropped  int64 `json:"dropped"`
+}
+
+// Ack is the generic empty reply payload.
+type Ack struct{}

@@ -1,0 +1,89 @@
+// Package peers parses and validates peer-address lists shared by
+// every multi-node entry point: the rumord/experiments -peers flags
+// (HTTP base URLs for the shard coordinator) and the gossipd peer list
+// (raw TCP addresses for the live gossip cluster). Validation happens
+// up front, at flag-parse time: an empty entry or a duplicate address
+// is a configuration error, not something to silently skip — a
+// duplicated peer would otherwise skew hash-ring placement (the ring
+// would reject it only after clients were built) and a duplicated
+// gossip node would alias two graph vertices onto one process.
+package peers
+
+import (
+	"fmt"
+	"net"
+	"strings"
+)
+
+// ParseURLs normalizes a list of peer base URLs: surrounding
+// whitespace is trimmed, a bare "host:port" gains "http://", and a
+// trailing "/" is dropped, so "a:8080", " a:8080 " and
+// "http://a:8080/" all canonicalize to "http://a:8080". Empty entries
+// and duplicates (after normalization) are errors.
+func ParseURLs(raw []string) ([]string, error) {
+	out := make([]string, 0, len(raw))
+	seen := make(map[string]int, len(raw))
+	for i, r := range raw {
+		u := strings.TrimSpace(r)
+		if u == "" {
+			return nil, fmt.Errorf("peers: entry %d is empty", i+1)
+		}
+		if !strings.Contains(u, "://") {
+			u = "http://" + u
+		}
+		u = strings.TrimRight(u, "/")
+		if prev, ok := seen[u]; ok {
+			return nil, fmt.Errorf("peers: duplicate peer %s (entries %d and %d)", u, prev+1, i+1)
+		}
+		seen[u] = i
+		out = append(out, u)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("peers: empty peer list")
+	}
+	return out, nil
+}
+
+// ParseURLList splits a comma-separated flag value and validates it
+// with ParseURLs.
+func ParseURLList(s string) ([]string, error) {
+	return ParseURLs(strings.Split(s, ","))
+}
+
+// ParseAddrs validates a list of raw TCP addresses ("host:port").
+// Entries are trimmed; empty entries, entries without a port, and
+// duplicates are errors. Unlike ParseURLs no scheme is added: these
+// addresses are dialed directly.
+func ParseAddrs(raw []string) ([]string, error) {
+	out := make([]string, 0, len(raw))
+	seen := make(map[string]int, len(raw))
+	for i, r := range raw {
+		a := strings.TrimSpace(r)
+		if a == "" {
+			return nil, fmt.Errorf("peers: entry %d is empty", i+1)
+		}
+		host, port, err := net.SplitHostPort(a)
+		if err != nil {
+			return nil, fmt.Errorf("peers: entry %d (%q): %v", i+1, a, err)
+		}
+		if host == "" || port == "" {
+			return nil, fmt.Errorf("peers: entry %d (%q): host and port are both required", i+1, a)
+		}
+		a = net.JoinHostPort(host, port)
+		if prev, ok := seen[a]; ok {
+			return nil, fmt.Errorf("peers: duplicate peer %s (entries %d and %d)", a, prev+1, i+1)
+		}
+		seen[a] = i
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("peers: empty peer list")
+	}
+	return out, nil
+}
+
+// ParseAddrList splits a comma-separated flag value and validates it
+// with ParseAddrs.
+func ParseAddrList(s string) ([]string, error) {
+	return ParseAddrs(strings.Split(s, ","))
+}

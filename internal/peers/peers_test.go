@@ -1,0 +1,100 @@
+package peers
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseURLsNormalizes(t *testing.T) {
+	got, err := ParseURLs([]string{" a:8080 ", "http://b:9090/", "https://c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"http://a:8080", "http://b:9090", "https://c"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ParseURLs = %v, want %v", got, want)
+	}
+}
+
+func TestParseURLsRejectsEmptyEntries(t *testing.T) {
+	for _, raw := range [][]string{
+		{""},
+		{"a:8080", ""},
+		{"a:8080", "   ", "b:8080"},
+		{},
+	} {
+		if _, err := ParseURLs(raw); err == nil {
+			t.Errorf("ParseURLs(%q) = nil error, want rejection", raw)
+		}
+	}
+}
+
+func TestParseURLsRejectsDuplicates(t *testing.T) {
+	cases := [][]string{
+		{"a:8080", "a:8080"},
+		{"a:8080", "http://a:8080"},         // same after scheme normalization
+		{"http://a:8080/", "http://a:8080"}, // same after trailing-slash trim
+		{"a:8080", " a:8080 "},              // same after trimming
+	}
+	for _, raw := range cases {
+		_, err := ParseURLs(raw)
+		if err == nil {
+			t.Errorf("ParseURLs(%q) = nil error, want duplicate rejection", raw)
+			continue
+		}
+		if !strings.Contains(err.Error(), "duplicate") {
+			t.Errorf("ParseURLs(%q) error = %v, want mention of duplicate", raw, err)
+		}
+	}
+}
+
+func TestParseURLList(t *testing.T) {
+	got, err := ParseURLList("a:1,b:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "http://a:1" || got[1] != "http://b:2" {
+		t.Fatalf("ParseURLList = %v", got)
+	}
+	if _, err := ParseURLList("a:1,,b:2"); err == nil {
+		t.Fatal("trailing/internal empty entry accepted")
+	}
+	if _, err := ParseURLList("a:1,a:1"); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+}
+
+func TestParseAddrs(t *testing.T) {
+	got, err := ParseAddrs([]string{"127.0.0.1:7001", " localhost:7002 "})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"127.0.0.1:7001", "localhost:7002"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ParseAddrs = %v, want %v", got, want)
+	}
+	for _, raw := range [][]string{
+		{""},
+		{"127.0.0.1"},   // no port
+		{"127.0.0.1:"},  // empty port
+		{":7001"},       // empty host
+		{"a:1", "a:1"},  // duplicate
+		{"a:1", " a:1"}, // duplicate after trim
+		{},
+	} {
+		if _, err := ParseAddrs(raw); err == nil {
+			t.Errorf("ParseAddrs(%q) = nil error, want rejection", raw)
+		}
+	}
+}
+
+func TestParseAddrList(t *testing.T) {
+	if _, err := ParseAddrList("a:1,,b:2"); err == nil {
+		t.Fatal("empty entry accepted")
+	}
+	got, err := ParseAddrList("a:1,b:2,c:3")
+	if err != nil || len(got) != 3 {
+		t.Fatalf("ParseAddrList = %v, %v", got, err)
+	}
+}

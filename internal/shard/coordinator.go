@@ -6,12 +6,12 @@ import (
 	"fmt"
 	"log/slog"
 	"sort"
-	"strings"
 	"sync"
 	"time"
 
 	"rumor/client"
 	"rumor/internal/api"
+	"rumor/internal/peers"
 	"rumor/internal/service"
 )
 
@@ -51,33 +51,23 @@ func New(cfg Config) (*Coordinator, error) {
 	if len(cfg.Peers) == 0 {
 		return nil, fmt.Errorf("shard: no peers")
 	}
+	urls, err := peers.ParseURLs(cfg.Peers)
+	if err != nil {
+		return nil, fmt.Errorf("shard: %w", err)
+	}
 	co := &Coordinator{
 		ring:    NewRing(cfg.Replicas),
-		clients: make(map[string]*client.Client, len(cfg.Peers)),
+		clients: make(map[string]*client.Client, len(urls)),
 		obs:     cfg.Metrics,
 		log:     cfg.Log,
 	}
-	for _, raw := range cfg.Peers {
-		u := strings.TrimSpace(raw)
-		if u == "" {
-			continue
-		}
-		if !strings.Contains(u, "://") {
-			u = "http://" + u
-		}
-		u = strings.TrimRight(u, "/")
-		if co.ring.Has(u) {
-			return nil, fmt.Errorf("shard: duplicate peer %s", u)
-		}
+	for _, u := range urls {
 		c, err := client.New(u, cfg.ClientOptions...)
 		if err != nil {
-			return nil, fmt.Errorf("shard: peer %q: %w", raw, err)
+			return nil, fmt.Errorf("shard: peer %q: %w", u, err)
 		}
 		co.ring.Add(u)
 		co.clients[u] = c
-	}
-	if co.ring.Len() == 0 {
-		return nil, fmt.Errorf("shard: no peers")
 	}
 	co.obs.setPeers(co.ring.Len())
 	return co, nil

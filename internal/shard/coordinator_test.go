@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -305,5 +306,84 @@ func TestEmptyBatchRejected(t *testing.T) {
 	}
 	if _, err := co.RunCells(context.Background(), nil); err == nil {
 		t.Error("empty batch accepted")
+	}
+}
+
+// TestSinglePeerRing covers the degenerate one-peer topology: every
+// cell lands in a single partition (no spreading, no failover
+// headroom) and the output must still be byte-identical to the
+// in-process executor.
+func TestSinglePeerRing(t *testing.T) {
+	urls := startPeers(t, 1)
+	reg := obs.NewRegistry()
+	co, err := shard.New(shard.Config{Peers: urls, Metrics: shard.NewMetrics(reg)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := testCells(t)
+	results, err := co.RunCells(context.Background(), cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := marshalResults(t, results), localReference(t, cells); !bytes.Equal(got, want) {
+		t.Error("single-peer sharded run is not byte-identical to the in-process executor")
+	}
+	// One peer owns the whole key space: every cell was assigned (and
+	// delivered) by that one peer.
+	families, err := obs.ParseText(bytes.NewReader(scrape(t, reg)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if assigned, _ := families.Sum("rumor_shard_assigned_cells_total"); int(assigned) != len(cells) {
+		t.Errorf("assigned = %v, want %d (all cells on the single peer)", assigned, len(cells))
+	}
+}
+
+// TestSinglePeerRingFailoverAborts: with one peer there is nowhere to
+// reassign to — killing the peer mid-stream must abort the batch with
+// the all-peers-failed error, not spin on an empty ring.
+func TestSinglePeerRingFailoverAborts(t *testing.T) {
+	urls := startPeers(t, 1)
+	u, err := url.Parse(urls[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	kill := &clienttest.PeerDownTransport{Host: u.Host, Match: "/results", After: 1}
+	co, err := shard.New(shard.Config{
+		Peers: urls,
+		ClientOptions: []client.Option{
+			client.WithHTTPClient(&http.Client{Transport: kill}),
+			client.WithRetries(1),
+			client.WithBackoff(time.Millisecond, 2*time.Millisecond),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = co.RunCells(context.Background(), testCells(t))
+	if err == nil {
+		t.Fatal("batch over a killed single peer succeeded")
+	}
+	if !strings.Contains(err.Error(), "all 1 peers failed") {
+		t.Errorf("err = %v, want the all-peers-failed abort", err)
+	}
+}
+
+// TestAllDuplicatePeersRejectedUpFront: a peer list that dedups to a
+// single address — in any normalization disguise — is a configuration
+// error caught before any client or ring is built, not a silently
+// shrunken ring.
+func TestAllDuplicatePeersRejectedUpFront(t *testing.T) {
+	lists := [][]string{
+		{"h:1", "h:1", "h:1"},
+		{"h:1", "http://h:1", "http://h:1/"},
+		{" h:1 ", "h:1"},
+	}
+	for _, peers := range lists {
+		if _, err := shard.New(shard.Config{Peers: peers}); err == nil {
+			t.Errorf("shard.New(%q) accepted an all-duplicates peer list", peers)
+		} else if !strings.Contains(err.Error(), "duplicate") {
+			t.Errorf("shard.New(%q) error = %v, want duplicate rejection", peers, err)
+		}
 	}
 }
