@@ -372,7 +372,7 @@ func TestCacheStatsAndMetrics(t *testing.T) {
 		t.Errorf("metrics = %+v", m)
 	}
 	infos, err := c.Experiments(ctx)
-	if err != nil || len(infos) != 15 {
+	if err != nil || len(infos) != 16 {
 		t.Fatalf("experiments listing: %d entries (%v)", len(infos), err)
 	}
 }

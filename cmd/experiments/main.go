@@ -98,7 +98,7 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
 		quick      = fs.Bool("quick", false, "reduced sizes and trial counts")
-		runID      = fs.String("run", "", "run a single experiment (E1..E15)")
+		runID      = fs.String("run", "", "run a single experiment (E1..E15, E17)")
 		seed       = fs.Uint64("seed", 0, "root seed (0 = default)")
 		workers    = fs.Int("workers", 0, "parallel cells in flight (0 = all cores)")
 		markdown   = fs.String("md", "", "also write a Markdown report to this file")
@@ -189,8 +189,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *cacheDir != "" {
 		store, err := cachestore.Open(cachestore.Options{
-			Dir:        *cacheDir,
-			KeyVersion: service.CellKeyVersion,
+			Dir:            *cacheDir,
+			KeyVersion:     service.CellKeyVersion,
+			CompatVersions: service.CellKeyCompatVersions(),
 		})
 		if err != nil {
 			return fmt.Errorf("opening cache store: %w", err)

@@ -130,8 +130,9 @@ func run(args []string) error {
 		lru := service.NewResultCache(*resultCap)
 		if *cacheDir != "" {
 			store, err := cachestore.Open(cachestore.Options{
-				Dir:        *cacheDir,
-				KeyVersion: service.CellKeyVersion,
+				Dir:            *cacheDir,
+				KeyVersion:     service.CellKeyVersion,
+				CompatVersions: service.CellKeyCompatVersions(),
 				Logf: func(format string, args ...interface{}) {
 					logger.Info(fmt.Sprintf(format, args...))
 				},

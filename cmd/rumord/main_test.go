@@ -193,8 +193,8 @@ func TestRumordServesAndDrainsOnSIGTERM(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(infos) != 15 {
-		t.Fatalf("experiment registry lists %d entries, want 15", len(infos))
+	if len(infos) != 16 {
+		t.Fatalf("experiment registry lists %d entries, want 16", len(infos))
 	}
 	cells := 0
 	outcome, err := c.RunExperiment(ctx, "e12", client.RunExperimentRequest{Quick: true, Seed: 1},

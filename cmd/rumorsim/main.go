@@ -10,6 +10,8 @@
 //	rumorsim -graph star -n 4096 -protocol push -timing sync -trials 50
 //	rumorsim -graph diamond -sweep 512,1331,4096 -timing both -csv
 //	rumorsim -graph hypercube -n 4096 -server http://localhost:8080
+//	rumorsim -graph gnp-threshold -n 512 -dynamic resample
+//	rumorsim -graph hypercube -n 256 -churn "5@2:leave,5@8:join-drop"
 package main
 
 import (
@@ -51,6 +53,10 @@ func run(args []string) error {
 		workers    = fs.Int("workers", 0, "parallel workers (0 = all cores)")
 		loss       = fs.Float64("loss", 0, "per-contact loss probability in [0, 1)")
 		view       = fs.String("view", "", "async process view: global-clock, per-node-clocks, per-edge-clocks")
+		dynamic    = fs.String("dynamic", "", "time-varying topology: resample (fresh instance per epoch) or perturb (edge-Markovian evolution)")
+		dynPeriod  = fs.Float64("dynamic-period", 0, "epoch length in rounds/time units for -dynamic (0 = 1)")
+		perturb    = fs.Float64("perturb-rate", 0, "per-epoch edge flip rate in (0, 1] for -dynamic perturb")
+		churnSpec  = fs.String("churn", "", "comma-separated churn events node@time:op, op in leave, join, join-drop (e.g. 5@2:leave,5@8:join-drop)")
 		csv        = fs.Bool("csv", false, "emit CSV instead of an aligned table")
 		useCache   = fs.Bool("cache", false, "serve repeated cells from a result LRU (rumord's cache tier)")
 		server     = fs.String("server", "", "run the cells on a rumord server at this base URL (typed client SDK) instead of in-process")
@@ -72,7 +78,14 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	churn, err := parseChurn(*churnSpec)
+	if err != nil {
+		return err
+	}
 	if *curve {
+		if *dynamic != "" || len(churn) > 0 {
+			return fmt.Errorf("-curve does not support -dynamic or -churn (it samples static full trajectories)")
+		}
 		if *server != "" {
 			return fmt.Errorf("-curve runs in-process only (it samples full trajectories, not cells)")
 		}
@@ -144,6 +157,10 @@ func run(args []string) error {
 			if tm == service.TimingAsync {
 				cell.View = *view
 			}
+			cell.Dynamic = *dynamic
+			cell.DynamicPeriod = *dynPeriod
+			cell.PerturbRate = *perturb
+			cell.Churn = churn
 			cells = append(cells, cell)
 			cellTimings = append(cellTimings, tm)
 		}
@@ -307,4 +324,44 @@ func emitCurves(g *rumor.Graph, proto core.Protocol, timing string, trials int, 
 
 func parseProtocol(name string) (core.Protocol, error) {
 	return service.ParseProtocol(name)
+}
+
+// parseChurn parses the -churn flag: comma-separated node@time:op
+// entries, op one of leave, join, join-drop. Listed order is preserved
+// (same-time events apply in listed order).
+func parseChurn(spec string) ([]service.ChurnSpec, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var churn []service.ChurnSpec
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		at := strings.IndexByte(part, '@')
+		colon := strings.LastIndexByte(part, ':')
+		if at < 0 || colon < at {
+			return nil, fmt.Errorf("bad churn entry %q (want node@time:op)", part)
+		}
+		node, err := strconv.Atoi(part[:at])
+		if err != nil {
+			return nil, fmt.Errorf("bad churn node in %q: %v", part, err)
+		}
+		t, err := strconv.ParseFloat(part[at+1:colon], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad churn time in %q: %v", part, err)
+		}
+		ev := service.ChurnSpec{Node: node, Time: t}
+		switch part[colon+1:] {
+		case "leave":
+			ev.Op = service.ChurnOpLeave
+		case "join":
+			ev.Op = service.ChurnOpJoin
+		case "join-drop":
+			ev.Op = service.ChurnOpJoin
+			ev.DropState = true
+		default:
+			return nil, fmt.Errorf("bad churn op in %q (want leave, join, join-drop)", part)
+		}
+		churn = append(churn, ev)
+	}
+	return churn, nil
 }

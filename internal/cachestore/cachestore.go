@@ -66,9 +66,16 @@ type Options struct {
 	Dir string
 	// KeyVersion is the cache-key version the caller's keys are
 	// computed under (e.g. service.CellKeyVersion). Records written
-	// under any other version are ignored on open and reclaimed by
-	// compaction. Required.
+	// under any other version — except those listed in CompatVersions —
+	// are ignored on open and reclaimed by compaction. Required.
 	KeyVersion string
+	// CompatVersions lists older key versions whose records are still
+	// served (e.g. service.CellKeyCompatVersions after an append-only
+	// key-schema bump: old specs keep rendering their old keys, so the
+	// cached values remain exact). Compat records keep their original
+	// version stamp through compaction; new writes always use
+	// KeyVersion.
+	CompatVersions []string
 	// SegmentBytes rolls the active segment once it exceeds this size;
 	// 0 selects DefaultSegmentBytes.
 	SegmentBytes int64
@@ -288,6 +295,16 @@ func (s *Store) logf(format string, args ...interface{}) {
 	}
 }
 
+// compatVersion reports whether v is an accepted legacy key version.
+func (s *Store) compatVersion(v string) bool {
+	for _, c := range s.opts.CompatVersions {
+		if v == c {
+			return true
+		}
+	}
+	return false
+}
+
 // recover scans existing segments in id order and rebuilds the index.
 func (s *Store) recover() error {
 	entries, err := os.ReadDir(s.opts.Dir)
@@ -372,7 +389,7 @@ func (s *Store) recoverSegment(id int, active bool) error {
 		}
 		n := int64(len(line))
 		switch {
-		case rec.KeyVersion != s.opts.KeyVersion:
+		case rec.KeyVersion != s.opts.KeyVersion && !s.compatVersion(rec.KeyVersion):
 			// Stale key format: never served, reclaimed by compaction.
 			s.st.DeadBytes += n
 		default:

@@ -143,6 +143,66 @@ func TestKeyVersionMismatchIgnored(t *testing.T) {
 	}
 }
 
+// TestCompatVersionsServedAcrossBump: records written under an older
+// key version stay readable when the reopening store lists it in
+// CompatVersions, keep their original stamp through compaction, and
+// coexist with new current-version writes.
+func TestCompatVersionsServedAcrossBump(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir, KeyVersion: "v2"})
+	s.Put("old", val(1))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := mustOpen(t, Options{Dir: dir, KeyVersion: "v3", CompatVersions: []string{"v2"}})
+	if v, ok := r.Get("old"); !ok || string(v) != string(val(1)) {
+		t.Fatalf("compat record not served: %q, %v", v, ok)
+	}
+	r.Put("new", val(2))
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Compaction rewrites segments; the v2 record must survive it with
+	// its original stamp (proven by reopening with the compat list).
+	r.Put("old2", val(3))
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := r.Get("old"); !ok || string(v) != string(val(1)) {
+		t.Fatalf("compat record lost in compaction: %q, %v", v, ok)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	again := mustOpen(t, Options{Dir: dir, KeyVersion: "v3", CompatVersions: []string{"v2"}})
+	for _, tc := range []struct {
+		key  string
+		want []byte
+	}{{"old", val(1)}, {"new", val(2)}, {"old2", val(3)}} {
+		if v, ok := again.Get(tc.key); !ok || string(v) != string(tc.want) {
+			t.Errorf("after compaction and reopen: %s = %q, %v", tc.key, v, ok)
+		}
+	}
+	if err := again.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Without the compat list the v2 record goes back to being ignored —
+	// compaction preserved the original stamp rather than restamping.
+	strict := mustOpen(t, Options{Dir: dir, KeyVersion: "v3"})
+	if _, ok := strict.Get("old"); ok {
+		t.Error("v2 record restamped to v3 during compaction")
+	}
+	if v, ok := strict.Get("new"); !ok || string(v) != string(val(2)) {
+		t.Errorf("current-version record lost: %q, %v", v, ok)
+	}
+}
+
 func TestInvalidValueDropped(t *testing.T) {
 	s := mustOpen(t, Options{Dir: t.TempDir(), KeyVersion: "v2"})
 	s.Put("k", []byte(`{"broken":`))

@@ -51,18 +51,25 @@ func RunAsync(g *graph.Graph, src graph.NodeID, cfg AsyncConfig, rng *xrand.RNG)
 	}
 	// With uniform clock rates (no crash schedule) every view reduces to
 	// the Gillespie direct-method stepper: one Exp draw for the tick time
-	// and one uniform draw for the actor, no event heap. Crash schedules
-	// keep the heap-based engines, whose clock-stopping semantics are the
-	// reference for the stepper's thinning (see AsyncStepper).
+	// and one uniform draw for the actor, no event heap. Crash-only
+	// schedules keep the heap-based engines, whose clock-stopping
+	// semantics are the reference for the stepper's thinning (see
+	// AsyncStepper). Churn schedules run on the stepper in the
+	// GlobalClock and PerNodeClocks views (thinning models a rejoining
+	// clock exactly); the per-edge heap engine cannot restart stopped
+	// edge clocks, so churn is rejected there.
 	switch view {
 	case GlobalClock:
 		return runAsyncFast(g, src, cfg, maxSteps, rng)
 	case PerNodeClocks:
-		if len(cfg.Crashes) == 0 {
+		if len(cfg.Crashes) == 0 || len(cfg.Churn) > 0 {
 			return runAsyncFast(g, src, cfg, maxSteps, rng)
 		}
 		return runAsyncPerNode(g, src, cfg, prob, maxSteps, rng)
 	default:
+		if len(cfg.Churn) > 0 {
+			return nil, fmt.Errorf("%w: churn schedules are not supported in the per-edge-clocks view", ErrBadView)
+		}
 		if len(cfg.Crashes) == 0 {
 			return runAsyncFast(g, src, cfg, maxSteps, rng)
 		}
@@ -76,12 +83,19 @@ type asyncRun struct {
 	informedAt []float64
 	cfg        AsyncConfig
 	prob       float64
-	crashes    *crashTracker
+	avail      *availTracker
 	sources    []graph.NodeID
-	// checkEvery throttles the progress-possibility scan needed when
-	// crashes may strand the rumor; 0 disables the scan.
+	// checkEvery throttles the strandedness scan needed when crashes or
+	// churn may isolate the rumor; 0 disables the scan.
 	checkEvery int64
-	halted     bool // progress became impossible (crash isolation)
+	// dynamic marks a time-varying topology: the static progress scan is
+	// replaced by the online-informed-count check (a later epoch may
+	// reconnect anything the current graph separates).
+	dynamic bool
+	// aliveInformed counts informed nodes currently online; maintained
+	// only when a schedule is present.
+	aliveInformed int
+	halted        bool // progress became impossible (crash/churn isolation)
 }
 
 func newAsyncRun(g *graph.Graph, src graph.NodeID, cfg AsyncConfig, prob float64) (*asyncRun, error) {
@@ -90,7 +104,7 @@ func newAsyncRun(g *graph.Graph, src graph.NodeID, cfg AsyncConfig, prob float64
 	if err != nil {
 		return nil, err
 	}
-	crashes, err := newCrashTracker(n, cfg.Crashes)
+	avail, err := newAvailTracker(n, cfg.Crashes, cfg.Churn)
 	if err != nil {
 		return nil, err
 	}
@@ -99,10 +113,11 @@ func newAsyncRun(g *graph.Graph, src graph.NodeID, cfg AsyncConfig, prob float64
 		informedAt: make([]float64, n),
 		cfg:        cfg,
 		prob:       prob,
-		crashes:    crashes,
+		avail:      avail,
 		sources:    sources,
 	}
-	if crashes != nil {
+	a.aliveInformed = len(sources)
+	if avail != nil {
 		a.checkEvery = int64(2*n) + 16
 	}
 	a.startTrial()
@@ -111,10 +126,15 @@ func newAsyncRun(g *graph.Graph, src graph.NodeID, cfg AsyncConfig, prob float64
 
 // reset re-initializes the run for a fresh trial, reusing storage.
 func (a *asyncRun) reset() {
-	a.st.reset(a.sources, a.st.reachable)
-	if a.crashes != nil {
-		a.crashes.reset()
+	reachable := a.st.reachable
+	if a.dynamic {
+		reachable = len(a.informedAt)
 	}
+	a.st.reset(a.sources, reachable)
+	if a.avail != nil {
+		a.avail.reset()
+	}
+	a.aliveInformed = len(a.sources)
 	a.halted = false
 	a.startTrial()
 }
@@ -132,24 +152,60 @@ func (a *asyncRun) startTrial() {
 	}
 }
 
-// tick advances the crash schedule to time t and periodically re-checks
-// whether progress is still possible; it reports whether the run should
-// stop.
+// tick advances the crash/churn schedule to time t and periodically
+// re-checks whether the rumor is stranded; it reports whether the run
+// should stop.
 func (a *asyncRun) tick(t float64, step int64) bool {
-	if a.crashes == nil {
+	if a.avail == nil {
 		return false
 	}
-	a.crashes.advance(t)
-	if step%a.checkEvery == 0 && !progressPossible(a.st, a.crashes) {
-		a.halted = true
+	a.avail.advance(t, a.applyChurn)
+	if a.st.done() {
+		// An amnesiac rejoin or permanent leave moved the target.
 		return true
+	}
+	if step%a.checkEvery == 0 {
+		stranded := false
+		if a.dynamic {
+			stranded = a.aliveInformed == 0
+		} else {
+			stranded = !progressPossible(a.st, a.avail)
+		}
+		if stranded && !a.avail.hasFutureJoin() {
+			a.halted = true
+			return true
+		}
 	}
 	return false
 }
 
+// applyChurn is the availTracker transition callback; see
+// SyncStepper.applyChurn for the invariants it maintains.
+func (a *asyncRun) applyChurn(ev ChurnEvent, perm bool) {
+	v := ev.Node
+	switch ev.Op {
+	case ChurnLeave:
+		if a.st.informed.get(v) {
+			a.aliveInformed--
+		} else if perm && a.dynamic {
+			a.st.reachable--
+		}
+	case ChurnJoin:
+		if !a.st.informed.get(v) {
+			return
+		}
+		if ev.DropState {
+			a.st.uninform(v)
+			a.informedAt[v] = -1
+		} else {
+			a.aliveInformed++
+		}
+	}
+}
+
 // contact processes one step in which v contacts w at time t.
 func (a *asyncRun) contact(t float64, v, w graph.NodeID, rng *xrand.RNG) {
-	if !aliveIn(a.crashes, v) || !aliveIn(a.crashes, w) {
+	if !aliveIn(a.avail, v) || !aliveIn(a.avail, w) {
 		return
 	}
 	vInf, wInf := a.st.informed.get(v), a.st.informed.get(w)
@@ -179,6 +235,7 @@ func (a *asyncRun) contact(t float64, v, w graph.NodeID, rng *xrand.RNG) {
 func (a *asyncRun) inform(t float64, v, from graph.NodeID) {
 	a.st.markInformed(v, from)
 	a.informedAt[v] = t
+	a.aliveInformed++
 	if a.cfg.Observer != nil {
 		a.cfg.Observer.OnInformed(t, v, from)
 	}
@@ -239,10 +296,10 @@ func runAsyncPerNode(g *graph.Graph, src graph.NodeID, cfg AsyncConfig, prob flo
 			break
 		}
 		// A crashed node's clock stops: do not reschedule it.
-		if aliveIn(a.crashes, v) {
+		if aliveIn(a.avail, v) {
 			q.Push(it.ID, t+rng.Exp(1))
 		}
-		if g.Degree(v) == 0 || !aliveIn(a.crashes, v) {
+		if g.Degree(v) == 0 || !aliveIn(a.avail, v) {
 			continue
 		}
 		w := g.RandomNeighbor(v, rng)
@@ -290,7 +347,7 @@ func runAsyncPerEdge(g *graph.Graph, src graph.NodeID, cfg AsyncConfig, prob flo
 			break
 		}
 		// A crashed owner's edge clocks stop: do not reschedule.
-		if aliveIn(a.crashes, v) {
+		if aliveIn(a.avail, v) {
 			q.Push(it.ID, t+rng.Exp(1/float64(g.Degree(v))))
 		} else {
 			continue

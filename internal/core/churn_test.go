@@ -1,0 +1,319 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"rumor/internal/graph"
+	"rumor/internal/xrand"
+)
+
+// --- Node churn ---
+
+// TestChurnLeaveMatchesCrash: a leave-only churn schedule is the same
+// process as a crash schedule at the same (node, time) pairs — the
+// thinning argument is identical — and the engines must agree draw for
+// draw.
+func TestChurnLeaveMatchesCrash(t *testing.T) {
+	g := mustGraph(graph.GNPConnected(40, 0.2, xrand.New(1), 100))
+	crashes := []Crash{{Node: 3, Time: 2}, {Node: 17, Time: 1}, {Node: 8, Time: 3.5}}
+	churn := make([]ChurnEvent, len(crashes))
+	for i, c := range crashes {
+		churn[i] = ChurnEvent{Node: c.Node, Time: c.Time, Op: ChurnLeave}
+	}
+	for seed := uint64(0); seed < 5; seed++ {
+		a, err := RunSync(g, 0, SyncConfig{Protocol: PushPull, Crashes: crashes}, xrand.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := RunSync(g, 0, SyncConfig{Protocol: PushPull, Churn: churn}, xrand.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Rounds != b.Rounds || !reflect.DeepEqual(a.InformedAt, b.InformedAt) {
+			t.Fatalf("seed %d: sync crash and leave-only churn runs diverged (%d vs %d rounds)",
+				seed, a.Rounds, b.Rounds)
+		}
+
+		ac, err := RunAsync(g, 0, AsyncConfig{Protocol: PushPull, Crashes: crashes}, xrand.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bc, err := RunAsync(g, 0, AsyncConfig{Protocol: PushPull, Churn: churn}, xrand.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ac.Time != bc.Time || !reflect.DeepEqual(ac.InformedAt, bc.InformedAt) {
+			t.Fatalf("seed %d: async crash and leave-only churn runs diverged", seed)
+		}
+	}
+}
+
+// TestChurnRejoinWithState: a node that leaves and rejoins without
+// dropping state keeps the rumor through the outage, so the run still
+// completes.
+func TestChurnRejoinWithState(t *testing.T) {
+	g := mustGraph(graph.Complete(8))
+	churn := []ChurnEvent{
+		{Node: 3, Time: 0, Op: ChurnLeave},
+		{Node: 3, Time: 6, Op: ChurnJoin},
+	}
+	res, err := RunSync(g, 0, SyncConfig{Protocol: PushPull, Churn: churn}, xrand.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatalf("rejoining node never informed: %d informed", res.NumInformed)
+	}
+	if res.InformedAt[3] < 6 {
+		t.Fatalf("node 3 informed at round %d while down until 6", res.InformedAt[3])
+	}
+}
+
+// TestChurnAmnesiacRejoin: a rejoin with DropState forgets the rumor
+// and must be re-informed. Node 1 bridges the path, so the run can only
+// complete by informing it again after the amnesiac rejoin.
+func TestChurnAmnesiacRejoin(t *testing.T) {
+	g := mustGraph(graph.Path(5))
+	churn := []ChurnEvent{
+		{Node: 1, Time: 2, Op: ChurnLeave},
+		{Node: 1, Time: 3, Op: ChurnJoin, DropState: true},
+	}
+	res, err := RunSync(g, 0, SyncConfig{Protocol: PushPull, Churn: churn}, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatalf("amnesiac bridge never re-informed: %d informed", res.NumInformed)
+	}
+	if res.InformedAt[1] < 3 {
+		t.Fatalf("node 1 reports informed at round %d, before its amnesiac rejoin at 3", res.InformedAt[1])
+	}
+}
+
+// TestChurnStrandedTerminates: a permanent leave that cuts the graph
+// strands the rumor; the run must halt cleanly (no budget error, no
+// spin) with a partial result.
+func TestChurnStrandedTerminates(t *testing.T) {
+	g := mustGraph(graph.Path(3))
+	churn := []ChurnEvent{{Node: 1, Time: 0, Op: ChurnLeave}}
+	res, err := RunSync(g, 0, SyncConfig{Protocol: PushPull, Churn: churn}, xrand.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Complete || res.NumInformed > 1 {
+		t.Fatalf("rumor crossed a departed node: %d informed", res.NumInformed)
+	}
+	ares, err := RunAsync(g, 0, AsyncConfig{Protocol: PushPull, Churn: churn}, xrand.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ares.Complete || ares.NumInformed > 1 {
+		t.Fatalf("async rumor crossed a departed node: %d informed", ares.NumInformed)
+	}
+}
+
+// TestChurnFutureJoinKeepsRunning: while a rejoin is still scheduled
+// the process must not declare itself stranded — it waits out the
+// outage and completes after the join.
+func TestChurnFutureJoinKeepsRunning(t *testing.T) {
+	g := mustGraph(graph.Complete(4))
+	var churn []ChurnEvent
+	for v := graph.NodeID(1); v < 4; v++ {
+		churn = append(churn,
+			ChurnEvent{Node: v, Time: 0, Op: ChurnLeave},
+			ChurnEvent{Node: v, Time: 10, Op: ChurnJoin})
+	}
+	res, err := RunSync(g, 0, SyncConfig{Protocol: PushPull, Churn: churn}, xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatalf("run gave up before the scheduled rejoins: %d informed", res.NumInformed)
+	}
+	if res.Rounds < 10 {
+		t.Fatalf("completed in %d rounds with everyone down until 10", res.Rounds)
+	}
+	ares, err := RunAsync(g, 0, AsyncConfig{Protocol: PushPull, Churn: churn}, xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ares.Complete || ares.Time < 10 {
+		t.Fatalf("async: complete=%v at %v, want completion after t=10", ares.Complete, ares.Time)
+	}
+}
+
+// TestChurnValidation: malformed schedules and unsupported engine
+// combinations are rejected with ErrBadChurn.
+func TestChurnValidation(t *testing.T) {
+	g := mustGraph(graph.Complete(8))
+	bad := [][]ChurnEvent{
+		{{Node: -1, Time: 1, Op: ChurnLeave}},
+		{{Node: 8, Time: 1, Op: ChurnLeave}},
+		{{Node: 1, Time: -1, Op: ChurnLeave}},
+		{{Node: 1, Time: 1, Op: 0}},
+	}
+	for i, churn := range bad {
+		if _, err := RunSync(g, 0, SyncConfig{Protocol: PushPull, Churn: churn}, xrand.New(1)); !errors.Is(err, ErrBadChurn) {
+			t.Errorf("bad schedule %d accepted by sync: %v", i, err)
+		}
+		if _, err := RunAsync(g, 0, AsyncConfig{Protocol: PushPull, Churn: churn}, xrand.New(1)); !errors.Is(err, ErrBadChurn) {
+			t.Errorf("bad schedule %d accepted by async: %v", i, err)
+		}
+	}
+
+	ok := []ChurnEvent{{Node: 1, Time: 1, Op: ChurnLeave}}
+	if _, err := RunAsync(g, 0, AsyncConfig{Protocol: PushPull, View: PerEdgeClocks, Churn: ok}, xrand.New(1)); !errors.Is(err, ErrBadView) {
+		t.Errorf("per-edge-clocks churn accepted: %v", err)
+	}
+	if _, err := RunSyncReference(g, 0, SyncConfig{Protocol: PushPull, Churn: ok}, xrand.New(1)); !errors.Is(err, ErrBadChurn) {
+		t.Errorf("reference engine accepted churn: %v", err)
+	}
+	if _, err := RunQuasirandomSync(g, 0, SyncConfig{Protocol: PushPull, Churn: ok}, xrand.New(1)); !errors.Is(err, ErrBadChurn) {
+		t.Errorf("quasirandom engine accepted churn: %v", err)
+	}
+	if _, err := RunPPVariant(g, 0, PPX, SyncConfig{Protocol: PushPull, Churn: ok}, xrand.New(1)); !errors.Is(err, ErrBadChurn) {
+		t.Errorf("ppx accepted churn: %v", err)
+	}
+}
+
+// --- Dynamic topology ---
+
+// TestStaticProviderMatchesStatic: the Topo entry points unwrap a
+// *graph.Static provider onto the static fast path, which must
+// reproduce the static engines draw for draw.
+func TestStaticProviderMatchesStatic(t *testing.T) {
+	g := mustGraph(graph.GNPConnected(32, 0.25, xrand.New(7), 100))
+	for seed := uint64(0); seed < 5; seed++ {
+		want, err := RunSync(g, 0, SyncConfig{Protocol: PushPull}, xrand.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := RunSyncTopo(graph.NewStatic(g), 0, SyncConfig{Protocol: PushPull}, xrand.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Rounds != want.Rounds || !reflect.DeepEqual(got.InformedAt, want.InformedAt) {
+			t.Fatalf("seed %d: static-provider sync run diverged from static (%d vs %d rounds)",
+				seed, got.Rounds, want.Rounds)
+		}
+
+		awant, err := RunAsync(g, 0, AsyncConfig{Protocol: PushPull}, xrand.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		agot, err := RunAsyncTopo(graph.NewStatic(g), 0, AsyncConfig{Protocol: PushPull}, xrand.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if agot.Time != awant.Time || !reflect.DeepEqual(agot.InformedAt, awant.InformedAt) {
+			t.Fatalf("seed %d: static-provider async run diverged from static", seed)
+		}
+	}
+}
+
+// TestConstantTopoMatchesStaticLaw: a Resample provider that serves the
+// same graph every epoch re-binds state each round, so the draw order
+// differs from the static engine — but the process law is identical.
+// Check the run is deterministic per seed, always completes, and its
+// mean spreading time sits in a tight band around the static mean.
+func TestConstantTopoMatchesStaticLaw(t *testing.T) {
+	g := mustGraph(graph.GNPConnected(32, 0.25, xrand.New(7), 100))
+	constant := func() graph.Provider {
+		p, err := graph.NewResample(g, 1, func(uint64) (*graph.Graph, error) { return g, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	const seeds = 30
+	var statSum, dynSum float64
+	for seed := uint64(0); seed < seeds; seed++ {
+		want, err := RunSync(g, 0, SyncConfig{Protocol: PushPull}, xrand.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := RunSyncTopo(constant(), 0, SyncConfig{Protocol: PushPull}, xrand.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Complete {
+			t.Fatalf("seed %d: constant-topo run incomplete (%d informed)", seed, got.NumInformed)
+		}
+		again, err := RunSyncTopo(constant(), 0, SyncConfig{Protocol: PushPull}, xrand.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Rounds != again.Rounds || !reflect.DeepEqual(got.InformedAt, again.InformedAt) {
+			t.Fatalf("seed %d: constant-topo run is not deterministic", seed)
+		}
+		statSum += float64(want.Rounds)
+		dynSum += float64(got.Rounds)
+	}
+	if ratio := dynSum / statSum; ratio < 0.5 || ratio > 2 {
+		t.Errorf("constant-topo/static mean round ratio = %.2f, outside the [0.5, 2] band", ratio)
+	}
+}
+
+// TestDynamicResampleCrossesEpochs: a disconnected base whose
+// re-sampled epochs are connected spreads the rumor across epochs —
+// coverage that no single static snapshot allows.
+func TestDynamicResampleCrossesEpochs(t *testing.T) {
+	// Base: two disjoint 8-cliques (disconnected). Every later epoch:
+	// one 16-clique.
+	b := graph.NewBuilder(16)
+	for u := 0; u < 8; u++ {
+		for v := u + 1; v < 8; v++ {
+			b.AddEdge(graph.NodeID(u), graph.NodeID(v))
+			b.AddEdge(graph.NodeID(u+8), graph.NodeID(v+8))
+		}
+	}
+	base, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := mustGraph(graph.Complete(16))
+	topo, err := graph.NewResample(base, 2, func(uint64) (*graph.Graph, error) { return full, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunSyncTopo(topo, 0, SyncConfig{Protocol: PushPull}, xrand.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatalf("rumor never crossed into the reconnecting epochs: %d informed", res.NumInformed)
+	}
+	// The second clique is unreachable before the epoch switch at t=2.
+	for v := 8; v < 16; v++ {
+		if at := res.InformedAt[v]; at >= 0 && at < 3 {
+			t.Fatalf("node %d informed at round %d, before any connecting epoch existed", v, at)
+		}
+	}
+
+	topo.Reset()
+	ares, err := RunAsyncTopo(topo, 0, AsyncConfig{Protocol: PushPull}, xrand.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ares.Complete {
+		t.Fatalf("async rumor never crossed epochs: %d informed", ares.NumInformed)
+	}
+}
+
+// TestDynamicTopoErrorSurfaces: a provider whose epoch build fails
+// surfaces the failure through the run's error (with the partial
+// result) instead of silently freezing the topology.
+func TestDynamicTopoErrorSurfaces(t *testing.T) {
+	base := mustGraph(graph.Path(64))
+	topo, err := graph.NewResample(base, 1, func(e uint64) (*graph.Graph, error) {
+		return nil, errors.New("generator exploded")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunSyncTopo(topo, 0, SyncConfig{Protocol: PushPull}, xrand.New(1)); err == nil {
+		t.Fatal("epoch build failure not surfaced")
+	}
+}

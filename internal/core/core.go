@@ -132,6 +132,11 @@ type SyncConfig struct {
 	// Crashes is an optional fail-stop schedule (extension): each entry
 	// permanently silences a node from the given round on.
 	Crashes []Crash
+	// Churn is an optional join/leave schedule (extension) generalizing
+	// Crashes: nodes go offline and may rejoin, with or without their
+	// rumor state. Crashes and Churn merge into one schedule; crashes
+	// apply first at equal times.
+	Churn []ChurnEvent
 	// Observer, if non-nil, receives informing events.
 	Observer Observer
 }
@@ -153,6 +158,13 @@ type AsyncConfig struct {
 	// Crashes is an optional fail-stop schedule (extension): each entry
 	// permanently silences a node from the given time on.
 	Crashes []Crash
+	// Churn is an optional join/leave schedule (extension) generalizing
+	// Crashes: nodes go offline and may rejoin, with or without their
+	// rumor state. Crashes and Churn merge into one schedule; crashes
+	// apply first at equal times. Churn requires the GlobalClock or
+	// PerNodeClocks view (per-edge clocks would need clock restarts the
+	// heap engines do not model).
+	Churn []ChurnEvent
 	// Observer, if non-nil, receives informing events.
 	Observer Observer
 }
@@ -368,6 +380,59 @@ func (s *spreadState) markInformed(v, from graph.NodeID) {
 		if !s.informed.get(w) && !s.inBoundary.get(w) {
 			s.inBoundary.set(w)
 			s.boundary = append(s.boundary, w)
+		}
+	}
+}
+
+// uninform removes v from the informed set (an amnesiac churn rejoin),
+// restoring every invariant markInformed maintains: neighbor counts,
+// the first-informer tree, boundary membership, and the order list
+// (compacted so order stays exactly the informed set, which the push
+// loop iterates). Churn schedules are short, so the O(n) compaction
+// per uninform is irrelevant.
+func (s *spreadState) uninform(v graph.NodeID) {
+	if !s.informed.get(v) {
+		return
+	}
+	s.informed.clearBit(v)
+	s.parent[v] = -1
+	s.num--
+	for _, w := range s.g.Neighbors(v) {
+		s.infNbrs[w]--
+	}
+	if s.infNbrs[v] > 0 && !s.inBoundary.get(v) {
+		s.inBoundary.set(v)
+		s.boundary = append(s.boundary, v)
+	}
+	live := s.order[:0]
+	for _, w := range s.order {
+		if w != v {
+			live = append(live, w)
+		}
+	}
+	s.order = live
+}
+
+// rebind points the state at a new graph over the same node set (a
+// dynamic-topology epoch change) and rebuilds everything derived from
+// adjacency: informed-neighbor counts and the uninformed boundary. The
+// informed set, tree, and order are topology-independent and carry
+// over. O(n + edges incident to informed nodes).
+func (s *spreadState) rebind(g *graph.Graph) {
+	s.g = g
+	n := g.NumNodes()
+	clear(s.infNbrs)
+	for _, v := range s.order {
+		for _, w := range g.Neighbors(v) {
+			s.infNbrs[w]++
+		}
+	}
+	s.inBoundary.reset(n)
+	s.boundary = s.boundary[:0]
+	for v := graph.NodeID(0); int(v) < n; v++ {
+		if s.infNbrs[v] > 0 && !s.informed.get(v) {
+			s.inBoundary.set(v)
+			s.boundary = append(s.boundary, v)
 		}
 	}
 }

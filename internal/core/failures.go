@@ -14,86 +14,201 @@ import (
 // the node neither initiates contacts nor responds to them, so any
 // rumor it holds is lost to the network. Crash injection is an extension
 // beyond the paper's model (flagged in DESIGN.md §6) used to study the
-// protocol's robustness.
+// protocol's robustness. A crash is churn that never rejoins: crash
+// schedules and churn schedules share one tracker.
 type Crash struct {
 	Node graph.NodeID
 	Time float64
 }
 
-// ErrBadCrash reports an invalid crash schedule entry.
-var ErrBadCrash = errors.New("core: invalid crash schedule")
+// ChurnOp is the kind of a churn event.
+type ChurnOp int
 
-// crashTracker applies a crash schedule as simulated time advances.
-type crashTracker struct {
-	crashed []bool
-	sched   []Crash // sorted by Time
-	next    int
-	n       int // crashes applied so far
+// Churn operations.
+const (
+	// ChurnLeave takes the node offline: it neither initiates contacts
+	// nor responds to them. Unlike a crash it may rejoin later.
+	ChurnLeave ChurnOp = iota + 1
+	// ChurnJoin brings a previously offline node back. With DropState
+	// it rejoins amnesiac: any rumor it held is forgotten.
+	ChurnJoin
+)
+
+// String returns the schedule-syntax name of the operation.
+func (op ChurnOp) String() string {
+	switch op {
+	case ChurnLeave:
+		return "leave"
+	case ChurnJoin:
+		return "join"
+	default:
+		return fmt.Sprintf("ChurnOp(%d)", int(op))
+	}
 }
 
-// newCrashTracker validates and indexes a crash schedule; it returns nil
-// for an empty schedule.
-func newCrashTracker(n int, crashes []Crash) (*crashTracker, error) {
-	if len(crashes) == 0 {
+// ChurnEvent schedules a node joining or leaving the network at Time
+// (round number for synchronous runs, continuous time for asynchronous
+// runs). Leave events for nodes already offline and Join events for
+// nodes already online are no-ops, so schedules compose without
+// cross-validation.
+type ChurnEvent struct {
+	Node graph.NodeID
+	Time float64
+	Op   ChurnOp
+	// DropState makes a Join amnesiac: the node rejoins uninformed even
+	// if it held the rumor when it left.
+	DropState bool
+}
+
+// Schedule validation errors.
+var (
+	// ErrBadCrash reports an invalid crash schedule entry.
+	ErrBadCrash = errors.New("core: invalid crash schedule")
+	// ErrBadChurn reports an invalid churn schedule entry.
+	ErrBadChurn = errors.New("core: invalid churn schedule")
+)
+
+// churnRec is one indexed schedule entry. perm marks a Leave with no
+// later Join for the same node: the node is gone for good, which lets
+// dynamic-topology runs shrink their completion target instead of
+// spinning until the step budget.
+type churnRec struct {
+	ev   ChurnEvent
+	perm bool
+}
+
+// availTracker applies a merged crash + churn schedule as simulated
+// time advances, tracking which nodes are currently offline. It
+// generalizes the original crash-only tracker; with a crash-only
+// schedule it behaves identically (crashes are Leave events that never
+// rejoin).
+type availTracker struct {
+	down  []bool
+	sched []churnRec // stable-sorted by Time; crashes precede churn at equal times
+	// joinsAfter[i] is the number of Join events in sched[i:], so
+	// hasFutureJoin is O(1) at any point in the schedule.
+	joinsAfter []int32
+	next       int
+}
+
+// newAvailTracker validates and indexes a crash + churn schedule; it
+// returns nil when both schedules are empty. The merged schedule is
+// stable-sorted by Time: crashes apply before churn events at the same
+// time, and same-time churn events apply in their given order.
+func newAvailTracker(n int, crashes []Crash, churn []ChurnEvent) (*availTracker, error) {
+	if len(crashes) == 0 && len(churn) == 0 {
 		return nil, nil
 	}
-	sched := append([]Crash(nil), crashes...)
-	for _, c := range sched {
+	sched := make([]churnRec, 0, len(crashes)+len(churn))
+	for _, c := range crashes {
 		if c.Node < 0 || int(c.Node) >= n {
 			return nil, fmt.Errorf("%w: node %d out of range", ErrBadCrash, c.Node)
 		}
 		if c.Time < 0 || math.IsNaN(c.Time) || math.IsInf(c.Time, 0) {
 			return nil, fmt.Errorf("%w: time %v", ErrBadCrash, c.Time)
 		}
+		sched = append(sched, churnRec{ev: ChurnEvent{Node: c.Node, Time: c.Time, Op: ChurnLeave}})
 	}
-	sort.Slice(sched, func(i, j int) bool { return sched[i].Time < sched[j].Time })
-	return &crashTracker{crashed: make([]bool, n), sched: sched}, nil
-}
-
-// advance marks every node whose crash time is <= t as crashed and
-// reports whether any new crash was applied.
-func (c *crashTracker) advance(t float64) bool {
-	changed := false
-	for c.next < len(c.sched) && c.sched[c.next].Time <= t {
-		v := c.sched[c.next].Node
-		if !c.crashed[v] {
-			c.crashed[v] = true
-			c.n++
-			changed = true
+	for _, ev := range churn {
+		if ev.Node < 0 || int(ev.Node) >= n {
+			return nil, fmt.Errorf("%w: node %d out of range", ErrBadChurn, ev.Node)
 		}
-		c.next++
+		if ev.Time < 0 || math.IsNaN(ev.Time) || math.IsInf(ev.Time, 0) {
+			return nil, fmt.Errorf("%w: time %v", ErrBadChurn, ev.Time)
+		}
+		if ev.Op != ChurnLeave && ev.Op != ChurnJoin {
+			return nil, fmt.Errorf("%w: op %d", ErrBadChurn, int(ev.Op))
+		}
+		if ev.DropState && ev.Op != ChurnJoin {
+			return nil, fmt.Errorf("%w: DropState is a join option", ErrBadChurn)
+		}
+		sched = append(sched, churnRec{ev: ev})
 	}
-	return changed
+	sort.SliceStable(sched, func(i, j int) bool { return sched[i].ev.Time < sched[j].ev.Time })
+	a := &availTracker{
+		down:       make([]bool, n),
+		sched:      sched,
+		joinsAfter: make([]int32, len(sched)+1),
+	}
+	// Backward scan: suffix join counts, and the per-node "gone for
+	// good" mark on each node's final Leave.
+	rejoins := make(map[graph.NodeID]bool)
+	for i := len(sched) - 1; i >= 0; i-- {
+		a.joinsAfter[i] = a.joinsAfter[i+1]
+		switch sched[i].ev.Op {
+		case ChurnJoin:
+			a.joinsAfter[i]++
+			rejoins[sched[i].ev.Node] = true
+		case ChurnLeave:
+			a.sched[i].perm = !rejoins[sched[i].ev.Node]
+		}
+	}
+	return a, nil
 }
 
-// alive reports whether v has not crashed. A nil tracker means no
-// crashes: use the package-level aliveIn helper on possibly-nil trackers.
-func (c *crashTracker) alive(v graph.NodeID) bool { return !c.crashed[v] }
+// advance applies every event whose time is <= t, invoking apply (which
+// may be nil) for each state transition. Leave events for offline nodes
+// and Join events for online nodes are skipped without a callback.
+func (a *availTracker) advance(t float64, apply func(ev ChurnEvent, perm bool)) {
+	for a.next < len(a.sched) && a.sched[a.next].ev.Time <= t {
+		rec := a.sched[a.next]
+		a.next++
+		v := rec.ev.Node
+		switch rec.ev.Op {
+		case ChurnLeave:
+			if a.down[v] {
+				continue
+			}
+			a.down[v] = true
+		case ChurnJoin:
+			if !a.down[v] {
+				continue
+			}
+			a.down[v] = false
+		}
+		if apply != nil {
+			apply(rec.ev, rec.perm)
+		}
+	}
+}
+
+// alive reports whether v is currently online. A nil tracker means no
+// schedule: use the package-level aliveIn helper on possibly-nil
+// trackers.
+func (a *availTracker) alive(v graph.NodeID) bool { return !a.down[v] }
+
+// hasFutureJoin reports whether any Join event remains unapplied: the
+// offline set can still shrink, so a stalled rumor may yet resume.
+func (a *availTracker) hasFutureJoin() bool {
+	return a != nil && a.joinsAfter[a.next] > 0
+}
 
 // aliveIn reports liveness under a possibly-nil tracker.
-func aliveIn(c *crashTracker, v graph.NodeID) bool {
-	return c == nil || !c.crashed[v]
+func aliveIn(a *availTracker, v graph.NodeID) bool {
+	return a == nil || !a.down[v]
 }
 
 // reset restores the tracker to its initial (pre-simulation) state,
 // reusing storage.
-func (c *crashTracker) reset() {
-	clear(c.crashed)
-	c.next = 0
-	c.n = 0
+func (a *availTracker) reset() {
+	clear(a.down)
+	a.next = 0
 }
 
-// progressPossible reports whether any transmission can still occur:
-// some alive uninformed node has an alive informed neighbor. It compacts
-// the boundary as a side effect.
-func progressPossible(st *spreadState, c *crashTracker) bool {
+// progressPossible reports whether any transmission can still occur on
+// the current graph and offline set: some online uninformed node has an
+// online informed neighbor. It compacts the boundary as a side effect.
+// Callers with Join events still pending must also consult
+// hasFutureJoin, and dynamic-topology runs must not use this at all —
+// a future graph may reconnect the rumor.
+func progressPossible(st *spreadState, a *availTracker) bool {
 	st.compactBoundary()
 	for _, v := range st.boundary {
-		if !aliveIn(c, v) {
+		if !aliveIn(a, v) {
 			continue
 		}
 		for _, w := range st.g.Neighbors(v) {
-			if st.informed.get(w) && aliveIn(c, w) {
+			if st.informed.get(w) && aliveIn(a, w) {
 				return true
 			}
 		}

@@ -52,6 +52,9 @@ func RunPPVariant(g *graph.Graph, src graph.NodeID, variant PPVariant, cfg SyncC
 	if cfg.Protocol != 0 && cfg.Protocol != PushPull {
 		return nil, fmt.Errorf("%w: %v is defined for push-pull only", ErrBadProtocol, variant)
 	}
+	if len(cfg.Churn) > 0 {
+		return nil, fmt.Errorf("%w: %v does not support churn", ErrBadChurn, variant)
+	}
 	prob, err := validateCommon(g, src, PushPull, cfg.TransmitProb)
 	if err != nil {
 		return nil, err

@@ -34,6 +34,9 @@ func RunQuasirandomSync(g *graph.Graph, src graph.NodeID, cfg SyncConfig, rng *x
 	if len(cfg.Crashes) > 0 {
 		return nil, fmt.Errorf("%w: quasirandom engine does not support crash injection", ErrBadCrash)
 	}
+	if len(cfg.Churn) > 0 {
+		return nil, fmt.Errorf("%w: quasirandom engine does not support churn", ErrBadChurn)
+	}
 	maxRounds := cfg.MaxRounds
 	if maxRounds <= 0 {
 		maxRounds = defaultMaxRounds(g.NumNodes())

@@ -40,7 +40,10 @@ func RunSyncReference(g *graph.Graph, src graph.NodeID, cfg SyncConfig, rng *xra
 	if err != nil {
 		return nil, err
 	}
-	crashes, err := newCrashTracker(n, cfg.Crashes)
+	if len(cfg.Churn) > 0 {
+		return nil, fmt.Errorf("%w: the reference engine does not model churn", ErrBadChurn)
+	}
+	crashes, err := newAvailTracker(n, cfg.Crashes, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -125,7 +128,7 @@ func RunSyncReference(g *graph.Graph, src graph.NodeID, cfg SyncConfig, rng *xra
 	var updates int64
 	for num < reachable {
 		if crashes != nil {
-			crashes.advance(float64(round + 1))
+			crashes.advance(float64(round+1), nil)
 			if !canProgress() {
 				break
 			}

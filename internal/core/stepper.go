@@ -19,10 +19,11 @@ import (
 // concurrent use.
 type SyncStepper struct {
 	g          *graph.Graph
+	topo       graph.Provider // nil for a static topology
 	rng        *xrand.RNG
 	st         *spreadState
 	informedAt []int32
-	crashes    *crashTracker
+	avail      *availTracker
 	observer   Observer
 	sources    []graph.NodeID
 	prob       float64
@@ -30,9 +31,14 @@ type SyncStepper struct {
 	doPull     bool
 	round      int
 	updates    int64
-	finished   bool
-	pending    []syncPending
-	draws      []uint64
+	// aliveInformed counts informed nodes currently online; maintained
+	// only when a schedule is present. Zero with no joins pending means
+	// the rumor is stranded regardless of future topology.
+	aliveInformed int
+	finished      bool
+	terr          error
+	pending       []syncPending
+	draws         []uint64
 }
 
 type syncPending struct{ v, from graph.NodeID }
@@ -41,6 +47,26 @@ type syncPending struct{ v, from graph.NodeID }
 // the sources informed at round 0. MaxRounds in cfg is ignored — the
 // caller controls the loop.
 func NewSyncStepper(g *graph.Graph, src graph.NodeID, cfg SyncConfig, rng *xrand.RNG) (*SyncStepper, error) {
+	return newSyncStepper(g, nil, src, cfg, rng)
+}
+
+// NewSyncStepperTopo is NewSyncStepper over a time-varying topology:
+// round r executes on topo's graph at time r-1 (round 1 runs on the
+// epoch-0 graph). Reachability-based early termination is disabled — a
+// future epoch may reconnect the rumor — so runs on topologies that
+// never reach some node end only at the caller's round budget (or when
+// churn has permanently removed the unreachable nodes). Topology
+// materialization errors surface through Err.
+func NewSyncStepperTopo(topo graph.Provider, src graph.NodeID, cfg SyncConfig, rng *xrand.RNG) (*SyncStepper, error) {
+	if st, ok := topo.(*graph.Static); ok {
+		g, _ := st.At(0)
+		return newSyncStepper(g, nil, src, cfg, rng)
+	}
+	g, _ := topo.At(0)
+	return newSyncStepper(g, topo, src, cfg, rng)
+}
+
+func newSyncStepper(g *graph.Graph, topo graph.Provider, src graph.NodeID, cfg SyncConfig, rng *xrand.RNG) (*SyncStepper, error) {
 	prob, err := validateCommon(g, src, cfg.Protocol, cfg.TransmitProb)
 	if err != nil {
 		return nil, err
@@ -49,21 +75,28 @@ func NewSyncStepper(g *graph.Graph, src graph.NodeID, cfg SyncConfig, rng *xrand
 	if err != nil {
 		return nil, err
 	}
-	crashes, err := newCrashTracker(g.NumNodes(), cfg.Crashes)
+	avail, err := newAvailTracker(g.NumNodes(), cfg.Crashes, cfg.Churn)
 	if err != nil {
 		return nil, err
 	}
 	s := &SyncStepper{
 		g:          g,
+		topo:       topo,
 		rng:        rng,
 		st:         newSpreadStateMulti(g, sources),
 		informedAt: make([]int32, g.NumNodes()),
-		crashes:    crashes,
+		avail:      avail,
 		observer:   cfg.Observer,
 		sources:    sources,
 		prob:       prob,
 		doPush:     cfg.Protocol == Push || cfg.Protocol == PushPull,
 		doPull:     cfg.Protocol == Pull || cfg.Protocol == PushPull,
+	}
+	s.aliveInformed = len(sources)
+	if topo != nil {
+		// Dynamic topology: static reachability means nothing; every
+		// node not permanently churned out is a completion target.
+		s.st.reachable = g.NumNodes()
 	}
 	s.startTrial()
 	return s, nil
@@ -75,13 +108,23 @@ func NewSyncStepper(g *graph.Graph, src graph.NodeID, cfg SyncConfig, rng *xrand
 // alias the stepper's arenas and will be overwritten.
 func (s *SyncStepper) Reset(rng *xrand.RNG) {
 	s.rng = rng
-	s.st.reset(s.sources, s.st.reachable)
-	if s.crashes != nil {
-		s.crashes.reset()
+	reachable := s.st.reachable
+	if s.topo != nil {
+		s.topo.Reset()
+		g, _ := s.topo.At(0)
+		s.g = g
+		s.st.g = g
+		reachable = g.NumNodes()
+	}
+	s.st.reset(s.sources, reachable)
+	if s.avail != nil {
+		s.avail.reset()
 	}
 	s.round = 0
 	s.updates = 0
+	s.aliveInformed = len(s.sources)
 	s.finished = false
+	s.terr = nil
 	s.pending = s.pending[:0]
 	s.startTrial()
 }
@@ -126,11 +169,38 @@ func (s *SyncStepper) Step() bool {
 		s.finished = true
 		return false
 	}
-	if s.crashes != nil {
-		s.crashes.advance(float64(s.round + 1))
-		if !progressPossible(s.st, s.crashes) {
+	if s.avail != nil {
+		s.avail.advance(float64(s.round+1), s.applyChurn)
+		if s.st.done() {
+			// An amnesiac rejoin or permanent leave moved the target.
 			s.finished = true
 			return false
+		}
+		if s.topo == nil {
+			if !progressPossible(s.st, s.avail) && !s.avail.hasFutureJoin() {
+				s.finished = true
+				return false
+			}
+		} else if s.aliveInformed == 0 && !s.avail.hasFutureJoin() {
+			// Dynamic topology: a static progress scan is meaningless
+			// (a later epoch may reconnect the rumor), but a network
+			// with no online informed node and no joins left is dead.
+			s.finished = true
+			return false
+		}
+	}
+	if s.topo != nil {
+		// Round r executes on the topology at time r-1, so round 1 runs
+		// on the same epoch-0 graph the trial started with.
+		g, changed := s.topo.At(float64(s.round))
+		if err := s.topo.Err(); err != nil {
+			s.terr = err
+			s.finished = true
+			return false
+		}
+		if changed {
+			s.g = g
+			s.st.rebind(g)
 		}
 	}
 	s.round++
@@ -143,11 +213,11 @@ func (s *SyncStepper) Step() bool {
 		s.updates += int64(len(order))
 		for i, v := range order {
 			deg := uint64(g.Degree(v))
-			if deg == 0 || !aliveIn(s.crashes, v) {
+			if deg == 0 || !aliveIn(s.avail, v) {
 				continue
 			}
 			w := g.Neighbor(v, int32(s.rng.Uint64nFrom(draws[i], deg)))
-			if !s.st.informed.get(w) && aliveIn(s.crashes, w) && (s.prob >= 1 || s.rng.Bernoulli(s.prob)) {
+			if !s.st.informed.get(w) && aliveIn(s.avail, w) && (s.prob >= 1 || s.rng.Bernoulli(s.prob)) {
 				s.pending = append(s.pending, syncPending{w, v})
 			}
 		}
@@ -158,13 +228,13 @@ func (s *SyncStepper) Step() bool {
 		draws := s.fillDraws(len(boundary))
 		s.updates += int64(len(boundary))
 		for i, v := range boundary {
-			if !aliveIn(s.crashes, v) {
+			if !aliveIn(s.avail, v) {
 				continue
 			}
 			// Boundary nodes have an informed neighbor, so deg >= 1.
 			deg := uint64(g.Degree(v))
 			w := g.Neighbor(v, int32(s.rng.Uint64nFrom(draws[i], deg)))
-			if s.st.informed.get(w) && aliveIn(s.crashes, w) && (s.prob >= 1 || s.rng.Bernoulli(s.prob)) {
+			if s.st.informed.get(w) && aliveIn(s.avail, w) && (s.prob >= 1 || s.rng.Bernoulli(s.prob)) {
 				s.pending = append(s.pending, syncPending{v, w})
 			}
 		}
@@ -175,12 +245,46 @@ func (s *SyncStepper) Step() bool {
 		}
 		s.st.markInformed(p.v, p.from)
 		s.informedAt[p.v] = round
+		s.aliveInformed++
 		if s.observer != nil {
 			s.observer.OnInformed(float64(round), p.v, p.from)
 		}
 	}
 	return true
 }
+
+// applyChurn is the availTracker transition callback: it keeps the
+// online-informed count, the amnesiac-rejoin uninform, and (on dynamic
+// topologies) the completion target in sync with the offline set.
+func (s *SyncStepper) applyChurn(ev ChurnEvent, perm bool) {
+	v := ev.Node
+	switch ev.Op {
+	case ChurnLeave:
+		if s.st.informed.get(v) {
+			s.aliveInformed--
+		} else if perm && s.topo != nil {
+			// Gone for good and never informed: it can no longer count
+			// against completion. Static topologies instead terminate
+			// through the progress scan, which handles disconnected
+			// base graphs correctly.
+			s.st.reachable--
+		}
+	case ChurnJoin:
+		if !s.st.informed.get(v) {
+			return
+		}
+		if ev.DropState {
+			s.st.uninform(v)
+			s.informedAt[v] = -1
+		} else {
+			s.aliveInformed++
+		}
+	}
+}
+
+// Err returns the deferred topology-materialization error that ended
+// the run early, if any. Static-topology steppers always return nil.
+func (s *SyncStepper) Err() error { return s.terr }
 
 // Round returns the number of rounds executed so far.
 func (s *SyncStepper) Round() int { return s.round }
@@ -232,6 +336,7 @@ func (s *SyncStepper) Result() *SyncResult {
 // Reset rewinds to time 0 for a fresh trial without allocating.
 type AsyncStepper struct {
 	g        *graph.Graph
+	topo     graph.Provider // nil for a static topology
 	rng      *xrand.RNG
 	run      *asyncRun
 	eligible []graph.NodeID // PerEdgeClocks: degree-positive nodes; nil if all are
@@ -240,12 +345,34 @@ type AsyncStepper struct {
 	t        float64
 	steps    int64
 	finished bool
+	terr     error
 }
 
 // NewAsyncStepper validates the configuration and prepares the process.
 // MaxSteps in cfg is ignored — the caller controls the loop. View
 // selects the tick semantics as in RunAsync (0 means GlobalClock).
 func NewAsyncStepper(g *graph.Graph, src graph.NodeID, cfg AsyncConfig, rng *xrand.RNG) (*AsyncStepper, error) {
+	return newAsyncStepper(g, nil, src, cfg, rng)
+}
+
+// NewAsyncStepperTopo is NewAsyncStepper over a time-varying topology:
+// the contact at each tick uses topo's graph at the tick time.
+// Reachability-based early termination is disabled, and the
+// PerEdgeClocks view is rejected — its per-edge rates are tied to a
+// fixed adjacency. Topology materialization errors surface through Err.
+func NewAsyncStepperTopo(topo graph.Provider, src graph.NodeID, cfg AsyncConfig, rng *xrand.RNG) (*AsyncStepper, error) {
+	if st, ok := topo.(*graph.Static); ok {
+		g, _ := st.At(0)
+		return newAsyncStepper(g, nil, src, cfg, rng)
+	}
+	if cfg.View == PerEdgeClocks {
+		return nil, fmt.Errorf("%w: per-edge-clocks is not supported on a dynamic topology", ErrBadView)
+	}
+	g, _ := topo.At(0)
+	return newAsyncStepper(g, topo, src, cfg, rng)
+}
+
+func newAsyncStepper(g *graph.Graph, topo graph.Provider, src graph.NodeID, cfg AsyncConfig, rng *xrand.RNG) (*AsyncStepper, error) {
 	prob, err := validateCommon(g, src, cfg.Protocol, cfg.TransmitProb)
 	if err != nil {
 		return nil, err
@@ -257,12 +384,19 @@ func NewAsyncStepper(g *graph.Graph, src graph.NodeID, cfg AsyncConfig, rng *xra
 	if !view.valid() {
 		return nil, fmt.Errorf("%w: %d", ErrBadView, int(view))
 	}
+	if view == PerEdgeClocks && len(cfg.Churn) > 0 {
+		return nil, fmt.Errorf("%w: churn schedules are not supported in the per-edge-clocks view", ErrBadView)
+	}
 	run, err := newAsyncRun(g, src, cfg, prob)
 	if err != nil {
 		return nil, err
 	}
-	s := &AsyncStepper{g: g, rng: rng, run: run}
+	s := &AsyncStepper{g: g, topo: topo, rng: rng, run: run}
 	n := g.NumNodes()
+	if topo != nil {
+		run.dynamic = true
+		run.st.reachable = n
+	}
 	if view == PerEdgeClocks {
 		for v := graph.NodeID(0); int(v) < n; v++ {
 			if g.Degree(v) > 0 {
@@ -285,10 +419,17 @@ func NewAsyncStepper(g *graph.Graph, src graph.NodeID, cfg AsyncConfig, rng *xra
 // invalidated: their slices alias the stepper's arenas.
 func (s *AsyncStepper) Reset(rng *xrand.RNG) {
 	s.rng = rng
+	if s.topo != nil {
+		s.topo.Reset()
+		g, _ := s.topo.At(0)
+		s.g = g
+		s.run.st.g = g
+	}
 	s.run.reset()
 	s.t = 0
 	s.steps = 0
 	s.finished = false
+	s.terr = nil
 }
 
 // Step executes one clock tick and returns true, or returns false without
@@ -304,6 +445,18 @@ func (s *AsyncStepper) Step() bool {
 		s.finished = true
 		return false
 	}
+	if s.topo != nil {
+		g, changed := s.topo.At(s.t)
+		if err := s.topo.Err(); err != nil {
+			s.terr = err
+			s.finished = true
+			return false
+		}
+		if changed {
+			s.g = g
+			s.run.st.rebind(g)
+		}
+	}
 	var v graph.NodeID
 	if s.eligible != nil {
 		v = s.eligible[s.rng.Uint64n(s.n)]
@@ -316,6 +469,10 @@ func (s *AsyncStepper) Step() bool {
 	}
 	return true
 }
+
+// Err returns the deferred topology-materialization error that ended
+// the run early, if any. Static-topology steppers always return nil.
+func (s *AsyncStepper) Err() error { return s.terr }
 
 // Time returns the current simulation time.
 func (s *AsyncStepper) Time() float64 { return s.t }

@@ -70,6 +70,54 @@ func RunSync(g *graph.Graph, src graph.NodeID, cfg SyncConfig, rng *xrand.RNG) (
 	return stepper.Result(), nil
 }
 
+// RunSyncTopo is RunSync over a time-varying topology (see
+// NewSyncStepperTopo for the epoch semantics). A topology
+// materialization failure is returned as an error alongside the
+// partial result.
+func RunSyncTopo(topo graph.Provider, src graph.NodeID, cfg SyncConfig, rng *xrand.RNG) (*SyncResult, error) {
+	stepper, err := NewSyncStepperTopo(topo, src, cfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	maxRounds := cfg.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = defaultMaxRounds(topo.NumNodes())
+	}
+	for stepper.Step() {
+		if stepper.Round() >= maxRounds && !stepper.Finished() {
+			return stepper.Result(), fmt.Errorf("%w: %d rounds (sync %v, dynamic topology)", ErrBudget, stepper.Round(), cfg.Protocol)
+		}
+	}
+	if err := stepper.Err(); err != nil {
+		return stepper.Result(), err
+	}
+	return stepper.Result(), nil
+}
+
+// RunAsyncTopo is RunAsync over a time-varying topology (GlobalClock
+// and PerNodeClocks views only; see NewAsyncStepperTopo). A topology
+// materialization failure is returned as an error alongside the
+// partial result.
+func RunAsyncTopo(topo graph.Provider, src graph.NodeID, cfg AsyncConfig, rng *xrand.RNG) (*AsyncResult, error) {
+	stepper, err := NewAsyncStepperTopo(topo, src, cfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	maxSteps := cfg.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = defaultMaxSteps(topo.NumNodes())
+	}
+	for stepper.Step() {
+		if stepper.Steps() >= maxSteps && !stepper.Finished() {
+			return stepper.Result(), fmt.Errorf("%w: %d steps (async %v, dynamic topology)", ErrBudget, stepper.Steps(), cfg.Protocol)
+		}
+	}
+	if err := stepper.Err(); err != nil {
+		return stepper.Result(), err
+	}
+	return stepper.Result(), nil
+}
+
 // SyncSpreadingTime runs pp with the given protocol and returns only
 // T(α, G, u): the number of rounds before all nodes are informed.
 // It returns an error if the graph is disconnected (the spreading time is

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 
-	"rumor/internal/harness"
 	"rumor/internal/service"
 	"rumor/internal/stats"
 )
@@ -32,7 +31,7 @@ func e03Reduce(cfg Config, results []*service.CellResult) (*Outcome, error) {
 	tab := stats.NewTable("family", "n", "E[sync] rounds", "E[async] time", "sync/async", "ratio/(√n)")
 	maxRatio := 0.0
 	worstFamily := ""
-	for _, fam := range harness.StandardFamilies() {
+	for _, fam := range connectedFamilies() {
 		sync := cur.next()
 		async := cur.next()
 		sm := stats.Mean(sync.Times)

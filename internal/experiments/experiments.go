@@ -158,7 +158,8 @@ type Outcome struct {
 // Experiment is a runnable reproduction of one paper claim, declared as
 // a cell grid plus a reducer.
 type Experiment struct {
-	// ID is the experiment identifier ("E1".."E15").
+	// ID is the experiment identifier ("E1".."E15", "E17"; E16 is the
+	// live gossip overlay, which runs outside this suite).
 	ID string
 	// Title is a short name.
 	Title string
@@ -202,6 +203,7 @@ func All() []Experiment {
 		E13Throughput(),
 		E14ExpansionBounds(),
 		E15Quasirandom(),
+		E17DynamicChurn(),
 	}
 }
 

@@ -7,8 +7,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 15 {
-		t.Fatalf("registry has %d experiments, want 15", len(all))
+	if len(all) != 16 {
+		t.Fatalf("registry has %d experiments, want 16 (E1–E15 and E17)", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {

@@ -55,8 +55,8 @@ func TestExperimentListEndpoint(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
 		t.Fatal(err)
 	}
-	if len(infos) != 15 {
-		t.Fatalf("listed %d experiments, want 15", len(infos))
+	if len(infos) != 16 {
+		t.Fatalf("listed %d experiments, want 16", len(infos))
 	}
 	for _, info := range infos {
 		if info.ID == "" || info.Title == "" || info.Claim == "" || info.CellsQuick == 0 || info.CellsFull == 0 {

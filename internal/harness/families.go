@@ -17,6 +17,11 @@ type Family struct {
 	// Regular reports whether instances are regular graphs (used by the
 	// experiments for Corollary 3, which applies to regular graphs only).
 	Regular bool
+	// MaybeDisconnected reports that instances are not guaranteed
+	// connected (the at/below-threshold G(n,p) presets). Such families
+	// are meant for dynamic re-sampling scenarios, where connectivity
+	// emerges across epochs; static spreading on an instance may stall.
+	MaybeDisconnected bool
 	// Build returns a connected instance with approximately n nodes.
 	// The actual size may be rounded (e.g. hypercubes to powers of two).
 	Build func(n int, seed uint64) (*graph.Graph, error)
@@ -66,6 +71,20 @@ func StandardFamilies() []Family {
 			}
 			return graph.GNPConnected(n, p, xrand.New(seed), 100)
 		}},
+		// The three G(n,p) presets around the connectivity threshold
+		// p = ln n / n, for the dynamic-graph experiments. At and below
+		// the threshold an instance may be disconnected, which is the
+		// point: under per-epoch re-sampling the union of epochs is
+		// connected in law even when no single epoch is.
+		{Name: "gnp-threshold", MaybeDisconnected: true, Build: func(n int, seed uint64) (*graph.Graph, error) {
+			return graph.GNP(n, clampProb(math.Log(float64(n))/float64(n)), xrand.New(seed))
+		}},
+		{Name: "gnp-below-threshold", MaybeDisconnected: true, Build: func(n int, seed uint64) (*graph.Graph, error) {
+			return graph.GNP(n, clampProb(0.5*math.Log(float64(n))/float64(n)), xrand.New(seed))
+		}},
+		{Name: "gnp-above-threshold", Build: func(n int, seed uint64) (*graph.Graph, error) {
+			return graph.GNPConnected(n, clampProb(2*math.Log(float64(n))/float64(n)), xrand.New(seed), 100)
+		}},
 		{Name: "powerlaw", Build: func(n int, seed uint64) (*graph.Graph, error) {
 			g, err := graph.ChungLuPowerLaw(n, 2.5, 4, xrand.New(seed))
 			if err != nil {
@@ -87,6 +106,17 @@ func StandardFamilies() []Family {
 			return graph.DiamondChainForSize(n)
 		}},
 	}
+}
+
+// clampProb clamps an edge probability into [0, 1].
+func clampProb(p float64) float64 {
+	if p > 1 {
+		return 1
+	}
+	if p < 0 {
+		return 0
+	}
+	return p
 }
 
 // RegularFamilies filters StandardFamilies to regular graphs.

@@ -1,0 +1,214 @@
+package service
+
+import (
+	"context"
+	"testing"
+
+	"rumor/internal/cachestore"
+	"rumor/internal/stats"
+)
+
+// dynamicTestCells is the scenario grid the determinism tests replay:
+// every dynamic mode and churn shape, in both timings.
+func dynamicTestCells() []CellSpec {
+	churn := []ChurnSpec{
+		{Node: 3, Time: 1, Op: ChurnOpLeave},
+		{Node: 3, Time: 4, Op: ChurnOpJoin, DropState: true},
+		{Node: 7, Time: 2, Op: ChurnOpLeave},
+		{Node: 7, Time: 5, Op: ChurnOpJoin},
+		{Node: 9, Time: 3, Op: ChurnOpLeave},
+	}
+	return []CellSpec{
+		{Family: "gnp-threshold", N: 48, Protocol: "push-pull", Timing: "sync",
+			Dynamic: DynamicResample, Trials: 4, GraphSeed: 1, TrialSeed: 2},
+		{Family: "gnp-threshold", N: 48, Protocol: "push-pull", Timing: "async",
+			Dynamic: DynamicResample, Trials: 4, GraphSeed: 1, TrialSeed: 3},
+		{Family: "gnp", N: 48, Protocol: "push", Timing: "sync",
+			Dynamic: DynamicPerturb, DynamicPeriod: 2, PerturbRate: 0.3, Trials: 4, GraphSeed: 4, TrialSeed: 5},
+		{Family: "gnp", N: 48, Protocol: "push-pull", Timing: "async", View: "per-node-clocks",
+			Dynamic: DynamicPerturb, PerturbRate: 0.2, Trials: 4, GraphSeed: 4, TrialSeed: 6},
+		{Family: "hypercube", N: 32, Protocol: "push-pull", Timing: "sync",
+			Churn: churn, Trials: 4, GraphSeed: 7, TrialSeed: 8},
+		{Family: "hypercube", N: 32, Protocol: "push-pull", Timing: "async",
+			Churn: churn, Trials: 4, GraphSeed: 7, TrialSeed: 9},
+		{Family: "complete", N: 24, Protocol: "push-pull", Timing: "sync", LossProb: 0.2,
+			Crashes: []CrashSpec{{Node: 5, Time: 2}},
+			Dynamic: DynamicResample, DynamicPeriod: 3, Churn: churn[:2],
+			Trials: 4, GraphSeed: 10, TrialSeed: 11},
+	}
+}
+
+// TestExecutorRunsDynamicCells drives every v3 scenario axis through
+// the executor end-to-end and checks the samples are sane.
+func TestExecutorRunsDynamicCells(t *testing.T) {
+	exec := &Executor{Graphs: NewGraphCache(0)}
+	for i, cell := range dynamicTestCells() {
+		res, _, err := exec.Run(context.Background(), i, cell)
+		if err != nil {
+			t.Fatalf("cell %d (%+v): %v", i, cell, err)
+		}
+		if len(res.Times) != cell.Trials {
+			t.Fatalf("cell %d: %d times, want %d", i, len(res.Times), cell.Trials)
+		}
+		for _, v := range res.Times {
+			if v < 0 {
+				t.Fatalf("cell %d: negative spreading time %v", i, v)
+			}
+		}
+	}
+}
+
+// TestDynamicCellsDeterministicAcrossWorkersAndCache: dynamic cell
+// results are a pure function of the spec — worker counts and cache
+// state change only speed, never bytes.
+func TestDynamicCellsDeterministicAcrossWorkersAndCache(t *testing.T) {
+	cells := dynamicTestCells()
+	cached := &Executor{CellWorkers: 4, TrialWorkers: 4,
+		Results: NewResultCache(0), Graphs: NewGraphCache(0)}
+	cold, err := cached.RunCells(context.Background(), cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := string(marshalResults(t, cold))
+
+	warm, err := cached.RunCells(context.Background(), cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(marshalResults(t, warm)); got != want {
+		t.Error("warm-cache dynamic results differ from cold results")
+	}
+	if cached.Results.Stats().Hits == 0 {
+		t.Error("second run produced no cache hits")
+	}
+
+	serial := &Executor{CellWorkers: 1, TrialWorkers: 1}
+	rerun, err := serial.RunCells(context.Background(), cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(marshalResults(t, rerun)); got != want {
+		t.Error("serial cache-less dynamic results differ from parallel cached results")
+	}
+}
+
+// TestSchedulerMatchesLocalDynamic: the scheduler path produces the
+// direct executor's bytes for dynamic cells too.
+func TestSchedulerMatchesLocalDynamic(t *testing.T) {
+	cells := dynamicTestCells()
+	sched := NewScheduler(SchedulerConfig{Workers: 3})
+	defer sched.Shutdown(context.Background())
+	viaScheduler, err := sched.RunCells(context.Background(), cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := (&Executor{}).RunCells(context.Background(), cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := marshalResults(t, viaScheduler), marshalResults(t, direct); string(a) != string(b) {
+		t.Errorf("scheduler and direct executor disagree on dynamic cells:\n%s\n%s", a, b)
+	}
+}
+
+// TestChurnStrandedCell: a schedule under which every node permanently
+// leaves strands the rumor; the cell terminates with unreached
+// milestones (-1) instead of failing or spinning.
+func TestChurnStrandedCell(t *testing.T) {
+	for _, timing := range []string{TimingSync, TimingAsync} {
+		churn := make([]ChurnSpec, 16)
+		for i := range churn {
+			churn[i] = ChurnSpec{Node: i, Time: 0.5, Op: ChurnOpLeave}
+		}
+		cell := CellSpec{Family: "complete", N: 16, Protocol: "push-pull", Timing: timing,
+			Churn: churn, Trials: 2, GraphSeed: 1, TrialSeed: 2}
+		res, _, err := (&Executor{}).Run(context.Background(), 0, cell)
+		if err != nil {
+			t.Fatalf("%s stranded cell failed: %v", timing, err)
+		}
+		if got := res.Coverage["q100"]; got != -1 {
+			t.Errorf("%s: q100 = %v with everyone gone, want -1", timing, got)
+		}
+	}
+}
+
+// TestV2CacheReplayAfterBump is the acceptance check for the v3 key
+// bump: a cache directory written by a pre-bump (v2) process replays
+// every v2 cell from disk — zero recomputation — once the store opens
+// with the compat list, because v2-shaped specs still render their
+// exact v2 keys.
+func TestV2CacheReplayAfterBump(t *testing.T) {
+	dir := t.TempDir()
+	cells := testCells(8)
+
+	// A pre-bump process: same canonical keys, store stamped "v2".
+	v2store, err := cachestore.Open(cachestore.Options{Dir: dir, KeyVersion: CellKeyVersionV2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2exec := &Executor{Results: NewTieredResultCache(NewResultCache(0), v2store), Graphs: NewGraphCache(0)}
+	coldRes, err := v2exec.RunCells(context.Background(), cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v2store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The post-bump process accepts the v2 records via CompatVersions.
+	v3store, err := cachestore.Open(cachestore.Options{
+		Dir:            dir,
+		KeyVersion:     CellKeyVersion,
+		CompatVersions: CellKeyCompatVersions(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v3store.Close()
+	warmCache := NewTieredResultCache(NewResultCache(0), v3store)
+	warmExec := &Executor{Results: warmCache, Graphs: NewGraphCache(0)}
+	warmRes, err := warmExec.RunCells(context.Background(), cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := marshalResults(t, warmRes), marshalResults(t, coldRes); string(got) != string(want) {
+		t.Errorf("v2 replay diverged from the pre-bump run\npre:  %s\npost: %s", want, got)
+	}
+	st := warmCache.Stats()
+	if int(st.DiskHits) != len(cells) {
+		t.Errorf("want every v2 cell served from disk after the bump, got %+v", st)
+	}
+}
+
+// TestDynamicResampleStatisticalSanity: on G(n,p) above the
+// connectivity threshold, re-sampling the graph every round keeps the
+// async spreading time finite and within a wide, seeded tolerance band
+// of the static baseline — the headline claim E17 measures, pinned
+// here at test scale so regressions surface in `go test`.
+func TestDynamicResampleStatisticalSanity(t *testing.T) {
+	static := CellSpec{Family: "gnp-above-threshold", N: 128, Protocol: "push-pull",
+		Timing: "async", Trials: 40, GraphSeed: 21, TrialSeed: 22}
+	dynamic := static
+	dynamic.Dynamic = DynamicResample
+
+	exec := &Executor{Graphs: NewGraphCache(0)}
+	base, _, err := exec.Run(context.Background(), 0, static)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := exec.Run(context.Background(), 1, dynamic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coverage["q100"] < 0 {
+		t.Fatal("resampled above-threshold G(n,p) never reached full coverage")
+	}
+	baseMean, dynMean := stats.Mean(base.Times), stats.Mean(res.Times)
+	if !(dynMean > 0) {
+		t.Fatalf("dynamic mean = %v", dynMean)
+	}
+	if ratio := dynMean / baseMean; ratio < 0.25 || ratio > 4 {
+		t.Errorf("dynamic/static async mean ratio = %.2f (means %.2f / %.2f), outside the [0.25, 4] sanity band",
+			ratio, dynMean, baseMean)
+	}
+}

@@ -14,7 +14,8 @@ import (
 // record's key is trusted long after validation happened.
 func fuzzSpec(kindSel, protoSel, timingSel, viewSel, variantSel uint8, family string,
 	n, trials, source int, qr bool, loss float64, gseed, tseed uint64,
-	extras, crashes, covs []byte, param float64) CellSpec {
+	extras, crashes, covs []byte, param float64,
+	dynSel uint8, dynPeriod, perturbRate float64, churn []byte) CellSpec {
 	kinds := append([]string{""}, KindNames()...)
 	protos := []string{"push", "pull", "push-pull", ""}
 	timings := []string{TimingSync, TimingAsync, ""}
@@ -56,6 +57,22 @@ func fuzzSpec(kindSel, protoSel, timingSel, viewSel, variantSel uint8, family st
 	if !math.IsNaN(param) && !math.IsInf(param, 0) {
 		spec.Params = map[string]float64{"p": param}
 	}
+	dyns := []string{"", DynamicResample, DynamicPerturb}
+	spec.Dynamic = dyns[int(dynSel)%len(dyns)]
+	if !math.IsNaN(dynPeriod) && !math.IsInf(dynPeriod, 0) {
+		spec.DynamicPeriod = dynPeriod
+	}
+	if !math.IsNaN(perturbRate) && !math.IsInf(perturbRate, 0) {
+		spec.PerturbRate = perturbRate
+	}
+	for i := 0; i+2 < len(churn); i += 3 {
+		ev := ChurnSpec{Node: int(churn[i]), Time: float64(churn[i+1]) / 16, Op: ChurnOpLeave}
+		if churn[i+2]&1 == 1 {
+			ev.Op = ChurnOpJoin
+			ev.DropState = churn[i+2]&2 == 2
+		}
+		spec.Churn = append(spec.Churn, ev)
+	}
 	return spec
 }
 
@@ -70,25 +87,43 @@ func fuzzSpec(kindSel, protoSel, timingSel, viewSel, variantSel uint8, family st
 //     distinct mutations change the canonical form — equal keys mean
 //     equal measurements, so the durable cache can never alias.
 func FuzzCellSpecKey(f *testing.F) {
-	// Seed corpus: the golden-key specs plus scenario-space corners.
+	// Seed corpus: the golden-key specs plus scenario-space corners
+	// (static v2 shapes, and the v3 dynamic/churn axes).
 	f.Add(uint8(0), uint8(2), uint8(0), uint8(0), uint8(0), "hypercube",
-		1024, 100, 0, false, 0.0, uint64(1), uint64(2), []byte(nil), []byte(nil), []byte(nil), math.NaN())
+		1024, 100, 0, false, 0.0, uint64(1), uint64(2), []byte(nil), []byte(nil), []byte(nil), math.NaN(),
+		uint8(0), 0.0, 0.0, []byte(nil))
 	f.Add(uint8(0), uint8(2), uint8(1), uint8(3), uint8(0), "star",
-		512, 50, 1, false, 0.0, uint64(3), uint64(4), []byte(nil), []byte(nil), []byte(nil), math.NaN())
+		512, 50, 1, false, 0.0, uint64(3), uint64(4), []byte(nil), []byte(nil), []byte(nil), math.NaN(),
+		uint8(0), 0.0, 0.0, []byte(nil))
 	f.Add(uint8(0), uint8(2), uint8(0), uint8(0), uint8(1), "complete",
-		256, 80, 0, true, 0.0, uint64(5), uint64(6), []byte(nil), []byte(nil), []byte(nil), math.NaN())
+		256, 80, 0, true, 0.0, uint64(5), uint64(6), []byte(nil), []byte(nil), []byte(nil), math.NaN(),
+		uint8(0), 0.0, 0.0, []byte(nil))
 	f.Add(uint8(0), uint8(0), uint8(0), uint8(0), uint8(0), "gnp",
-		128, 10, 0, false, 0.25, uint64(7), uint64(8), []byte{5, 3, 3}, []byte{2, 24, 1, 8}, []byte(nil), math.NaN())
+		128, 10, 0, false, 0.25, uint64(7), uint64(8), []byte{5, 3, 3}, []byte{2, 24, 1, 8}, []byte(nil), math.NaN(),
+		uint8(0), 0.0, 0.0, []byte(nil))
 	f.Add(uint8(1), uint8(1), uint8(1), uint8(2), uint8(0), "torus",
-		900, 20, 0, false, 0.0, uint64(9), uint64(10), []byte(nil), []byte(nil), []byte{63, 191}, 32.0)
+		900, 20, 0, false, 0.0, uint64(9), uint64(10), []byte(nil), []byte(nil), []byte{63, 191}, 32.0,
+		uint8(0), 0.0, 0.0, []byte(nil))
 	f.Add(uint8(2), uint8(3), uint8(2), uint8(1), uint8(2), "",
-		0, 1, 0, false, 0.5, uint64(0), uint64(0), []byte{0}, []byte{0, 0}, []byte{255}, -1.5)
+		0, 1, 0, false, 0.5, uint64(0), uint64(0), []byte{0}, []byte{0, 0}, []byte{255}, -1.5,
+		uint8(0), 0.0, 0.0, []byte(nil))
+	f.Add(uint8(0), uint8(2), uint8(0), uint8(0), uint8(0), "gnp-threshold",
+		256, 100, 0, false, 0.0, uint64(1), uint64(2), []byte(nil), []byte(nil), []byte(nil), math.NaN(),
+		uint8(1), 0.0, 0.0, []byte(nil))
+	f.Add(uint8(0), uint8(0), uint8(0), uint8(0), uint8(0), "gnp",
+		128, 20, 0, false, 0.0, uint64(5), uint64(6), []byte(nil), []byte(nil), []byte(nil), math.NaN(),
+		uint8(2), 3.0, 0.2, []byte{5, 32, 0, 5, 128, 3})
+	f.Add(uint8(0), uint8(2), uint8(1), uint8(0), uint8(0), "hypercube",
+		64, 10, 0, false, 0.0, uint64(7), uint64(8), []byte(nil), []byte(nil), []byte(nil), math.NaN(),
+		uint8(0), 0.0, 0.0, []byte{5, 32, 0, 5, 128, 1, 6, 32, 2})
 
 	f.Fuzz(func(t *testing.T, kindSel, protoSel, timingSel, viewSel, variantSel uint8,
 		family string, n, trials, source int, qr bool, loss float64,
-		gseed, tseed uint64, extras, crashes, covs []byte, param float64) {
+		gseed, tseed uint64, extras, crashes, covs []byte, param float64,
+		dynSel uint8, dynPeriod, perturbRate float64, churn []byte) {
 		spec := fuzzSpec(kindSel, protoSel, timingSel, viewSel, variantSel, family,
-			n, trials, source, qr, loss, gseed, tseed, extras, crashes, covs, param)
+			n, trials, source, qr, loss, gseed, tseed, extras, crashes, covs, param,
+			dynSel, dynPeriod, perturbRate, churn)
 		key := spec.Key()
 		canon := spec.canonical()
 		if spec.Key() != key || spec.canonical() != canon {
@@ -145,6 +180,24 @@ func FuzzCellSpecKey(f *testing.F) {
 			}
 		}
 
+		// (2a-v3) The version prefix is per spec: dynamic scenarios render
+		// the v3 extension, everything else the exact pre-bump v2 form —
+		// the append-only guarantee that lets v2 caches replay.
+		wantPrefix := CellKeyVersionV2 + "|"
+		if spec.dynamicScenario() {
+			wantPrefix = CellKeyVersion + "|"
+		}
+		if !strings.HasPrefix(canon, wantPrefix) {
+			t.Errorf("canonical form %q does not start with %q", canon, wantPrefix)
+		}
+		if spec.Dynamic != "" && spec.DynamicPeriod == 0 {
+			normalized := spec
+			normalized.DynamicPeriod = 1
+			if normalized.canonical() != canon {
+				t.Error("explicit default dynamic period changed the canonical form")
+			}
+		}
+
 		// (2b) Semantically distinct mutations must change the
 		// canonical form — one probe per scenario axis.
 		distinct := []struct {
@@ -177,6 +230,33 @@ func FuzzCellSpecKey(f *testing.F) {
 				c.Crashes = append(append([]CrashSpec(nil), c.Crashes...), CrashSpec{Node: 1 << 20, Time: 1e9})
 			}},
 			{"family", func(c *CellSpec) { c.Family += "x" }},
+			{"dynamic mode", func(c *CellSpec) {
+				if c.Dynamic == DynamicResample {
+					c.Dynamic = DynamicPerturb
+				} else {
+					c.Dynamic = DynamicResample
+				}
+			}},
+			// Negation (not +1) so enormous fuzzed floats still change
+			// the rendering.
+			{"dynamic period", func(c *CellSpec) {
+				if p := c.effectiveDynamicPeriod(); p != 0 {
+					c.DynamicPeriod = -p
+				} else {
+					c.DynamicPeriod = 1
+				}
+			}},
+			{"perturb rate", func(c *CellSpec) {
+				if c.PerturbRate != 0 {
+					c.PerturbRate = -c.PerturbRate
+				} else {
+					c.PerturbRate = 1
+				}
+			}},
+			{"new churn event", func(c *CellSpec) {
+				c.Churn = append(append([]ChurnSpec(nil), c.Churn...),
+					ChurnSpec{Node: 1 << 20, Time: 1e9, Op: ChurnOpJoin, DropState: true})
+			}},
 		}
 		for _, m := range distinct {
 			mutated := spec

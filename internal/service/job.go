@@ -39,9 +39,40 @@ const (
 // CellKeyVersion is the version tag of the canonical cell-key
 // rendering. Any change to the canonical form must bump it: persistent
 // caches (internal/cachestore) stamp every record with the version
-// they were written under and refuse to serve records from any other,
-// so a bump invalidates stale entries instead of aliasing them.
-const CellKeyVersion = "v2"
+// they were written under and refuse to serve records from any other
+// (outside an explicit compat list), so a bump invalidates stale
+// entries instead of aliasing them.
+//
+// v3 added the dynamic-topology and churn fields. The bump is
+// append-only: a spec with none of the new fields set still renders
+// the byte-identical v2 canonical form (prefixed "v2|"), so every v2
+// key — and every record in a v2 persistent cache — stays valid. Only
+// dynamic/churn specs render the extended "v3|" form. Callers opening
+// a cachestore should pass CellKeyCompatVersions so v2 stores replay
+// without recomputation.
+const CellKeyVersion = "v3"
+
+// CellKeyVersionV2 is the previous canonical rendering version, still
+// produced verbatim by specs that use no v3 field.
+const CellKeyVersionV2 = "v2"
+
+// CellKeyCompatVersions lists older key versions whose canonical
+// renderings (and therefore keys) are still produced unchanged by the
+// current code. Persistent caches opened with these as compat versions
+// serve their existing records instead of discarding them.
+func CellKeyCompatVersions() []string { return []string{CellKeyVersionV2} }
+
+// Dynamic topology modes (CellSpec.Dynamic).
+const (
+	// DynamicResample re-draws the graph from its family each epoch
+	// (epoch 0 is the cell's base graph; epoch e uses the family builder
+	// re-seeded with mixSeed(GraphSeed, e)).
+	DynamicResample = "resample"
+	// DynamicPerturb evolves the graph edge-Markovian-ly each epoch:
+	// every edge is dropped with probability PerturbRate and fresh edges
+	// arrive at the matching density (see graph.NewPerturb).
+	DynamicPerturb = "perturb"
+)
 
 // Spec validation errors.
 var (
@@ -54,6 +85,30 @@ var (
 type CrashSpec struct {
 	Node int     `json:"node"`
 	Time float64 `json:"time"`
+}
+
+// Churn operation names (ChurnSpec.Op).
+const (
+	// ChurnOpLeave takes the node offline at Time; unlike a crash it may
+	// rejoin later.
+	ChurnOpLeave = "leave"
+	// ChurnOpJoin brings a previously offline node back at Time.
+	ChurnOpJoin = "join"
+)
+
+// ChurnSpec schedules a node-churn event (the join/leave
+// generalization of CrashSpec): at Time the node leaves the network or
+// rejoins it, optionally dropping its rumor state on rejoin. Same-time
+// events apply in their listed order (after any same-time crashes), and
+// that order is part of the cell's identity.
+type ChurnSpec struct {
+	Node int     `json:"node"`
+	Time float64 `json:"time"`
+	// Op is "leave" or "join".
+	Op string `json:"op"`
+	// DropState makes a join amnesiac: the node rejoins uninformed even
+	// if it held the rumor when it left. Invalid on leaves.
+	DropState bool `json:"drop_state,omitempty"`
 }
 
 // CellSpec is one simulation measurement: a graph instance (family,
@@ -111,6 +166,22 @@ type CellSpec struct {
 	ExtraSources []int `json:"extra_sources,omitempty"`
 	// Crashes is an optional fail-stop schedule (extension).
 	Crashes []CrashSpec `json:"crashes,omitempty"`
+	// Dynamic selects a time-varying topology: "" (static, the
+	// default), "resample" (a fresh graph from the family each epoch),
+	// or "perturb" (edge-Markovian evolution at PerturbRate per epoch).
+	// Dynamic cells render the v3 canonical key form.
+	Dynamic string `json:"dynamic,omitempty"`
+	// DynamicPeriod is the epoch length in simulation time (rounds for
+	// sync cells, continuous time for async ones); 0 means 1 (one epoch
+	// per round / per unit time). Requires Dynamic.
+	DynamicPeriod float64 `json:"dynamic_period,omitempty"`
+	// PerturbRate is the per-epoch edge flip rate in (0, 1] for
+	// Dynamic == "perturb"; it must be zero otherwise.
+	PerturbRate float64 `json:"perturb_rate,omitempty"`
+	// Churn is an optional join/leave schedule generalizing Crashes
+	// (nodes may rejoin, with or without their rumor state). Like
+	// Dynamic it renders the v3 key form.
+	Churn []ChurnSpec `json:"churn,omitempty"`
 	// CoverageFracs are the partial-coverage milestones reported in the
 	// result's Coverage map; nil selects the default 0.5, 0.9, 1.0 for
 	// the time kind. Fractions are in (0, 1].
@@ -146,6 +217,23 @@ func (c CellSpec) effectiveCoverage() []float64 {
 	return c.CoverageFracs
 }
 
+// dynamicScenario reports whether any v3 field is set; such cells
+// render the extended v3 canonical form. Everything else renders the
+// byte-identical v2 form, which is what keeps pre-bump cache keys and
+// persisted records valid.
+func (c CellSpec) dynamicScenario() bool {
+	return c.Dynamic != "" || c.DynamicPeriod != 0 || c.PerturbRate != 0 || len(c.Churn) > 0
+}
+
+// effectiveDynamicPeriod returns the epoch length with the default made
+// explicit, so period 0 and period 1 hash identically on dynamic cells.
+func (c CellSpec) effectiveDynamicPeriod() float64 {
+	if c.Dynamic != "" && c.DynamicPeriod == 0 {
+		return 1
+	}
+	return c.DynamicPeriod
+}
+
 // fmtFloat renders a float64 canonically (shortest exact form).
 func fmtFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
 
@@ -168,9 +256,18 @@ func (c CellSpec) Key() string {
 
 // canonical renders the unambiguous, normalized form Key hashes. Two
 // specs share a canonical form iff they are the same measurement.
+//
+// The form is versioned per spec, not globally: specs using no v3
+// field render the exact pre-bump "v2|..." string (pinned by the
+// golden regression tests), and only dynamic/churn specs render the
+// "v3|..." extension — the v2 body with the dynamic fields appended.
 func (c CellSpec) canonical() string {
 	var b strings.Builder
-	b.WriteString(CellKeyVersion)
+	if c.dynamicScenario() {
+		b.WriteString(CellKeyVersion)
+	} else {
+		b.WriteString(CellKeyVersionV2)
+	}
 	b.WriteString("|kind=")
 	b.WriteString(c.kind())
 	fmt.Fprintf(&b, "|family=%s|n=%d|protocol=%s|timing=%s|view=%s|variant=%s",
@@ -228,6 +325,26 @@ func (c CellSpec) canonical() string {
 		fmt.Fprintf(&b, "%s=%s", k, fmtFloat(c.Params[k]))
 	}
 
+	if c.dynamicScenario() {
+		fmt.Fprintf(&b, "|dyn=%s|dynperiod=%s|dynrate=%s",
+			c.Dynamic, fmtFloat(c.effectiveDynamicPeriod()), fmtFloat(c.PerturbRate))
+		b.WriteString("|churn=")
+		churn := append([]ChurnSpec(nil), c.Churn...)
+		// Stable by time only: same-time events apply in listed order,
+		// so that order is part of the measurement's identity.
+		sort.SliceStable(churn, func(i, j int) bool { return churn[i].Time < churn[j].Time })
+		for i, ev := range churn {
+			if i > 0 {
+				b.WriteByte(';')
+			}
+			op := ev.Op
+			if ev.DropState {
+				op += "-drop"
+			}
+			fmt.Fprintf(&b, "%d@%s:%s", ev.Node, fmtFloat(ev.Time), op)
+		}
+	}
+
 	return b.String()
 }
 
@@ -277,6 +394,49 @@ func (c CellSpec) Validate() error {
 		if cr.Time < 0 || math.IsNaN(cr.Time) || math.IsInf(cr.Time, 0) {
 			return fmt.Errorf("%w: crash time = %v", ErrBadSpec, cr.Time)
 		}
+	}
+	switch c.Dynamic {
+	case "":
+		if c.DynamicPeriod != 0 {
+			return fmt.Errorf("%w: dynamic_period requires dynamic", ErrBadSpec)
+		}
+		if c.PerturbRate != 0 {
+			return fmt.Errorf("%w: perturb_rate requires dynamic = %q", ErrBadSpec, DynamicPerturb)
+		}
+	case DynamicResample, DynamicPerturb:
+		if c.DynamicPeriod < 0 || math.IsNaN(c.DynamicPeriod) || math.IsInf(c.DynamicPeriod, 0) {
+			return fmt.Errorf("%w: dynamic_period = %v", ErrBadSpec, c.DynamicPeriod)
+		}
+		if c.Dynamic == DynamicPerturb {
+			if !(c.PerturbRate > 0 && c.PerturbRate <= 1) {
+				return fmt.Errorf("%w: perturb_rate = %v (want (0, 1])", ErrBadSpec, c.PerturbRate)
+			}
+		} else if c.PerturbRate != 0 {
+			return fmt.Errorf("%w: perturb_rate is a %q option", ErrBadSpec, DynamicPerturb)
+		}
+	default:
+		return fmt.Errorf("%w: unknown dynamic mode %q (want %q or %q)",
+			ErrBadSpec, c.Dynamic, DynamicResample, DynamicPerturb)
+	}
+	for _, ev := range c.Churn {
+		if ev.Node < 0 {
+			return fmt.Errorf("%w: churn node = %d", ErrBadSpec, ev.Node)
+		}
+		if ev.Time < 0 || math.IsNaN(ev.Time) || math.IsInf(ev.Time, 0) {
+			return fmt.Errorf("%w: churn time = %v", ErrBadSpec, ev.Time)
+		}
+		switch ev.Op {
+		case ChurnOpLeave:
+			if ev.DropState {
+				return fmt.Errorf("%w: drop_state is a join option", ErrBadSpec)
+			}
+		case ChurnOpJoin:
+		default:
+			return fmt.Errorf("%w: churn op %q (want %q or %q)", ErrBadSpec, ev.Op, ChurnOpLeave, ChurnOpJoin)
+		}
+	}
+	if c.dynamicScenario() && !kind.Dynamics {
+		return fmt.Errorf("%w: kind %q does not support dynamic topologies or churn", ErrBadSpec, c.kind())
 	}
 	for _, f := range c.CoverageFracs {
 		if !(f > 0 && f <= 1) {

@@ -55,6 +55,11 @@ type CellKind struct {
 	// instance (Family/N/GraphSeed set). Graphless kinds receive a nil
 	// graph and must leave Family/N empty in their specs.
 	NeedsGraph bool
+	// Dynamics reports whether cells of this kind accept the v3
+	// dynamic-topology and churn fields. The generic CellSpec.Validate
+	// rejects dynamic cells of kinds that leave this false, so kinds
+	// never silently ignore a scenario field that changes the cache key.
+	Dynamics bool
 	// Validate, if non-nil, checks kind-specific scenario constraints
 	// beyond the generic CellSpec checks.
 	Validate func(cell CellSpec) error
@@ -121,6 +126,7 @@ func init() {
 	MustRegisterKind(CellKind{
 		Name:       KindTime,
 		NeedsGraph: true,
+		Dynamics:   true,
 		Validate:   validateTimeCell,
 		Run:        runTimeCell,
 	})
@@ -169,6 +175,17 @@ func validateTimeCell(c CellSpec) error {
 	if len(c.Params) > 0 {
 		return fmt.Errorf("time cells take no params")
 	}
+	if c.dynamicScenario() {
+		if c.Variant != "" {
+			return fmt.Errorf("variant %q does not support dynamic topologies or churn", c.Variant)
+		}
+		if c.Quasirandom {
+			return fmt.Errorf("quasirandom engine does not support dynamic topologies or churn")
+		}
+		if c.effectiveView() == core.PerEdgeClocks.String() {
+			return fmt.Errorf("per-edge-clocks is not supported with dynamic topologies or churn")
+		}
+	}
 	return nil
 }
 
@@ -204,10 +221,26 @@ func runTimeCell(ctx context.Context, cell CellSpec, g *graph.Graph, trialWorker
 	for i, cr := range cell.Crashes {
 		crashes[i] = core.Crash{Node: graph.NodeID(cr.Node), Time: cr.Time}
 	}
+	churn := make([]core.ChurnEvent, len(cell.Churn))
+	for i, ev := range cell.Churn {
+		op := core.ChurnLeave
+		if ev.Op == ChurnOpJoin {
+			op = core.ChurnJoin
+		}
+		churn[i] = core.ChurnEvent{Node: graph.NodeID(ev.Node), Time: ev.Time, Op: op, DropState: ev.DropState}
+	}
+	makeTopo := dynamicTopology(cell, g)
 	transmit := 1 - cell.LossProb
 	// Crash injection can legitimately cut the rumor off from part of
-	// the graph; only crash-free cells insist on full coverage.
-	requireComplete := len(crashes) == 0
+	// the graph, churn can strand it, and a dynamic topology may never
+	// visit the edges some node needs; only cells free of all three
+	// insist on full coverage.
+	requireComplete := len(crashes) == 0 && len(churn) == 0 && cell.Dynamic == ""
+	// Dynamic topologies also lose reachability-based early
+	// termination, so a never-connecting sequence runs to the budget;
+	// those trials report the partial spread (unreached milestones
+	// collapse to -1) instead of failing the cell.
+	tolerateBudget := cell.Dynamic != ""
 
 	fracs := cell.effectiveCoverage()
 	coverage := make([][]float64, len(fracs))
@@ -233,6 +266,7 @@ func runTimeCell(ctx context.Context, cell CellSpec, g *graph.Graph, trialWorker
 			TransmitProb: transmit,
 			ExtraSources: extra,
 			Crashes:      crashes,
+			Churn:        churn,
 		}
 		maxRounds := core.DefaultMaxRounds(g.NumNodes())
 		times, err = r.Run(func(t int, rng *xrand.RNG) (float64, error) {
@@ -251,14 +285,20 @@ func runTimeCell(ctx context.Context, cell CellSpec, g *graph.Graph, trialWorker
 				if v := pool.Get(); v != nil {
 					s = v.(*core.SyncStepper)
 					s.Reset(rng)
-				} else if s, err = core.NewSyncStepper(g, src, cfg, rng); err != nil {
+				} else if s, err = newSyncStepperFor(makeTopo, g, src, cfg, rng); err != nil {
 					return 0, err
 				}
 				defer pool.Put(s)
 				for s.Step() {
 					if s.Round() >= maxRounds && !s.Finished() {
+						if tolerateBudget {
+							break
+						}
 						return 0, fmt.Errorf("%w: %d rounds (sync %v on %v)", core.ErrBudget, s.Round(), cfg.Protocol, g)
 					}
+				}
+				if err := s.Err(); err != nil {
+					return 0, err
 				}
 				res = s.Result()
 			}
@@ -288,10 +328,13 @@ func runTimeCell(ctx context.Context, cell CellSpec, g *graph.Graph, trialWorker
 			TransmitProb: transmit,
 			ExtraSources: extra,
 			Crashes:      crashes,
+			Churn:        churn,
 		}
-		// Crash schedules route through RunAsync, which picks the
-		// heap-based engine for the non-uniform clock views.
-		useStepper := len(crashes) == 0
+		// Crash-only schedules route through RunAsync, which picks the
+		// heap-based engine for the non-uniform clock views; churn and
+		// dynamic topologies always run on the thinning stepper
+		// (per-edge-clocks is rejected for them at validation).
+		useStepper := len(crashes) == 0 || len(churn) > 0 || makeTopo != nil
 		maxSteps := core.DefaultMaxSteps(g.NumNodes())
 		times, err = r.Run(func(t int, rng *xrand.RNG) (float64, error) {
 			if err := ctx.Err(); err != nil {
@@ -304,14 +347,20 @@ func runTimeCell(ctx context.Context, cell CellSpec, g *graph.Graph, trialWorker
 				if v := pool.Get(); v != nil {
 					s = v.(*core.AsyncStepper)
 					s.Reset(rng)
-				} else if s, err = core.NewAsyncStepper(g, src, cfg, rng); err != nil {
+				} else if s, err = newAsyncStepperFor(makeTopo, g, src, cfg, rng); err != nil {
 					return 0, err
 				}
 				defer pool.Put(s)
 				for s.Step() {
 					if s.Steps() >= maxSteps && !s.Finished() {
+						if tolerateBudget {
+							break
+						}
 						return 0, fmt.Errorf("%w: %d steps (async %v on %v)", core.ErrBudget, s.Steps(), cfg.Protocol, g)
 					}
+				}
+				if err := s.Err(); err != nil {
+					return 0, err
 				}
 				res = s.Result()
 			} else if res, err = core.RunAsync(g, src, cfg, rng); err != nil {

@@ -163,6 +163,50 @@ func TestShardedRunMatchesSingleNode(t *testing.T) {
 	}
 }
 
+// dynamicCells is an explicit batch over the v3 scenario axes (the
+// JobSpec grid has no dynamic dimensions): re-sampling, perturbation,
+// and a churn schedule, in both timings.
+func dynamicCells(t *testing.T) []service.CellSpec {
+	t.Helper()
+	churn := []service.ChurnSpec{
+		{Node: 3, Time: 1, Op: service.ChurnOpLeave},
+		{Node: 3, Time: 4, Op: service.ChurnOpJoin, DropState: true},
+		{Node: 7, Time: 2, Op: service.ChurnOpLeave},
+	}
+	return []service.CellSpec{
+		{Family: "gnp-threshold", N: 48, Protocol: "push-pull", Timing: service.TimingSync,
+			Dynamic: service.DynamicResample, Trials: 4, GraphSeed: 1, TrialSeed: 2},
+		{Family: "gnp-threshold", N: 48, Protocol: "push-pull", Timing: service.TimingAsync,
+			Dynamic: service.DynamicResample, Trials: 4, GraphSeed: 1, TrialSeed: 3},
+		{Family: "gnp", N: 48, Protocol: "push", Timing: service.TimingSync,
+			Dynamic: service.DynamicPerturb, DynamicPeriod: 2, PerturbRate: 0.3,
+			Trials: 4, GraphSeed: 4, TrialSeed: 5},
+		{Family: "hypercube", N: 32, Protocol: "push-pull", Timing: service.TimingSync,
+			Churn: churn, Trials: 4, GraphSeed: 7, TrialSeed: 8},
+		{Family: "hypercube", N: 32, Protocol: "push-pull", Timing: service.TimingAsync,
+			Churn: churn, Trials: 4, GraphSeed: 7, TrialSeed: 9},
+	}
+}
+
+// TestShardedDynamicCellsMatchLocal: dynamic and churn cells survive
+// the wire round-trip and shard placement byte-identically — the
+// `-peers` leg of the E17 acceptance criterion, at test scale.
+func TestShardedDynamicCellsMatchLocal(t *testing.T) {
+	urls := startPeers(t, 3)
+	co, err := shard.New(shard.Config{Peers: urls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := dynamicCells(t)
+	got, err := co.RunCells(context.Background(), cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want, gotB := localReference(t, cells), marshalResults(t, got); !bytes.Equal(want, gotB) {
+		t.Errorf("sharded dynamic cells differ from single-node run\nlocal: %s\nshard: %s", want, gotB)
+	}
+}
+
 // scrape renders the registry to Prometheus text.
 func scrape(t *testing.T, reg *obs.Registry) []byte {
 	t.Helper()
